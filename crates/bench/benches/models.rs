@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks of the model substrate: GP fit/predict/
+//! gradient, MLP ensemble train/predict/gradient, and the simulator —
+//! the per-call costs the online MOO loop pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udao_core::ObjectiveModel;
+use udao_model::dataset::Dataset;
+use udao_model::gp::{Gp, GpConfig};
+use udao_model::mlp::{Ensemble, Mlp, MlpConfig};
+use udao_sparksim::{simulate_batch, BatchConf, ClusterSpec, DataflowProgram};
+
+fn training_data(n: usize, d: usize) -> Dataset {
+    let x: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..d).map(|j| ((i * 31 + j * 17) % 97) as f64 / 96.0).collect())
+        .collect();
+    let y: Vec<f64> = x
+        .iter()
+        .map(|r| 100.0 + 200.0 / (0.8 + 3.0 * r[0]) + 40.0 * r.get(1).copied().unwrap_or(0.0))
+        .collect();
+    Dataset::new(x, y)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        let d = training_data(n, 12);
+        g.bench_with_input(BenchmarkId::new("fit", n), &n, |b, _| {
+            b.iter(|| Gp::fit(&d, &GpConfig::default()).unwrap());
+        });
+    }
+    let d = training_data(100, 12);
+    let gp = Gp::fit(&d, &GpConfig::default()).unwrap();
+    let x = vec![0.4; 12];
+    let mut grad = vec![0.0; 12];
+    g.bench_function("predict_n100", |b| b.iter(|| gp.predict(&x)));
+    g.bench_function("predict_std_n100", |b| b.iter(|| gp.predict_std(&x)));
+    g.bench_function("gradient_n100", |b| b.iter(|| gp.gradient(&x, &mut grad)));
+    g.finish();
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mlp");
+    g.sample_size(10);
+    let d = training_data(100, 12);
+    let cfg = MlpConfig { hidden: vec![48, 48], epochs: 100, ..Default::default() };
+    g.bench_function("fit_100ep", |b| {
+        b.iter(|| Mlp::fit(&d, &cfg).unwrap());
+    });
+    let mlp = Mlp::fit(&d, &cfg).unwrap();
+    let ens = Ensemble::fit(&d, &MlpConfig { epochs: 60, ..cfg.clone() }, 3).unwrap();
+    let x = vec![0.4; 12];
+    let mut grad = vec![0.0; 12];
+    g.bench_function("predict", |b| b.iter(|| mlp.predict(&x)));
+    g.bench_function("gradient", |b| b.iter(|| mlp.gradient(&x, &mut grad)));
+    g.bench_function("ensemble3_predict_std", |b| b.iter(|| ens.predict_std(&x)));
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparksim");
+    let cluster = ClusterSpec::paper_cluster();
+    let conf = BatchConf::spark_default();
+    for scale in [1_000.0f64, 10_000.0, 100_000.0] {
+        let plan = DataflowProgram::tpcxbb_q2(scale);
+        g.bench_with_input(
+            BenchmarkId::new("q2", scale as u64),
+            &scale,
+            |b, _| b.iter(|| simulate_batch(&plan, &conf, &cluster, 1)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gp, bench_mlp, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//! MOGD multi-start count and penalty constant P, the PF-AP grid
+//! parameter `l`, the uncertainty inflation α, and the exact-vs-MC
+//! uncertain-space estimators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use udao_core::mogd::MogdConfig;
+use udao_core::objective::{FnModel, ObjectiveModel};
+use udao_core::pareto::uncertain_space;
+use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+use udao_core::MooProblem;
+
+fn problem() -> MooProblem {
+    let lat: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(4, |x| {
+        100.0 + 200.0 / (0.8 + 3.0 * x[0]) + 40.0 * x[1] + 10.0 * (x[2] - 0.5).powi(2)
+            + 5.0 * (x[3] - 0.3).powi(2)
+    }));
+    let cost: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(4, |x| 8.0 + 16.0 * x[0] + 6.0 * x[1]));
+    MooProblem::new(4, vec![lat, cost])
+}
+
+fn bench_multistarts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_multistarts");
+    g.sample_size(10);
+    let p = problem();
+    for starts in [1usize, 4, 8, 16] {
+        let opts = PfOptions {
+            mogd: MogdConfig { multistarts: starts, max_iters: 60, ..Default::default() },
+            ..Default::default()
+        };
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, opts);
+        g.bench_with_input(BenchmarkId::from_parameter(starts), &starts, |b, _| {
+            b.iter(|| pf.solve(&p, 8).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_grid_l(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_pfap_grid_l");
+    g.sample_size(10);
+    let p = problem();
+    for l in [1usize, 2, 3] {
+        let opts = PfOptions {
+            grid_l: l,
+            mogd: MogdConfig { multistarts: 4, max_iters: 60, ..Default::default() },
+            ..Default::default()
+        };
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxParallel, opts);
+        g.bench_with_input(BenchmarkId::from_parameter(l), &l, |b, _| {
+            b.iter(|| pf.solve(&p, 12).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_penalty_and_alpha(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_mogd_penalty_alpha");
+    g.sample_size(10);
+    let p = problem();
+    for (name, penalty, alpha) in
+        [("p100_a0", 100.0, 0.0), ("p10_a0", 10.0, 0.0), ("p100_a1", 100.0, 1.0)]
+    {
+        let opts = PfOptions {
+            mogd: MogdConfig { penalty, alpha, multistarts: 4, max_iters: 60, ..Default::default() },
+            ..Default::default()
+        };
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, opts);
+        g.bench_function(name, |b| {
+            b.iter(|| pf.solve(&p, 8).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_uncertain_space_estimators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncertain_space");
+    // 2-D exact staircase vs 3-D quasi-Monte-Carlo on same-size frontiers.
+    let frontier_2d: Vec<Vec<f64>> =
+        (0..50).map(|i| vec![i as f64 / 49.0, 1.0 - i as f64 / 49.0]).collect();
+    let frontier_3d: Vec<Vec<f64>> = (0..50)
+        .map(|i| {
+            let t = i as f64 / 49.0;
+            vec![t, 1.0 - t, 0.5 + 0.3 * (t - 0.5).abs()]
+        })
+        .collect();
+    g.bench_function("exact_2d_50pts", |b| {
+        b.iter(|| uncertain_space(&frontier_2d, &[0.0, 0.0], &[1.0, 1.0]));
+    });
+    g.bench_function("mc_3d_50pts", |b| {
+        b.iter(|| uncertain_space(&frontier_3d, &[0.0; 3], &[1.0; 3]));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_multistarts,
+    bench_grid_l,
+    bench_penalty_and_alpha,
+    bench_uncertain_space_estimators
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the CO solvers and PF algorithms: MOGD vs
+//! the exact lattice solver on one CO problem, and the three PF variants
+//! computing a full frontier — the per-probe costs behind Fig. 4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use udao_core::mogd::{Mogd, MogdConfig};
+use udao_core::objective::{FnModel, ObjectiveModel};
+use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+use udao_core::solver::{Bound, CoProblem, CoSolver, ExactGridSolver, MooProblem};
+
+fn problem(dim: usize) -> MooProblem {
+    let lat: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(dim, move |x| {
+        100.0 + 200.0 / (0.8 + 3.0 * x[0]) + 40.0 * x[1..].iter().sum::<f64>() / dim as f64
+    }));
+    let cost: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(dim, |x| 8.0 + 16.0 * x[0] + 6.0 * x.get(1).copied().unwrap_or(0.0)));
+    MooProblem::new(dim, vec![lat, cost])
+}
+
+fn bench_co_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("co_solver");
+    let p = problem(2);
+    let co = CoProblem::constrained(0, vec![Bound::new(100.0, 250.0), Bound::new(8.0, 18.0)]);
+    let mogd = Mogd::new(MogdConfig::default());
+    g.bench_function("mogd_2d", |b| {
+        b.iter(|| mogd.solve(&p, &co).unwrap());
+    });
+    // The exact lattice solver — the Knitro role: correct but slow.
+    let grid = ExactGridSolver::new(64);
+    g.bench_function("exact_grid_64_2d", |b| {
+        b.iter(|| grid.solve(&p, &co).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_mogd_dims(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mogd_dims");
+    for dim in [2usize, 6, 12, 24] {
+        let p = problem(dim);
+        let co = CoProblem::constrained(0, vec![Bound::new(100.0, 250.0), Bound::new(8.0, 18.0)]);
+        let mogd = Mogd::new(MogdConfig { multistarts: 4, max_iters: 60, ..Default::default() });
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| mogd.solve(&p, &co).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_pf_variants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pf_frontier_10pts");
+    g.sample_size(10);
+    let p = problem(4);
+    for (name, variant) in [
+        ("pf_s_exact", PfVariant::Sequential),
+        ("pf_as", PfVariant::ApproxSequential),
+        ("pf_ap", PfVariant::ApproxParallel),
+    ] {
+        let opts = PfOptions {
+            exact_resolution: 24,
+            mogd: MogdConfig { multistarts: 4, max_iters: 60, ..Default::default() },
+            ..Default::default()
+        };
+        let pf = ProgressiveFrontier::new(variant, opts);
+        g.bench_function(name, |b| {
+            b.iter(|| pf.solve(&p, 10).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_co_solvers, bench_mogd_dims, bench_pf_variants);
+criterion_main!(benches);

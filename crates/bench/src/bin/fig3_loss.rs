@@ -1,0 +1,102 @@
+//! Fig. 3(c–f) — the MOGD loss surfaces for the CO problem
+//! `C_{F1F2}: min F1 (latency) s.t. F1 ∈ [100, 200], F2 (cost) ∈ [8, 16]`.
+//!
+//! (c) the loss term on normalized F1, (d) the loss term on normalized F2,
+//! (e) the total loss over univariate #cores with the paper's toy models
+//! `F1 = max(100, 2400/x)`, `F2 = min(24, x)`, and (f) the bivariate loss
+//! over (#executors, #cores/executor).
+//!
+//! Run: `cargo run --release -p udao-bench --bin fig3_loss`
+
+use std::sync::Arc;
+use udao_bench::write_csv;
+use udao_core::mogd::{Mogd, MogdConfig};
+use udao_core::objective::{FnModel, ObjectiveModel};
+use udao_core::solver::{Bound, CoProblem};
+use udao_core::MooProblem;
+
+fn main() {
+    let penalty = 100.0;
+
+    // --- (c) / (d): per-objective loss terms over the normalized value. ---
+    let mut rows_c = Vec::new();
+    let mut rows_d = Vec::new();
+    for i in 0..=200 {
+        let ft = -0.5 + 2.0 * i as f64 / 200.0; // normalized value in [-0.5, 1.5]
+        let target_loss = if (0.0..=1.0).contains(&ft) {
+            ft * ft
+        } else {
+            (ft - 0.5) * (ft - 0.5) + penalty
+        };
+        let constraint_loss =
+            if (0.0..=1.0).contains(&ft) { 0.0 } else { (ft - 0.5) * (ft - 0.5) + penalty };
+        rows_c.push(format!("{ft:.3},{target_loss:.4}"));
+        rows_d.push(format!("{ft:.3},{constraint_loss:.4}"));
+    }
+    write_csv("fig3c_loss_f1.csv", "normalized_f1,loss", &rows_c);
+    write_csv("fig3d_loss_f2.csv", "normalized_f2,loss", &rows_d);
+    println!("(c)/(d): target loss is quadratic inside [0,1]; both terms jump by P = {penalty} outside.");
+
+    // --- (e): univariate loss over x = #cores in [1, 48]. ---
+    // F1 (lat) = max(100, 2400/x), F2 (cost) = min(24, x); x = 1 + 47*u.
+    let f1: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(1, |u| (2400.0 / (1.0 + 47.0 * u[0])).max(100.0)));
+    let f2: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |u| (1.0 + 47.0 * u[0]).min(24.0)));
+    let p1 = MooProblem::new(1, vec![f1, f2]);
+    let co = CoProblem::constrained(0, vec![Bound::new(100.0, 200.0), Bound::new(8.0, 16.0)]);
+    let mogd = Mogd::new(MogdConfig { penalty, ..Default::default() });
+    let mut rows_e = Vec::new();
+    println!("\n(e) loss over #cores (valid region: cores in [12, 16] -> F1 in [150,200], F2 in [12,16]):");
+    for i in 0..=94 {
+        let cores = 1.0 + 0.5 * i as f64;
+        let u = (cores - 1.0) / 47.0;
+        let loss = mogd.loss(&p1, &co, &[u]);
+        rows_e.push(format!("{cores:.1},{loss:.4}"));
+    }
+    write_csv("fig3e_loss_cores.csv", "cores,loss", &rows_e);
+
+    // --- (f): bivariate loss over x1 = #executors, x2 = #cores/executor. ---
+    let f1: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(2, |u| {
+        let execs = 1.0 + 23.0 * u[0];
+        let cpe = 1.0 + 4.0 * u[1];
+        (2400.0 / (execs * cpe).min(24.0)).max(100.0)
+    }));
+    let f2: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(2, |u| {
+        let execs = 1.0 + 23.0 * u[0];
+        let cpe = 1.0 + 4.0 * u[1];
+        (execs * cpe).min(24.0)
+    }));
+    let p2 = MooProblem::new(2, vec![f1, f2]);
+    let mut rows_f = Vec::new();
+    for i in 0..=24 {
+        for j in 0..=16 {
+            let execs = 1.0 + i as f64 * (23.0 / 24.0);
+            let cpe = 1.0 + j as f64 * 0.25;
+            let u = [(execs - 1.0) / 23.0, (cpe - 1.0) / 4.0];
+            let loss = mogd.loss(&p2, &co, &u);
+            rows_f.push(format!("{execs:.2},{cpe:.2},{loss:.4}"));
+        }
+    }
+    write_csv("fig3f_loss_exec_cores.csv", "executors,cores_per_executor,loss", &rows_f);
+
+    // Show that minimizing this loss solves the CO problem.
+    let sol = mogd.solve_and_report(&p2, &co);
+    println!("\nMOGD solution of C_F1F2 on the bivariate models: {sol}");
+}
+
+trait Report {
+    fn solve_and_report(&self, p: &MooProblem, co: &CoProblem) -> String;
+}
+
+impl Report for Mogd {
+    fn solve_and_report(&self, p: &MooProblem, co: &CoProblem) -> String {
+        use udao_core::solver::CoSolver;
+        match self.solve(p, co).expect("solver runs") {
+            Some(s) => format!(
+                "F = ({:.1}, {:.1}) at x = ({:.3}, {:.3})",
+                s.f[0], s.f[1], s.x[0], s.x[1]
+            ),
+            None => "infeasible".to_string(),
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Error handling for the MOO core.
+
+use std::fmt;
+
+/// Errors produced by the MOO core.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A configuration or objective vector had the wrong dimensionality.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Observed length.
+        got: usize,
+    },
+    /// The optimization problem is infeasible (no configuration satisfies
+    /// the constraints), so no Pareto point can be produced.
+    Infeasible(String),
+    /// A parameter definition or value was invalid (empty categorical
+    /// domain, inverted bounds, NaN, ...).
+    InvalidParameter(String),
+    /// A solver was configured with invalid settings.
+    InvalidConfig(String),
+    /// An objective model returned a non-finite prediction.
+    NonFiniteObjective {
+        /// Index of the offending objective.
+        objective: usize,
+        /// The non-finite value produced.
+        value: f64,
+    },
+    /// The requested objective/constraint refers to an index that does not
+    /// exist in the problem.
+    NoSuchObjective(usize),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::Infeasible(msg) => write!(f, "infeasible problem: {msg}"),
+            Error::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Error::InvalidConfig(msg) => write!(f, "invalid solver configuration: {msg}"),
+            Error::NonFiniteObjective { objective, value } => {
+                write!(f, "objective {objective} returned non-finite value {value}")
+            }
+            Error::NoSuchObjective(i) => write!(f, "no such objective: {i}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::DimensionMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = Error::Infeasible("empty box".into());
+        assert!(e.to_string().contains("empty box"));
+        let e = Error::NonFiniteObjective { objective: 1, value: f64::NAN };
+        assert!(e.to_string().contains("objective 1"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(Error::NoSuchObjective(2), Error::NoSuchObjective(2));
+        assert_ne!(Error::NoSuchObjective(2), Error::NoSuchObjective(3));
+    }
+}

@@ -1,0 +1,280 @@
+//! Utopia/Nadir hyperrectangles and the middle-point-probe geometry (§III).
+//!
+//! The Progressive Frontier approach maintains a priority queue of
+//! hyperrectangles in objective space, ordered by volume. Probing the middle
+//! point of a rectangle either proves it empty of Pareto points or yields a
+//! Pareto point that splits the rectangle into `2^k` cells, of which the
+//! cell dominated by the new point and the cell that would dominate it can
+//! be discarded (Propositions A.3/A.4).
+
+use crate::pareto::dominates;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An axis-aligned hyperrectangle in objective space, spanned by its local
+/// Utopia corner (`lo`, componentwise minimum) and Nadir corner (`hi`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// Local Utopia corner (best value per objective).
+    pub lo: Vec<f64>,
+    /// Local Nadir corner (worst value per objective).
+    pub hi: Vec<f64>,
+}
+
+impl Rect {
+    /// Build a rectangle; corners are reordered componentwise if needed.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        debug_assert_eq!(lo.len(), hi.len());
+        let mut lo = lo;
+        let mut hi = hi;
+        for d in 0..lo.len() {
+            if lo[d] > hi[d] {
+                std::mem::swap(&mut lo[d], &mut hi[d]);
+            }
+        }
+        Self { lo, hi }
+    }
+
+    /// Number of objectives `k`.
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Geometric volume `∏ (hi_d − lo_d)`.
+    pub fn volume(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| (h - l).max(0.0)).product()
+    }
+
+    /// The middle point `(lo + hi) / 2` used by the Middle Point Probe.
+    pub fn middle(&self) -> Vec<f64> {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| 0.5 * (l + h)).collect()
+    }
+
+    /// `true` if the rectangle has (numerically) no extent in some dimension.
+    pub fn is_degenerate(&self, eps: f64) -> bool {
+        self.lo.iter().zip(&self.hi).any(|(l, h)| h - l <= eps)
+    }
+
+    /// Whether point `f` lies inside the closed rectangle.
+    pub fn contains(&self, f: &[f64]) -> bool {
+        f.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(v, (l, h))| *v >= *l - 1e-12 && *v <= *h + 1e-12)
+    }
+
+    /// Split the rectangle at Pareto point `fm` into the `2^k` axis cells
+    /// and drop the two cells that cannot contain further Pareto points:
+    /// `[fm, hi]` (dominated by `fm`) and `[lo, fm]` (would dominate `fm`).
+    ///
+    /// Returns up to `2^k − 2` sub-rectangles (exactly 2 in the 2-D case of
+    /// Fig. 2(a), matching `generateSubRectangles` of Algorithm 1).
+    pub fn subdivide(&self, fm: &[f64]) -> Vec<Rect> {
+        let k = self.dim();
+        debug_assert_eq!(fm.len(), k);
+        // Clamp the probe point into the rectangle so numerical drift in the
+        // solver cannot produce inverted cells.
+        let m: Vec<f64> = fm
+            .iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .map(|(v, (l, h))| v.clamp(*l, *h))
+            .collect();
+        let mut cells = Vec::with_capacity((1usize << k).saturating_sub(2));
+        for mask in 0u32..(1u32 << k) {
+            // Bit d set => take the upper half [m_d, hi_d] in dimension d.
+            if mask == (1u32 << k) - 1 {
+                continue; // all-upper cell: dominated by fm
+            }
+            if mask == 0 {
+                continue; // all-lower cell: would dominate fm, provably empty
+            }
+            let mut lo = Vec::with_capacity(k);
+            let mut hi = Vec::with_capacity(k);
+            for (d, &md) in m.iter().enumerate() {
+                if mask & (1 << d) != 0 {
+                    lo.push(md);
+                    hi.push(self.hi[d]);
+                } else {
+                    lo.push(self.lo[d]);
+                    hi.push(md);
+                }
+            }
+            let cell = Rect { lo, hi };
+            if cell.volume() > 0.0 {
+                cells.push(cell);
+            }
+        }
+        cells
+    }
+
+    /// `true` if every point of the rectangle is dominated by `f`
+    /// (equivalently, `f` dominates the rectangle's Utopia corner or equals
+    /// it while dominating the interior).
+    pub fn fully_dominated_by(&self, f: &[f64]) -> bool {
+        dominates(f, &self.lo) || f == self.lo.as_slice()
+    }
+}
+
+/// Max-heap entry ordering rectangles by volume (largest first), as required
+/// by the PF priority queue.
+#[derive(Debug, Clone)]
+struct QueuedRect {
+    rect: Rect,
+    volume: f64,
+}
+
+impl PartialEq for QueuedRect {
+    fn eq(&self, other: &Self) -> bool {
+        self.volume == other.volume
+    }
+}
+impl Eq for QueuedRect {}
+impl PartialOrd for QueuedRect {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for QueuedRect {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.volume.partial_cmp(&other.volume).unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Priority queue of hyperrectangles ordered by decreasing volume, with the
+/// total queued volume tracked for the uncertain-space metric.
+#[derive(Debug, Default)]
+pub struct RectQueue {
+    heap: BinaryHeap<QueuedRect>,
+    total_volume: f64,
+}
+
+impl RectQueue {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert a rectangle (degenerate ones are dropped).
+    pub fn push(&mut self, rect: Rect) {
+        let volume = rect.volume();
+        if volume > 0.0 && volume.is_finite() {
+            self.total_volume += volume;
+            self.heap.push(QueuedRect { rect, volume });
+        }
+    }
+
+    /// Remove and return the largest rectangle.
+    pub fn pop(&mut self) -> Option<Rect> {
+        let q = self.heap.pop()?;
+        self.total_volume -= q.volume;
+        Some(q.rect)
+    }
+
+    /// Number of queued rectangles.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Sum of the volumes of all queued rectangles — the uncertain space
+    /// still to be explored.
+    pub fn total_volume(&self) -> f64 {
+        self.total_volume.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_middle() {
+        let r = Rect::new(vec![100.0, 8.0], vec![300.0, 24.0]);
+        assert!((r.volume() - 200.0 * 16.0).abs() < 1e-9);
+        assert_eq!(r.middle(), vec![200.0, 16.0]);
+    }
+
+    #[test]
+    fn corners_are_reordered() {
+        let r = Rect::new(vec![5.0, 1.0], vec![2.0, 3.0]);
+        assert_eq!(r.lo, vec![2.0, 1.0]);
+        assert_eq!(r.hi, vec![5.0, 3.0]);
+    }
+
+    #[test]
+    fn subdivide_2d_keeps_two_cells() {
+        // Fig. 2(a): probing fM = (150, 16) in [(100,8), (300,24)] leaves the
+        // upper-left and lower-right rectangles.
+        let r = Rect::new(vec![100.0, 8.0], vec![300.0, 24.0]);
+        let cells = r.subdivide(&[150.0, 16.0]);
+        assert_eq!(cells.len(), 2);
+        let vols: f64 = cells.iter().map(Rect::volume).sum();
+        // Discarded: dominated (150..300 x 16..24) and empty (100..150 x 8..16).
+        let expected = r.volume() - 150.0 * 8.0 - 50.0 * 8.0;
+        assert!((vols - expected).abs() < 1e-9);
+        assert!(cells.iter().any(|c| c.lo == vec![100.0, 16.0] && c.hi == vec![150.0, 24.0]));
+        assert!(cells.iter().any(|c| c.lo == vec![150.0, 8.0] && c.hi == vec![300.0, 16.0]));
+    }
+
+    #[test]
+    fn subdivide_3d_keeps_six_cells() {
+        let r = Rect::new(vec![0.0; 3], vec![1.0; 3]);
+        let cells = r.subdivide(&[0.5; 3]);
+        assert_eq!(cells.len(), (1 << 3) - 2);
+        let vols: f64 = cells.iter().map(Rect::volume).sum();
+        assert!((vols - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subdivide_on_boundary_drops_empty_cells() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        // Probe landing on the lower edge of dim 0: left cells are empty.
+        let cells = r.subdivide(&[0.0, 0.5]);
+        assert!(cells.iter().all(|c| c.volume() > 0.0));
+        assert_eq!(cells.len(), 1);
+    }
+
+    #[test]
+    fn subdivide_clamps_outside_probe() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let cells = r.subdivide(&[1.5, 0.5]); // drifted outside
+        assert!(cells.iter().all(|c| c.volume() > 0.0));
+        for c in &cells {
+            assert!(c.hi.iter().zip(&r.hi).all(|(a, b)| a <= b));
+        }
+    }
+
+    #[test]
+    fn queue_pops_largest_first_and_tracks_volume() {
+        let mut q = RectQueue::new();
+        q.push(Rect::new(vec![0.0, 0.0], vec![1.0, 1.0])); // vol 1
+        q.push(Rect::new(vec![0.0, 0.0], vec![3.0, 1.0])); // vol 3
+        q.push(Rect::new(vec![0.0, 0.0], vec![2.0, 1.0])); // vol 2
+        assert_eq!(q.len(), 3);
+        assert!((q.total_volume() - 6.0).abs() < 1e-12);
+        assert!((q.pop().unwrap().volume() - 3.0).abs() < 1e-12);
+        assert!((q.pop().unwrap().volume() - 2.0).abs() < 1e-12);
+        assert!((q.total_volume() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_rects_are_not_queued() {
+        let mut q = RectQueue::new();
+        q.push(Rect::new(vec![0.5, 0.0], vec![0.5, 1.0]));
+        assert!(q.is_empty());
+        assert_eq!(q.total_volume(), 0.0);
+    }
+
+    #[test]
+    fn contains_and_domination() {
+        let r = Rect::new(vec![1.0, 1.0], vec![2.0, 2.0]);
+        assert!(r.contains(&[1.5, 1.5]));
+        assert!(!r.contains(&[0.5, 1.5]));
+        assert!(r.fully_dominated_by(&[0.5, 0.5]));
+        assert!(!r.fully_dominated_by(&[1.5, 0.5]));
+    }
+}

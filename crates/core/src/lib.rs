@@ -1,0 +1,63 @@
+//! # udao-core — Progressive Frontier multi-objective optimization
+//!
+//! This crate implements the primary contribution of *"Spark-based Cloud Data
+//! Analytics using Multi-Objective Optimization"* (ICDE 2021): a principled
+//! multi-objective optimization (MOO) framework that computes a Pareto-optimal
+//! set of system configurations under stringent time constraints and
+//! recommends one configuration that best explores the trade-offs between
+//! conflicting objectives.
+//!
+//! The crate is deliberately model-agnostic: objectives are anything
+//! implementing [`ObjectiveModel`] — hand-crafted regression functions,
+//! Gaussian Processes, or deep neural networks (see the `udao-model` crate
+//! for concrete learners). The MOO layer only requires point predictions,
+//! optionally predictive uncertainty, and (sub)gradients.
+//!
+//! ## Layout
+//!
+//! | module | paper section | contents |
+//! |--------|---------------|----------|
+//! | [`space`] | §IV-B step 1 | mixed categorical/integer/continuous parameter spaces, one-hot encoding, normalization to `[0,1]^D` |
+//! | [`objective`] | §II-B | objective descriptors and the [`ObjectiveModel`] trait |
+//! | [`pareto`] | §III | dominance, frontier filtering, hypervolume, uncertain-space volume |
+//! | [`hyperrect`] | §III | Utopia/Nadir hyperrectangles, middle points, subdivision |
+//! | [`solver`] | §IV | the constrained-optimization (CO) problem and an exact reference solver |
+//! | [`mogd`] | §IV-B | the Multi-Objective Gradient Descent CO solver (Adam, multi-start, Eq. 3 loss) |
+//! | [`pf`] | §III–IV | Progressive Frontier algorithms: PF-S, PF-AS, PF-AP |
+//! | [`recommend`] | §V, App. B | Utopia-Nearest, Weighted-UN, Slope-Maximization, Knee-Point selection |
+//!
+//! ## Quick example
+//!
+//! ```
+//! use udao_core::objective::FnModel;
+//! use udao_core::pf::{ProgressiveFrontier, PfVariant};
+//! use udao_core::solver::MooProblem;
+//! use std::sync::Arc;
+//!
+//! // Two conflicting objectives over one knob x ∈ [0,1]:
+//! // latency falls with resources, cost rises with resources.
+//! let latency = FnModel::new(1, |x| 1.0 / (0.1 + x[0]));
+//! let cost = FnModel::new(1, |x| 1.0 + 9.0 * x[0]);
+//! let problem = MooProblem::new(1, vec![Arc::new(latency), Arc::new(cost)]);
+//!
+//! let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, Default::default());
+//! let run = pf.solve(&problem, 10).unwrap();
+//! assert!(run.frontier.len() >= 3);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod hyperrect;
+pub mod mogd;
+pub mod objective;
+pub mod pareto;
+pub mod pf;
+pub mod recommend;
+pub mod solver;
+pub mod space;
+
+pub use error::{Error, Result};
+pub use objective::{Direction, FnModel, ObjectiveModel, ObjectiveSpec};
+pub use pareto::ParetoPoint;
+pub use solver::MooProblem;

@@ -1,0 +1,462 @@
+//! Multi-Objective Gradient Descent (MOGD) — the approximate CO solver of
+//! §IV-B.
+//!
+//! MOGD solves each constrained optimization problem produced by a middle
+//! point probe with a carefully crafted loss (Eq. 3): the target objective
+//! is minimized inside its normalized constraint region, while every
+//! objective outside its region contributes a quadratic pull towards the
+//! region plus a constant penalty `P`. Gradients flow through the objective
+//! models (analytic for the MLP/GP learners in `udao-model`, finite
+//! differences otherwise); optimization uses Adam with multi-start, clamping
+//! iterates into the `[0,1]^D` box. Under model uncertainty each objective
+//! is replaced by the conservative estimate `E[F] + α·std[F]`.
+
+use crate::error::{Error, Result};
+use crate::objective::ObjectiveModel;
+use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, MooProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Tuning parameters for the MOGD solver.
+#[derive(Debug, Clone)]
+pub struct MogdConfig {
+    /// Number of random restarts (§IV-B.1 multi-start); the box center is
+    /// always tried in addition.
+    pub multistarts: usize,
+    /// Maximum Adam iterations per start.
+    pub max_iters: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Extra penalty `P` of Eq. 3 for violated constraints.
+    pub penalty: f64,
+    /// Uncertainty factor α: objectives are optimized as `E[F] + α·std[F]`.
+    pub alpha: f64,
+    /// Relative constraint tolerance for declaring a solution feasible.
+    pub tol: f64,
+    /// Early-stop patience: iterations without loss improvement.
+    pub patience: usize,
+    /// Base RNG seed; per-problem seeds are derived deterministically.
+    pub seed: u64,
+}
+
+impl Default for MogdConfig {
+    fn default() -> Self {
+        Self {
+            multistarts: 8,
+            max_iters: 120,
+            learning_rate: 0.08,
+            penalty: 100.0,
+            alpha: 0.0,
+            tol: 1e-3,
+            patience: 20,
+            seed: 0x0DA0,
+        }
+    }
+}
+
+/// The MOGD solver. Thread-safe: [`crate::pf`]'s parallel algorithm shares
+/// one instance across worker threads.
+#[derive(Debug, Default)]
+pub struct Mogd {
+    cfg: MogdConfig,
+    evals: AtomicUsize,
+}
+
+impl Mogd {
+    /// Create a solver with the given configuration.
+    pub fn new(cfg: MogdConfig) -> Self {
+        Self { cfg, evals: AtomicUsize::new(0) }
+    }
+
+    /// The solver configuration.
+    pub fn config(&self) -> &MogdConfig {
+        &self.cfg
+    }
+
+    /// Evaluate the Eq. 3 loss at `x` for a CO problem — exposed so the
+    /// loss surfaces of Fig. 3(c–f) can be regenerated.
+    pub fn loss(&self, problem: &MooProblem, co: &CoProblem, x: &[f64]) -> f64 {
+        let mut g = vec![0.0; x.len()];
+        self.loss_and_grad(problem, co, x, &mut g)
+    }
+
+    /// Conservative objective value `E[F] + α·std[F]`.
+    fn value(&self, m: &dyn ObjectiveModel, x: &[f64]) -> f64 {
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        let mut v = m.predict(x);
+        if self.cfg.alpha != 0.0 {
+            v += self.cfg.alpha * m.predict_std(x);
+        }
+        v
+    }
+
+    /// Gradient of the conservative objective.
+    fn grad(&self, m: &dyn ObjectiveModel, x: &[f64], out: &mut [f64]) {
+        m.gradient(x, out);
+        if self.cfg.alpha != 0.0 {
+            let mut gs = vec![0.0; x.len()];
+            m.std_gradient(x, &mut gs);
+            for (o, g) in out.iter_mut().zip(&gs) {
+                *o += self.cfg.alpha * g;
+            }
+        }
+    }
+
+    /// Eq. 3 loss and its gradient with respect to `x`.
+    ///
+    /// Bounded objectives are normalized to `F̃_j ∈ [0,1]`; the target
+    /// contributes `F̃_i²` inside its region, and any objective outside its
+    /// region contributes `(F̃_j − ½)² + P`. Unbounded (`Bound::FREE`)
+    /// objectives contribute the raw value for the target and nothing as
+    /// constraints, recovering plain single-objective optimization.
+    fn loss_and_grad(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        x: &[f64],
+        grad_out: &mut [f64],
+    ) -> f64 {
+        let k = problem.num_objectives();
+        for g in grad_out.iter_mut() {
+            *g = 0.0;
+        }
+        let mut loss = 0.0;
+        let mut gj = vec![0.0; x.len()];
+        for j in 0..k {
+            let b = effective_bound(co, problem, j);
+            let fj = self.value(problem.objectives[j].as_ref(), x);
+            if !fj.is_finite() {
+                // Poisoned region: huge loss, no usable gradient.
+                return f64::INFINITY;
+            }
+            if b.is_finite() {
+                let width = (b.hi - b.lo).max(1e-12);
+                let ft = (fj - b.lo) / width; // normalized objective F̃_j
+                let in_region = (0.0..=1.0).contains(&ft);
+                if j == co.target && in_region {
+                    // Target term: F̃_i² pushes the target down inside the box.
+                    loss += ft * ft;
+                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
+                    let c = 2.0 * ft / width;
+                    for (go, g) in grad_out.iter_mut().zip(&gj) {
+                        *go += c * g;
+                    }
+                } else if !in_region {
+                    // Constraint term: pull back into the region, plus penalty P.
+                    loss += (ft - 0.5) * (ft - 0.5) + self.cfg.penalty;
+                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
+                    let c = 2.0 * (ft - 0.5) / width;
+                    for (go, g) in grad_out.iter_mut().zip(&gj) {
+                        *go += c * g;
+                    }
+                }
+            } else if j == co.target {
+                // Unbounded target: minimize the raw objective.
+                loss += fj;
+                self.grad(problem.objectives[j].as_ref(), x, &mut gj);
+                for (go, g) in grad_out.iter_mut().zip(&gj) {
+                    *go += g;
+                }
+            } else if b.lo.is_finite() || b.hi.is_finite() {
+                // Half-open constraint: penalize only the violated side.
+                let (violated, dist) = if b.lo.is_finite() && fj < b.lo {
+                    (true, fj - b.lo)
+                } else if b.hi.is_finite() && fj > b.hi {
+                    (true, fj - b.hi)
+                } else {
+                    (false, 0.0)
+                };
+                if violated {
+                    loss += dist * dist + self.cfg.penalty;
+                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
+                    let c = 2.0 * dist;
+                    for (go, g) in grad_out.iter_mut().zip(&gj) {
+                        *go += c * g;
+                    }
+                }
+            }
+        }
+        // General inequality constraints g(x) ≤ 0 (§IV-B extension):
+        // quadratic pull plus the P penalty while violated.
+        for g_model in &problem.inequalities {
+            let gv = g_model.predict(x);
+            if gv > 0.0 {
+                loss += gv * gv + self.cfg.penalty;
+                g_model.gradient(x, &mut gj);
+                let c = 2.0 * gv;
+                for (go, g) in grad_out.iter_mut().zip(&gj) {
+                    *go += c * g;
+                }
+            }
+        }
+        loss
+    }
+
+    /// One Adam run from `x0`; returns the best feasible iterate, if any.
+    fn descend(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        x0: &[f64],
+    ) -> Option<CoSolution> {
+        let d = x0.len();
+        let mut x = x0.to_vec();
+        let mut m = vec![0.0; d];
+        let mut v = vec![0.0; d];
+        let mut g = vec![0.0; d];
+        let (b1, b2, eps) = (0.9, 0.999, 1e-8);
+        let mut best: Option<CoSolution> = None;
+        let mut best_loss = f64::INFINITY;
+        let mut stale = 0usize;
+        for t in 1..=self.cfg.max_iters {
+            let loss = self.loss_and_grad(problem, co, &x, &mut g);
+            if loss.is_finite() && loss < best_loss - 1e-12 {
+                best_loss = loss;
+                stale = 0;
+                if let Some(sol) = self.feasible_solution(problem, co, &x) {
+                    match &best {
+                        Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                        _ => best = Some(sol),
+                    }
+                }
+            } else {
+                stale += 1;
+                if stale > self.cfg.patience {
+                    break;
+                }
+            }
+            if !loss.is_finite() {
+                break;
+            }
+            // Adam update, projected onto the [0,1] box.
+            for i in 0..d {
+                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
+                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
+                let mh = m[i] / (1.0 - b1.powi(t as i32));
+                let vh = v[i] / (1.0 - b2.powi(t as i32));
+                x[i] = (x[i] - self.cfg.learning_rate * mh / (vh.sqrt() + eps)).clamp(0.0, 1.0);
+            }
+        }
+        // Final iterate may be the best feasible point.
+        if let Some(sol) = self.feasible_solution(problem, co, &x) {
+            match &best {
+                Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                _ => best = Some(sol),
+            }
+        }
+        best
+    }
+
+    /// Evaluate `x`; return it as a solution iff all constraints hold.
+    fn feasible_solution(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        x: &[f64],
+    ) -> Option<CoSolution> {
+        if !problem.inequalities_satisfied(x, self.cfg.tol) {
+            return None;
+        }
+        let mut f = Vec::with_capacity(problem.num_objectives());
+        for j in 0..problem.num_objectives() {
+            let fj = self.value(problem.objectives[j].as_ref(), x);
+            if !fj.is_finite() {
+                return None;
+            }
+            let b = effective_bound(co, problem, j);
+            if !b.satisfied(fj, self.cfg.tol) {
+                return None;
+            }
+            f.push(fj);
+        }
+        Some(CoSolution { x: x.to_vec(), f })
+    }
+}
+
+/// Intersection of the CO bound and the problem's global constraint for
+/// objective `j`.
+fn effective_bound(co: &CoProblem, problem: &MooProblem, j: usize) -> Bound {
+    let a = co.bounds[j];
+    let b = problem.constraints[j];
+    Bound { lo: a.lo.max(b.lo), hi: a.hi.min(b.hi) }
+}
+
+impl CoSolver for Mogd {
+    fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>> {
+        if co.target >= problem.num_objectives() {
+            return Err(Error::NoSuchObjective(co.target));
+        }
+        if co.bounds.len() != problem.num_objectives() {
+            return Err(Error::DimensionMismatch {
+                expected: problem.num_objectives(),
+                got: co.bounds.len(),
+            });
+        }
+        // Deterministic per-problem seed so identical probes reproduce.
+        let mut h = self.cfg.seed;
+        for b in &co.bounds {
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b.lo.to_bits());
+            h = h.wrapping_mul(0x100000001b3).wrapping_add(b.hi.to_bits());
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+
+        let d = problem.dim;
+        let mut best: Option<CoSolution> = None;
+        let try_start = |x0: &[f64], best: &mut Option<CoSolution>| {
+            if let Some(sol) = self.descend(problem, co, x0) {
+                match best {
+                    Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                    _ => *best = Some(sol),
+                }
+            }
+        };
+        // Center start plus random restarts.
+        try_start(&vec![0.5; d], &mut best);
+        for _ in 0..self.cfg.multistarts {
+            let x0: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+            try_start(&x0, &mut best);
+        }
+        Ok(best)
+    }
+
+    fn last_evals(&self) -> Option<usize> {
+        Some(self.evals.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnModel;
+    use std::sync::Arc;
+
+    fn toy_problem() -> MooProblem {
+        // Smooth, conflicting 2-objective problem over 2 knobs.
+        // latency falls with total "cores" x0*x1; cost rises with it.
+        let lat: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 100.0 + 200.0 / (0.1 + x[0] * x[1] * 4.0)));
+        let cost: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 8.0 + 16.0 * (x[0] * x[1]).min(1.0)));
+        MooProblem::new(2, vec![lat, cost])
+    }
+
+    #[test]
+    fn unconstrained_minimum_matches_exact_grid() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        let sol = mogd.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap().expect("feasible");
+        // latency minimized at x0 = x1 = 1.
+        let exact = 100.0 + 200.0 / 4.1;
+        assert!(
+            (sol.f[0] - exact).abs() < 1.0,
+            "mogd found {}, exact {}",
+            sol.f[0],
+            exact
+        );
+    }
+
+    #[test]
+    fn constrained_solution_is_feasible_and_near_optimal() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        // minimize latency subject to cost in [8, 16] => x0*x1 <= 0.5
+        let co = CoProblem::constrained(0, vec![Bound::new(100.0, 260.0), Bound::new(8.0, 16.0)]);
+        let sol = mogd.solve(&p, &co).unwrap().expect("feasible");
+        assert!(sol.f[1] <= 16.0 + 0.1, "cost {}", sol.f[1]);
+        assert!(sol.f[0] <= 260.0 + 0.5, "latency {}", sol.f[0]);
+        // Optimum: x0*x1 = 0.5 => latency = 100 + 200/2.1 ≈ 195.2
+        assert!(sol.f[0] < 205.0, "latency {} too far from optimum 195.2", sol.f[0]);
+    }
+
+    #[test]
+    fn infeasible_box_returns_none() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        // cost <= 7 is impossible (cost >= 8).
+        let co = CoProblem::constrained(0, vec![Bound::FREE, Bound::new(0.0, 7.0)]);
+        assert_eq!(mogd.solve(&p, &co).unwrap(), None);
+    }
+
+    #[test]
+    fn deterministic_given_same_seed() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem::constrained(0, vec![Bound::new(100.0, 260.0), Bound::new(8.0, 16.0)]);
+        let a = mogd.solve(&p, &co).unwrap();
+        let b = mogd.solve(&p, &co).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn respects_global_problem_constraints() {
+        let p = toy_problem().with_constraints(vec![Bound::FREE, Bound::new(8.0, 12.0)]);
+        let mogd = Mogd::new(MogdConfig::default());
+        let sol = mogd.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap().expect("feasible");
+        assert!(sol.f[1] <= 12.0 + 0.1, "global cost cap violated: {}", sol.f[1]);
+    }
+
+    #[test]
+    fn uncertainty_alpha_makes_estimates_conservative() {
+        struct Noisy;
+        impl ObjectiveModel for Noisy {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                x[0]
+            }
+            fn predict_std(&self, _: &[f64]) -> f64 {
+                1.0
+            }
+        }
+        let p = MooProblem::new(1, vec![Arc::new(Noisy) as Arc<dyn ObjectiveModel>]);
+        let plain = Mogd::new(MogdConfig { alpha: 0.0, ..Default::default() });
+        let cons = Mogd::new(MogdConfig { alpha: 2.0, ..Default::default() });
+        let f0 = plain.solve(&p, &CoProblem::unconstrained(0, 1)).unwrap().unwrap().f[0];
+        let f2 = cons.solve(&p, &CoProblem::unconstrained(0, 1)).unwrap().unwrap().f[0];
+        assert!((f2 - f0 - 2.0).abs() < 1e-6, "conservative offset: {} vs {}", f2, f0);
+    }
+
+    #[test]
+    fn inequality_constraints_are_enforced() {
+        // g(x) = x0 + x1 - 1 <= 0: the solution must stay under the
+        // anti-diagonal even though latency wants x0 = x1 = 1.
+        let p = toy_problem().with_inequality(Arc::new(FnModel::new(2, |x| x[0] + x[1] - 1.0)));
+        let mogd = Mogd::new(MogdConfig::default());
+        let sol = mogd.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap().expect("feasible");
+        assert!(
+            sol.x[0] + sol.x[1] <= 1.0 + 1e-3,
+            "g violated: {} + {}",
+            sol.x[0],
+            sol.x[1]
+        );
+        // Optimum on the constraint boundary: x0*x1 maximized at 0.25.
+        let best = 100.0 + 200.0 / (0.1 + 0.25 * 4.0);
+        assert!(sol.f[0] < best + 8.0, "latency {} vs boundary optimum {}", sol.f[0], best);
+    }
+
+    #[test]
+    fn impossible_inequality_yields_none() {
+        let p = toy_problem().with_inequality(Arc::new(FnModel::new(2, |_| 1.0)));
+        let mogd = Mogd::new(MogdConfig::default());
+        assert_eq!(mogd.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap(), None);
+    }
+
+    #[test]
+    fn eval_counter_increases() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        let before = mogd.last_evals().unwrap();
+        mogd.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap();
+        assert!(mogd.last_evals().unwrap() > before);
+    }
+
+    #[test]
+    fn wrong_bounds_arity_is_an_error() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem { target: 0, bounds: vec![Bound::FREE] };
+        assert!(mogd.solve(&p, &co).is_err());
+    }
+}

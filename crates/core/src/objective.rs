@@ -1,0 +1,328 @@
+//! Objective descriptors and the model interface consumed by the optimizer.
+//!
+//! UDAO separates *model learning* (the `udao-model` crate, run offline by
+//! the model server) from *optimization* (this crate, run online). The two
+//! meet at the [`ObjectiveModel`] trait: any predictive model that can map a
+//! normalized configuration `x ∈ [0,1]^D` to an objective value — and
+//! optionally report predictive uncertainty and input gradients — can be
+//! plugged into the Progressive Frontier algorithms.
+
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Whether an objective should be driven down or up.
+///
+/// Internally every objective is *minimized* (Problem III.1 of the paper
+/// adds a minus sign to maximization objectives); [`ObjectiveSpec::signed`]
+/// applies that transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Direction {
+    /// Smaller is better (latency, cost, ...).
+    Minimize,
+    /// Larger is better (throughput, ...).
+    Maximize,
+}
+
+/// A named objective with an optimization direction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveSpec {
+    /// Human-readable name, e.g. `"latency"`.
+    pub name: String,
+    /// Direction of improvement.
+    pub direction: Direction,
+    /// Unit for display, e.g. `"s"` or `"cores"`.
+    pub unit: String,
+}
+
+impl ObjectiveSpec {
+    /// Create an objective that should be minimized.
+    pub fn minimize(name: impl Into<String>, unit: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: Direction::Minimize, unit: unit.into() }
+    }
+
+    /// Create an objective that should be maximized.
+    pub fn maximize(name: impl Into<String>, unit: impl Into<String>) -> Self {
+        Self { name: name.into(), direction: Direction::Maximize, unit: unit.into() }
+    }
+
+    /// Transform a raw objective value into minimization space.
+    #[inline]
+    pub fn signed(&self, raw: f64) -> f64 {
+        match self.direction {
+            Direction::Minimize => raw,
+            Direction::Maximize => -raw,
+        }
+    }
+
+    /// Transform a value in minimization space back to the raw scale.
+    #[inline]
+    pub fn unsigned(&self, signed: f64) -> f64 {
+        self.signed(signed) // involution: the same sign flip undoes itself
+    }
+}
+
+/// A predictive model `Ψ(x)` for one objective, defined over the normalized
+/// configuration space `[0,1]^D`.
+///
+/// All values are in *minimization* space: the optimizer always drives
+/// predictions down. Maximization objectives must be wrapped with
+/// [`Negated`] (or pre-signed by [`ObjectiveSpec::signed`]).
+pub trait ObjectiveModel: Send + Sync {
+    /// Dimensionality `D` of the normalized input space.
+    fn dim(&self) -> usize;
+
+    /// Predicted objective value at `x` (`x.len() == self.dim()`).
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predictive standard deviation at `x`.
+    ///
+    /// Deterministic models return `0.0` (the default). Learned models with
+    /// calibrated uncertainty (GPs, deep ensembles) override this; the MOGD
+    /// solver then optimizes the conservative estimate
+    /// `F̃(x) = E[F(x)] + α·std[F(x)]` (§IV-B.3).
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        let _ = x;
+        0.0
+    }
+
+    /// Gradient (or subgradient) of [`predict`](Self::predict) with respect
+    /// to `x`, written into `out`.
+    ///
+    /// The default implementation uses central finite differences with
+    /// clamping at the `[0,1]` box boundary, which works for any model;
+    /// learned models override it with analytic gradients.
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim());
+        debug_assert_eq!(out.len(), self.dim());
+        const H: f64 = 1e-5;
+        let mut probe = x.to_vec();
+        for d in 0..x.len() {
+            let hi = (x[d] + H).min(1.0);
+            let lo = (x[d] - H).max(0.0);
+            probe[d] = hi;
+            let f_hi = self.predict(&probe);
+            probe[d] = lo;
+            let f_lo = self.predict(&probe);
+            probe[d] = x[d];
+            out[d] = if hi > lo { (f_hi - f_lo) / (hi - lo) } else { 0.0 };
+        }
+    }
+
+    /// Gradient of [`predict_std`](Self::predict_std); defaults to finite
+    /// differences over the std surface (zero for deterministic models).
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        const H: f64 = 1e-5;
+        let mut probe = x.to_vec();
+        for d in 0..x.len() {
+            let hi = (x[d] + H).min(1.0);
+            let lo = (x[d] - H).max(0.0);
+            probe[d] = hi;
+            let s_hi = self.predict_std(&probe);
+            probe[d] = lo;
+            let s_lo = self.predict_std(&probe);
+            probe[d] = x[d];
+            out[d] = if hi > lo { (s_hi - s_lo) / (hi - lo) } else { 0.0 };
+        }
+    }
+}
+
+/// Blanket implementation so `Arc<dyn ObjectiveModel>` (and `Box`) are
+/// themselves models — the PF-AP threads share models via `Arc`.
+impl<M: ObjectiveModel + ?Sized> ObjectiveModel for Arc<M> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        (**self).predict_std(x)
+    }
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).gradient(x, out)
+    }
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).std_gradient(x, out)
+    }
+}
+
+impl<M: ObjectiveModel + ?Sized> ObjectiveModel for Box<M> {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        (**self).predict_std(x)
+    }
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).gradient(x, out)
+    }
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        (**self).std_gradient(x, out)
+    }
+}
+
+/// An [`ObjectiveModel`] defined by a closure — the workhorse for tests,
+/// examples, and hand-crafted regression models.
+pub struct FnModel<F> {
+    dim: usize,
+    f: F,
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> FnModel<F> {
+    /// Wrap a closure `f(x) -> value` over `dim` normalized inputs.
+    pub fn new(dim: usize, f: F) -> Self {
+        Self { dim, f }
+    }
+}
+
+impl<F: Fn(&[f64]) -> f64 + Send + Sync> ObjectiveModel for FnModel<F> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        (self.f)(x)
+    }
+}
+
+/// Sign-flipping wrapper turning a maximization objective into the
+/// minimization form required by the optimizer.
+pub struct Negated<M>(pub M);
+
+impl<M: ObjectiveModel> ObjectiveModel for Negated<M> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        -self.0.predict(x)
+    }
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        self.0.predict_std(x)
+    }
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.0.gradient(x, out);
+        for g in out.iter_mut() {
+            *g = -*g;
+        }
+    }
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.0.std_gradient(x, out)
+    }
+}
+
+/// Conservative wrapper `F̃(x) = E[F(x)] + α·std[F(x)]` used under model
+/// uncertainty (§IV-B.3 "Handling model uncertainty").
+pub struct Conservative<M> {
+    inner: M,
+    alpha: f64,
+}
+
+impl<M: ObjectiveModel> Conservative<M> {
+    /// Wrap `inner`, inflating predictions by `alpha` standard deviations.
+    pub fn new(inner: M, alpha: f64) -> Self {
+        Self { inner, alpha }
+    }
+
+    /// The uncertainty inflation factor α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl<M: ObjectiveModel> ObjectiveModel for Conservative<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.inner.predict(x) + self.alpha * self.inner.predict_std(x)
+    }
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        self.inner.predict_std(x)
+    }
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.gradient(x, out);
+        if self.alpha != 0.0 {
+            let mut gs = vec![0.0; x.len()];
+            self.inner.std_gradient(x, &mut gs);
+            for (o, g) in out.iter_mut().zip(gs.iter()) {
+                *o += self.alpha * g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_round_trips() {
+        let lat = ObjectiveSpec::minimize("latency", "s");
+        let tput = ObjectiveSpec::maximize("throughput", "rec/s");
+        assert_eq!(lat.signed(5.0), 5.0);
+        assert_eq!(tput.signed(5.0), -5.0);
+        assert_eq!(tput.unsigned(tput.signed(7.5)), 7.5);
+    }
+
+    #[test]
+    fn fn_model_predicts_and_differentiates() {
+        let m = FnModel::new(2, |x| 3.0 * x[0] + x[1] * x[1]);
+        assert_eq!(m.dim(), 2);
+        assert!((m.predict(&[0.5, 0.5]) - 1.75).abs() < 1e-12);
+        let mut g = [0.0; 2];
+        m.gradient(&[0.5, 0.5], &mut g);
+        assert!((g[0] - 3.0).abs() < 1e-4, "g0 = {}", g[0]);
+        assert!((g[1] - 1.0).abs() < 1e-4, "g1 = {}", g[1]);
+    }
+
+    #[test]
+    fn finite_difference_gradient_respects_box_boundary() {
+        // At x = 0 the probe must not leave [0,1]; the one-sided estimate
+        // must still recover the slope of a linear function.
+        let m = FnModel::new(1, |x| 2.0 * x[0]);
+        let mut g = [0.0];
+        m.gradient(&[0.0], &mut g);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+        m.gradient(&[1.0], &mut g);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negated_flips_values_and_gradients() {
+        let m = Negated(FnModel::new(1, |x| x[0]));
+        assert_eq!(m.predict(&[0.25]), -0.25);
+        let mut g = [0.0];
+        m.gradient(&[0.5], &mut g);
+        assert!((g[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conservative_adds_alpha_std() {
+        struct Noisy;
+        impl ObjectiveModel for Noisy {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                x[0]
+            }
+            fn predict_std(&self, _x: &[f64]) -> f64 {
+                0.5
+            }
+        }
+        let c = Conservative::new(Noisy, 2.0);
+        assert!((c.predict(&[0.3]) - (0.3 + 1.0)).abs() < 1e-12);
+        assert_eq!(c.predict_std(&[0.3]), 0.5);
+    }
+
+    #[test]
+    fn arc_and_box_forward() {
+        let m: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |x| x[0] + 1.0));
+        assert_eq!(m.dim(), 1);
+        assert!((m.predict(&[0.0]) - 1.0).abs() < 1e-12);
+        let b: Box<dyn ObjectiveModel> = Box::new(FnModel::new(1, |x| x[0]));
+        assert_eq!(b.predict(&[0.5]), 0.5);
+    }
+}

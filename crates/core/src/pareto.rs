@@ -1,0 +1,327 @@
+//! Pareto dominance, frontier maintenance, and the uncertain-space metric.
+//!
+//! All objective vectors here live in *minimization* space. The
+//! uncertain-space metric (§VI, Fig. 4/5 of the paper) measures the fraction
+//! of the Utopia–Nadir hyperrectangle about which an algorithm is still
+//! uncertain: the region neither provably dominated by a found Pareto point
+//! nor provably empty of Pareto points. The 2-D case is computed exactly via
+//! the frontier staircase; for k ≥ 3 a deterministic quasi-Monte-Carlo
+//! estimator is used, so that every MOO method (PF, WS, NC, Evo, MOBO) is
+//! scored with one and the same metric.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A Pareto point: a (normalized) configuration and its objective vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The configuration in normalized `[0,1]^D` space.
+    pub x: Vec<f64>,
+    /// The objective vector (minimization space).
+    pub f: Vec<f64>,
+}
+
+impl ParetoPoint {
+    /// Construct a point.
+    pub fn new(x: Vec<f64>, f: Vec<f64>) -> Self {
+        Self { x, f }
+    }
+}
+
+/// `true` iff `a` Pareto-dominates `b`: `a ≤ b` componentwise with at least
+/// one strict inequality (Definition III.1).
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strict = false;
+    for (ai, bi) in a.iter().zip(b.iter()) {
+        if ai > bi {
+            return false;
+        }
+        if ai < bi {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Remove every point dominated by another point in the set (the "Filter"
+/// step of Algorithm 1). Exact duplicates are collapsed to one copy.
+pub fn pareto_filter(points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    let mut keep: Vec<ParetoPoint> = Vec::with_capacity(points.len());
+    'outer: for p in points {
+        let mut i = 0;
+        while i < keep.len() {
+            if dominates(&keep[i].f, &p.f) || keep[i].f == p.f {
+                continue 'outer; // p is dominated or duplicate
+            }
+            if dominates(&p.f, &keep[i].f) {
+                keep.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        keep.push(p);
+    }
+    keep
+}
+
+/// Indices of the non-dominated members of `fs` (duplicates all kept).
+pub fn non_dominated_indices(fs: &[Vec<f64>]) -> Vec<usize> {
+    (0..fs.len())
+        .filter(|&i| !fs.iter().enumerate().any(|(j, other)| j != i && dominates(other, &fs[i])))
+        .collect()
+}
+
+/// Exact 2-D hypervolume of the region dominated by `frontier` within the
+/// box `[utopia, nadir]`, as a fraction of the box volume.
+fn hypervolume_2d(frontier: &[Vec<f64>], utopia: &[f64], nadir: &[f64]) -> f64 {
+    let total = (nadir[0] - utopia[0]) * (nadir[1] - utopia[1]);
+    if total <= 0.0 {
+        return 0.0;
+    }
+    // Sort by first objective; clip into the box.
+    let mut pts: Vec<(f64, f64)> = frontier
+        .iter()
+        .map(|f| (f[0].clamp(utopia[0], nadir[0]), f[1].clamp(utopia[1], nadir[1])))
+        .collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // Sweep left-to-right: each point with a new best (lowest) y adds the
+    // rectangle between its y and the previous best y, spanning to nadir.x.
+    let mut hv = 0.0;
+    let mut best_y = f64::INFINITY;
+    for (x, y) in pts {
+        if y < best_y {
+            hv += (nadir[0] - x) * (best_y.min(nadir[1]) - y);
+            best_y = y;
+        }
+    }
+    (hv / total).clamp(0.0, 1.0)
+}
+
+/// Fraction of the `[utopia, nadir]` box that remains *uncertain* given the
+/// Pareto points found so far.
+///
+/// A point `p` of the box is certain if either (a) it is dominated by some
+/// found frontier point (it cannot be Pareto optimal), or (b) it dominates
+/// some found frontier point (it cannot exist as a feasible objective
+/// vector, because found points are Pareto optimal — Proposition A.2).
+/// The uncertain region is everything else. Exact staircase sum in 2-D
+/// (equals the volume of the PF sub-hyperrectangle queue), deterministic
+/// quasi-random estimate for k ≥ 3.
+pub fn uncertain_space(frontier: &[Vec<f64>], utopia: &[f64], nadir: &[f64]) -> f64 {
+    let k = utopia.len();
+    assert_eq!(nadir.len(), k);
+    if frontier.is_empty() {
+        return 1.0;
+    }
+    if k == 2 {
+        let total = (nadir[0] - utopia[0]) * (nadir[1] - utopia[1]);
+        if total <= 0.0 {
+            return 0.0;
+        }
+        // Keep non-dominated, clip into box, sort by f1 ascending.
+        let idx = non_dominated_indices(frontier);
+        let mut pts: Vec<(f64, f64)> = idx
+            .into_iter()
+            .map(|i| {
+                (
+                    frontier[i][0].clamp(utopia[0], nadir[0]),
+                    frontier[i][1].clamp(utopia[1], nadir[1]),
+                )
+            })
+            .collect();
+        pts.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-15 && (a.1 - b.1).abs() < 1e-15);
+        // Staircase: uncertain volume is the sum of the open rectangles
+        // between consecutive frontier points, plus the two boundary
+        // rectangles. Left of the first point, anything with y < y_0 would
+        // dominate it (provably empty), so only y ≥ y_0 stays uncertain;
+        // symmetrically right of the last point only y ≤ y_last does.
+        let mut uncertain = 0.0;
+        let first = pts[0];
+        uncertain += (first.0 - utopia[0]) * (nadir[1] - first.1);
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            uncertain += (x1 - x0).max(0.0) * (y0 - y1).max(0.0);
+        }
+        let last = pts[pts.len() - 1];
+        uncertain += (nadir[0] - last.0) * (last.1 - utopia[1]);
+        (uncertain / total).clamp(0.0, 1.0)
+    } else {
+        // Quasi-Monte-Carlo over a scrambled low-discrepancy-ish grid:
+        // deterministic seed so experiments are reproducible.
+        let mut rng = StdRng::seed_from_u64(0x5EED_CAFE);
+        let samples = 20_000;
+        let idx = non_dominated_indices(frontier);
+        let nd: Vec<&Vec<f64>> = idx.into_iter().map(|i| &frontier[i]).collect();
+        let mut uncertain = 0usize;
+        let mut p = vec![0.0; k];
+        for _ in 0..samples {
+            for (d, v) in p.iter_mut().enumerate() {
+                *v = utopia[d] + rng.gen::<f64>() * (nadir[d] - utopia[d]);
+            }
+            let dominated = nd.iter().any(|f| dominates(f, &p));
+            let dominating = !dominated && nd.iter().any(|f| dominates(&p, f));
+            if !dominated && !dominating {
+                uncertain += 1;
+            }
+        }
+        uncertain as f64 / samples as f64
+    }
+}
+
+/// Dominated hypervolume of `frontier` within `[utopia, nadir]` as a
+/// fraction of the box volume (exact in 2-D, quasi-Monte-Carlo for k ≥ 3).
+/// Used as the coverage metric when comparing MOO methods.
+pub fn hypervolume(frontier: &[Vec<f64>], utopia: &[f64], nadir: &[f64]) -> f64 {
+    let k = utopia.len();
+    if frontier.is_empty() {
+        return 0.0;
+    }
+    if k == 2 {
+        let idx = non_dominated_indices(frontier);
+        let nd: Vec<Vec<f64>> = idx.into_iter().map(|i| frontier[i].clone()).collect();
+        hypervolume_2d(&nd, utopia, nadir)
+    } else {
+        let mut rng = StdRng::seed_from_u64(0xD00D_F00D);
+        let samples = 20_000;
+        let mut hit = 0usize;
+        let mut p = vec![0.0; k];
+        for _ in 0..samples {
+            for (d, v) in p.iter_mut().enumerate() {
+                *v = utopia[d] + rng.gen::<f64>() * (nadir[d] - utopia[d]);
+            }
+            if frontier.iter().any(|f| dominates(f, &p) || f == &p) {
+                hit += 1;
+            }
+        }
+        hit as f64 / samples as f64
+    }
+}
+
+/// Componentwise minimum and maximum of a set of objective vectors —
+/// the Utopia and Nadir points of Definition III.2 when applied to the
+/// per-objective reference points.
+pub fn utopia_nadir(points: &[Vec<f64>]) -> Option<(Vec<f64>, Vec<f64>)> {
+    let first = points.first()?;
+    let k = first.len();
+    let mut utopia = first.clone();
+    let mut nadir = first.clone();
+    for p in &points[1..] {
+        for d in 0..k {
+            utopia[d] = utopia[d].min(p[d]);
+            nadir[d] = nadir[d].max(p[d]);
+        }
+    }
+    Some((utopia, nadir))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_definition() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 3.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal points do not dominate");
+        assert!(!dominates(&[1.0, 4.0], &[2.0, 3.0]), "trade-off points do not dominate");
+        assert!(!dominates(&[2.0, 3.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn filter_removes_dominated_and_duplicates() {
+        let pts = vec![
+            ParetoPoint::new(vec![0.1], vec![1.0, 5.0]),
+            ParetoPoint::new(vec![0.2], vec![2.0, 3.0]),
+            ParetoPoint::new(vec![0.3], vec![2.5, 3.5]), // dominated by (2,3)
+            ParetoPoint::new(vec![0.4], vec![2.0, 3.0]), // duplicate
+            ParetoPoint::new(vec![0.5], vec![4.0, 1.0]),
+        ];
+        let f = pareto_filter(pts);
+        assert_eq!(f.len(), 3);
+        assert!(f.iter().all(|p| p.f != vec![2.5, 3.5]));
+    }
+
+    #[test]
+    fn empty_frontier_is_fully_uncertain() {
+        assert_eq!(uncertain_space(&[], &[0.0, 0.0], &[1.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    fn single_midpoint_halves_uncertainty_exactly() {
+        // Middle point at the exact center removes the dominated quarter and
+        // the empty quarter; 50% remains uncertain (Fig. 2(a) geometry).
+        let u = uncertain_space(&[vec![0.5, 0.5]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((u - 0.5).abs() < 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn uncertainty_decreases_monotonically_with_more_points() {
+        let u = [0.0, 0.0];
+        let n = [1.0, 1.0];
+        let one = uncertain_space(&[vec![0.5, 0.5]], &u, &n);
+        let two = uncertain_space(&[vec![0.5, 0.5], vec![0.2, 0.6]], &u, &n);
+        let three =
+            uncertain_space(&[vec![0.5, 0.5], vec![0.2, 0.6], vec![0.75, 0.25]], &u, &n);
+        assert!(two < one);
+        assert!(three < two);
+    }
+
+    #[test]
+    fn corner_point_resolves_all_uncertainty() {
+        // A frontier point at the Utopia corner dominates the whole box.
+        let u = uncertain_space(&[vec![0.0, 0.0]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!(u < 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn asymmetric_boundary_points_leave_the_right_regions_uncertain() {
+        // Frontier point (0.32, 0.0): everything right of it is dominated,
+        // everything left of it with y < 0 would dominate it (empty), so
+        // exactly the strip x < 0.32 stays uncertain.
+        let u = uncertain_space(&[vec![0.32, 0.0]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((u - 0.32).abs() < 1e-12, "u = {u}");
+        // Mirrored: point (0.0, 0.32) leaves the strip y < 0.32 uncertain.
+        let u = uncertain_space(&[vec![0.0, 0.32]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((u - 0.32).abs() < 1e-12, "u = {u}");
+    }
+
+    #[test]
+    fn uncertain_space_3d_matches_2d_intuition() {
+        // Center point in 3-D: dominated octant + dominating octant are
+        // certain, so uncertainty ≈ 6/8 = 0.75 (MC estimate).
+        let u = uncertain_space(&[vec![0.5, 0.5, 0.5]], &[0.0; 3], &[1.0; 3]);
+        assert!((u - 0.75).abs() < 0.02, "u = {u}");
+    }
+
+    #[test]
+    fn hypervolume_of_center_point_is_quarter() {
+        let hv = hypervolume(&[vec![0.5, 0.5]], &[0.0, 0.0], &[1.0, 1.0]);
+        assert!((hv - 0.25).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn hypervolume_staircase_adds_disjoint_blocks() {
+        let hv =
+            hypervolume(&[vec![0.25, 0.75], vec![0.5, 0.5], vec![0.75, 0.25]], &[0.0, 0.0], &[1.0, 1.0]);
+        // blocks: (1-.25)*(1-.75)=.1875 + (1-.5)*(.75-.5)=.125 + (1-.75)*(.5-.25)=.0625
+        assert!((hv - 0.375).abs() < 1e-12, "hv = {hv}");
+    }
+
+    #[test]
+    fn utopia_nadir_are_componentwise_extremes() {
+        let (u, n) = utopia_nadir(&[vec![1.0, 9.0], vec![5.0, 2.0], vec![3.0, 3.0]]).unwrap();
+        assert_eq!(u, vec![1.0, 2.0]);
+        assert_eq!(n, vec![5.0, 9.0]);
+        assert!(utopia_nadir(&[]).is_none());
+    }
+
+    #[test]
+    fn non_dominated_indices_keeps_tradeoffs() {
+        let fs = vec![vec![1.0, 5.0], vec![2.0, 2.0], vec![3.0, 3.0], vec![5.0, 1.0]];
+        assert_eq!(non_dominated_indices(&fs), vec![0, 1, 3]);
+    }
+}

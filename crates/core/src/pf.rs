@@ -1,0 +1,644 @@
+//! Progressive Frontier algorithms (§III–IV): PF-S, PF-AS, and PF-AP.
+//!
+//! All three variants share the Iterative-Middle-Point-Probes skeleton of
+//! Algorithm 1: compute per-objective reference points to form the initial
+//! Utopia/Nadir hyperrectangle, then repeatedly pop the largest-volume
+//! rectangle from a priority queue and probe its middle point by solving a
+//! constrained optimization (CO) problem. They differ in the CO solver and
+//! in how many probes run concurrently:
+//!
+//! * **PF-S** — deterministic sequential, exact lattice CO solver (the
+//!   paper's Knitro stand-in). Exact but slow; reference implementation.
+//! * **PF-AS** — approximate sequential: the MOGD solver (§IV-B) replaces
+//!   the exact solver.
+//! * **PF-AP** — approximate parallel: each popped rectangle is partitioned
+//!   into an `l^k` grid and the per-cell CO problems are solved
+//!   simultaneously by a pool of worker threads.
+//!
+//! Every run records a per-probe history (elapsed wall-clock, uncertain
+//! space fraction, frontier size) for the Fig. 4/5 experiments, and PF runs
+//! are *incremental and consistent*: the frontier after `n` probes is a
+//! subset (up to dominance) of the frontier after `n' > n` probes — the
+//! property NSGA-II lacks (Fig. 4(e)).
+
+use crate::error::{Error, Result};
+use crate::hyperrect::{Rect, RectQueue};
+use crate::mogd::{Mogd, MogdConfig};
+use crate::pareto::{pareto_filter, ParetoPoint};
+use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, ExactGridSolver, MooProblem};
+use std::time::Instant;
+
+/// Which Progressive Frontier algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PfVariant {
+    /// PF-S: deterministic sequential with the exact lattice solver.
+    Sequential,
+    /// PF-AS: approximate sequential with the MOGD solver.
+    ApproxSequential,
+    /// PF-AP: approximate parallel with the MOGD solver.
+    ApproxParallel,
+}
+
+/// Options shared by the PF variants.
+#[derive(Debug, Clone)]
+pub struct PfOptions {
+    /// MOGD solver configuration (PF-AS / PF-AP).
+    pub mogd: MogdConfig,
+    /// Lattice resolution of the exact solver (PF-S).
+    pub exact_resolution: usize,
+    /// Grid subdivisions per objective dimension for PF-AP (`l` in §IV-C);
+    /// each popped rectangle spawns `l^k` concurrent CO problems.
+    pub grid_l: usize,
+    /// Worker threads for PF-AP (0 = available parallelism).
+    pub threads: usize,
+    /// Degenerate-rectangle cutoff: rectangles whose volume falls below
+    /// this fraction of the initial volume are not re-queued.
+    pub min_volume_frac: f64,
+    /// Hard cap on CO probes per run (0 = unlimited). Bounds the wall
+    /// clock when the attainable frontier has fewer distinct points than
+    /// requested — without it the loop grinds through thousands of
+    /// near-degenerate rectangles before the queue drains.
+    pub max_probes: usize,
+}
+
+impl Default for PfOptions {
+    fn default() -> Self {
+        Self {
+            mogd: MogdConfig::default(),
+            exact_resolution: 32,
+            grid_l: 2,
+            threads: 0,
+            min_volume_frac: 1e-6,
+            max_probes: 256,
+        }
+    }
+}
+
+/// One entry of the probe-by-probe history of a PF run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PfSnapshot {
+    /// Wall-clock seconds since the run started.
+    pub elapsed: f64,
+    /// CO problems solved so far.
+    pub probes: usize,
+    /// Fraction of the initial Utopia–Nadir volume still uncertain.
+    pub uncertain_frac: f64,
+    /// Pareto points found so far (before final filtering).
+    pub frontier_len: usize,
+}
+
+/// Result of a Progressive Frontier run.
+#[derive(Debug, Clone)]
+pub struct PfRun {
+    /// The Pareto frontier (dominance-filtered).
+    pub frontier: Vec<ParetoPoint>,
+    /// Initial Utopia point (componentwise best of the reference points).
+    pub utopia: Vec<f64>,
+    /// Initial Nadir point (componentwise worst of the reference points).
+    pub nadir: Vec<f64>,
+    /// Total CO problems solved.
+    pub probes: usize,
+    /// Per-probe history.
+    pub history: Vec<PfSnapshot>,
+}
+
+impl PfRun {
+    /// Final uncertain-space fraction (0 when the queue drained).
+    pub fn final_uncertainty(&self) -> f64 {
+        self.history.last().map(|s| s.uncertain_frac).unwrap_or(1.0)
+    }
+}
+
+/// The Progressive Frontier driver.
+pub struct ProgressiveFrontier {
+    variant: PfVariant,
+    opts: PfOptions,
+}
+
+impl ProgressiveFrontier {
+    /// Create a driver for the given variant.
+    pub fn new(variant: PfVariant, opts: PfOptions) -> Self {
+        Self { variant, opts }
+    }
+
+    /// Convenience constructor for the recommended online variant (PF-AP).
+    pub fn recommended() -> Self {
+        Self::new(PfVariant::ApproxParallel, PfOptions::default())
+    }
+
+    /// Compute (at least) `n_points` Pareto points, or run until the
+    /// uncertain space is exhausted, whichever comes first.
+    pub fn solve(&self, problem: &MooProblem, n_points: usize) -> Result<PfRun> {
+        match self.variant {
+            PfVariant::Sequential => {
+                let solver = ExactGridSolver::new(self.opts.exact_resolution);
+                self.run_sequential(problem, n_points, &solver)
+            }
+            PfVariant::ApproxSequential => {
+                let solver = Mogd::new(self.opts.mogd.clone());
+                self.run_sequential(problem, n_points, &solver)
+            }
+            PfVariant::ApproxParallel => self.run_parallel(problem, n_points),
+        }
+    }
+
+    /// Compute the per-objective reference points (`plan_i` of Algorithm 1,
+    /// line 2) and the initial Utopia/Nadir corners.
+    fn anchors(
+        &self,
+        problem: &MooProblem,
+        solver: &dyn CoSolver,
+    ) -> Result<(Vec<CoSolution>, Vec<f64>, Vec<f64>)> {
+        let k = problem.num_objectives();
+        let mut plans = Vec::with_capacity(k);
+        for i in 0..k {
+            let co = CoProblem::unconstrained(i, k);
+            match solver.solve(problem, &co)? {
+                Some(sol) => plans.push(sol),
+                None => {
+                    return Err(Error::Infeasible(format!(
+                        "no feasible configuration minimizes objective {i}"
+                    )))
+                }
+            }
+        }
+        let mut utopia = plans[0].f.clone();
+        let mut nadir = plans[0].f.clone();
+        for p in &plans[1..] {
+            for d in 0..k {
+                utopia[d] = utopia[d].min(p.f[d]);
+                nadir[d] = nadir[d].max(p.f[d]);
+            }
+        }
+        Ok((plans, utopia, nadir))
+    }
+
+    fn run_sequential(
+        &self,
+        problem: &MooProblem,
+        n_points: usize,
+        solver: &dyn CoSolver,
+    ) -> Result<PfRun> {
+        let start = Instant::now();
+        let k = problem.num_objectives();
+        let (plans, utopia, nadir) = self.anchors(problem, solver)?;
+        let mut frontier: Vec<ParetoPoint> =
+            plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
+        let mut history = Vec::new();
+        let mut probes = k;
+
+        let root = Rect::new(utopia.clone(), nadir.clone());
+        let initial_volume = root.volume();
+        let mut queue = RectQueue::new();
+        if initial_volume > 0.0 {
+            queue.push(root);
+        }
+        let min_volume = initial_volume * self.opts.min_volume_frac;
+        let snapshot = |queue: &RectQueue, probes: usize, frontier_len: usize, start: &Instant| {
+            PfSnapshot {
+                elapsed: start.elapsed().as_secs_f64(),
+                probes,
+                uncertain_frac: if initial_volume > 0.0 {
+                    (queue.total_volume() / initial_volume).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                frontier_len,
+            }
+        };
+        history.push(snapshot(&queue, probes, frontier.len(), &start));
+
+        while frontier.len() < n_points
+            && (self.opts.max_probes == 0 || probes < self.opts.max_probes)
+        {
+            let Some(rect) = queue.pop() else { break };
+            let middle = rect.middle();
+            // Middle point probe (Eq. 2): minimize objective 0 inside
+            // [lo, middle] of every objective.
+            let bounds: Vec<Bound> = rect
+                .lo
+                .iter()
+                .zip(&middle)
+                .map(|(l, m)| Bound::new(*l, *m))
+                .collect();
+            let co = CoProblem::constrained(0, bounds);
+            probes += 1;
+            match solver.solve(problem, &co)? {
+                Some(sol) => {
+                    for cell in rect.subdivide(&sol.f) {
+                        if cell.volume() > min_volume {
+                            queue.push(cell);
+                        }
+                    }
+                    insert_nondominated(&mut frontier, ParetoPoint::new(sol.x, sol.f));
+                }
+                None => {
+                    // The [lo, middle] cell is proven empty; re-queue the rest.
+                    for cell in subdivide_after_empty_probe(&rect, &middle) {
+                        if cell.volume() > min_volume {
+                            queue.push(cell);
+                        }
+                    }
+                }
+            }
+            history.push(snapshot(&queue, probes, frontier.len(), &start));
+        }
+
+        Ok(PfRun {
+            frontier: pareto_filter(frontier),
+            utopia,
+            nadir,
+            probes,
+            history,
+        })
+    }
+
+    fn run_parallel(&self, problem: &MooProblem, n_points: usize) -> Result<PfRun> {
+        let start = Instant::now();
+        let k = problem.num_objectives();
+        let solver = Mogd::new(self.opts.mogd.clone());
+        let threads = if self.opts.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            self.opts.threads
+        };
+
+        // Anchor COs in parallel.
+        let anchor_results: Vec<Result<Option<CoSolution>>> =
+            parallel_map(threads, (0..k).collect(), |i| {
+                solver.solve(problem, &CoProblem::unconstrained(i, k))
+            });
+        let mut plans = Vec::with_capacity(k);
+        for (i, r) in anchor_results.into_iter().enumerate() {
+            match r? {
+                Some(sol) => plans.push(sol),
+                None => {
+                    return Err(Error::Infeasible(format!(
+                        "no feasible configuration minimizes objective {i}"
+                    )))
+                }
+            }
+        }
+        let mut utopia = plans[0].f.clone();
+        let mut nadir = plans[0].f.clone();
+        for p in &plans[1..] {
+            for d in 0..k {
+                utopia[d] = utopia[d].min(p.f[d]);
+                nadir[d] = nadir[d].max(p.f[d]);
+            }
+        }
+        let mut frontier: Vec<ParetoPoint> =
+            plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
+        let mut probes = k;
+        let mut history = Vec::new();
+
+        let root = Rect::new(utopia.clone(), nadir.clone());
+        let initial_volume = root.volume();
+        let mut queue = RectQueue::new();
+        if initial_volume > 0.0 {
+            queue.push(root);
+        }
+        let min_volume = initial_volume * self.opts.min_volume_frac;
+        history.push(PfSnapshot {
+            elapsed: start.elapsed().as_secs_f64(),
+            probes,
+            uncertain_frac: if initial_volume > 0.0 { 1.0 } else { 0.0 },
+            frontier_len: frontier.len(),
+        });
+
+        while frontier.len() < n_points
+            && (self.opts.max_probes == 0 || probes < self.opts.max_probes)
+        {
+            let Some(rect) = queue.pop() else { break };
+            // Partition the rectangle into an l^k grid of cells (§IV-C).
+            let cells = grid_cells(&rect, self.opts.grid_l, k);
+            // Solve all cell probes simultaneously.
+            let results: Vec<(Rect, Result<Option<CoSolution>>)> =
+                parallel_map(threads, cells, |cell| {
+                    let middle = cell.middle();
+                    let bounds: Vec<Bound> = cell
+                        .lo
+                        .iter()
+                        .zip(&middle)
+                        .map(|(l, m)| Bound::new(*l, *m))
+                        .collect();
+                    let r = solver.solve(problem, &CoProblem::constrained(0, bounds));
+                    (cell, r)
+                });
+            for (cell, result) in results {
+                probes += 1;
+                match result? {
+                    Some(sol) => {
+                        for sub in cell.subdivide(&sol.f) {
+                            if sub.volume() > min_volume {
+                                queue.push(sub);
+                            }
+                        }
+                        insert_nondominated(&mut frontier, ParetoPoint::new(sol.x, sol.f));
+                    }
+                    None => {
+                        let middle = cell.middle();
+                        for sub in subdivide_after_empty_probe(&cell, &middle) {
+                            if sub.volume() > min_volume {
+                                queue.push(sub);
+                            }
+                        }
+                    }
+                }
+            }
+            history.push(PfSnapshot {
+                elapsed: start.elapsed().as_secs_f64(),
+                probes,
+                uncertain_frac: if initial_volume > 0.0 {
+                    (queue.total_volume() / initial_volume).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                },
+                frontier_len: frontier.len(),
+            });
+        }
+
+        Ok(PfRun {
+            frontier: pareto_filter(frontier),
+            utopia,
+            nadir,
+            probes,
+            history,
+        })
+    }
+}
+
+/// Partition `rect` into an `l^k` grid of equal cells.
+fn grid_cells(rect: &Rect, l: usize, k: usize) -> Vec<Rect> {
+    let l = l.max(1);
+    let total = l.pow(k as u32);
+    let mut cells = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut rem = idx;
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for d in 0..k {
+            let cell = rem % l;
+            rem /= l;
+            let step = (rect.hi[d] - rect.lo[d]) / l as f64;
+            lo.push(rect.lo[d] + cell as f64 * step);
+            hi.push(rect.lo[d] + (cell + 1) as f64 * step);
+        }
+        let cell = Rect { lo, hi };
+        if cell.volume() > 0.0 {
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// After a middle-point probe of `rect` proves its `[lo, middle]` cell has
+/// no feasible point (Proposition A.4, empty case), return the remaining
+/// `2^k − 1` cells that stay uncertain.
+fn subdivide_after_empty_probe(rect: &Rect, middle: &[f64]) -> Vec<Rect> {
+    let k = rect.dim();
+    let mut cells = Vec::with_capacity((1usize << k) - 1);
+    for mask in 1u32..(1u32 << k) {
+        let mut lo = Vec::with_capacity(k);
+        let mut hi = Vec::with_capacity(k);
+        for (d, &m) in middle.iter().enumerate() {
+            if mask & (1 << d) != 0 {
+                lo.push(m);
+                hi.push(rect.hi[d]);
+            } else {
+                lo.push(rect.lo[d]);
+                hi.push(m);
+            }
+        }
+        let cell = Rect { lo, hi };
+        if cell.volume() > 0.0 {
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+/// Insert a point into a dominance-filtered frontier: drop it if dominated
+/// (or duplicate), evict points it dominates. Keeps the PF loop's point
+/// count equal to the number of *usable* Pareto points.
+fn insert_nondominated(frontier: &mut Vec<ParetoPoint>, p: ParetoPoint) {
+    use crate::pareto::dominates;
+    let mut i = 0;
+    while i < frontier.len() {
+        if dominates(&frontier[i].f, &p.f) || frontier[i].f == p.f {
+            return;
+        }
+        if dominates(&p.f, &frontier[i].f) {
+            frontier.swap_remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    frontier.push(p);
+}
+
+/// Map `f` over `items` using up to `threads` scoped worker threads,
+/// preserving input order.
+fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let slots_mutex = parking_lot::Mutex::new(&mut slots);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|_| loop {
+                let item = queue.lock().pop();
+                match item {
+                    Some((i, t)) => {
+                        let u = f(t);
+                        slots_mutex.lock()[i] = Some(u);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("pf worker thread panicked");
+    slots.into_iter().map(|s| s.expect("worker filled slot")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::{FnModel, ObjectiveModel};
+    use crate::pareto::{dominates, uncertain_space};
+    use std::sync::Arc;
+
+    fn convex_problem() -> MooProblem {
+        // x0 trades latency against cost; x1 is pure inefficiency (hurts
+        // both), so the attainable objective set is two-dimensional and the
+        // Pareto frontier is its x1 = 0 lower edge from (100, 24) to
+        // (300, 8) — the TPCx-BB Q2 geometry of Fig. 2.
+        let lat: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 100.0 + 200.0 * (1.0 - x[0]) + 30.0 * x[1]));
+        let cost: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 8.0 + 16.0 * x[0] + 8.0 * x[1]));
+        MooProblem::new(2, vec![lat, cost])
+    }
+
+    #[test]
+    fn pf_s_finds_a_frontier_on_the_tradeoff() {
+        let pf = ProgressiveFrontier::new(PfVariant::Sequential, PfOptions::default());
+        let run = pf.solve(&convex_problem(), 8).unwrap();
+        assert!(run.frontier.len() >= 5, "got {} points", run.frontier.len());
+        // Frontier must be mutually non-dominated.
+        for a in &run.frontier {
+            for b in &run.frontier {
+                assert!(!dominates(&a.f, &b.f) || a.f == b.f);
+            }
+        }
+        // Anchors: min latency 100 (x0+x1 >= 2 impossible => at (1,1): 100),
+        // min cost 8 at (0,0) with latency 300.
+        assert!((run.utopia[0] - 100.0).abs() < 2.0, "utopia {:?}", run.utopia);
+        assert!((run.utopia[1] - 8.0).abs() < 0.5);
+        assert!((run.nadir[1] - 24.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn pf_as_matches_pf_s_shape() {
+        let p = convex_problem();
+        let pf_s = ProgressiveFrontier::new(PfVariant::Sequential, PfOptions::default())
+            .solve(&p, 10)
+            .unwrap();
+        let pf_as = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+            .solve(&p, 10)
+            .unwrap();
+        let u = [100.0, 8.0];
+        let n = [300.0, 24.0];
+        let us_s = uncertain_space(
+            &pf_s.frontier.iter().map(|p| p.f.clone()).collect::<Vec<_>>(),
+            &u,
+            &n,
+        );
+        let us_as = uncertain_space(
+            &pf_as.frontier.iter().map(|p| p.f.clone()).collect::<Vec<_>>(),
+            &u,
+            &n,
+        );
+        assert!(us_s < 0.4, "PF-S uncertainty {us_s}");
+        assert!(us_as < 0.4, "PF-AS uncertainty {us_as}");
+    }
+
+    #[test]
+    fn pf_ap_runs_in_parallel_and_finds_points() {
+        let pf = ProgressiveFrontier::new(
+            PfVariant::ApproxParallel,
+            PfOptions { threads: 4, grid_l: 2, ..Default::default() },
+        );
+        let run = pf.solve(&convex_problem(), 12).unwrap();
+        assert!(run.frontier.len() >= 8, "got {}", run.frontier.len());
+        assert!(run.probes >= 2);
+    }
+
+    #[test]
+    fn uncertainty_is_monotone_nonincreasing_over_probes() {
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default());
+        let run = pf.solve(&convex_problem(), 10).unwrap();
+        for w in run.history.windows(2) {
+            assert!(
+                w[1].uncertain_frac <= w[0].uncertain_frac + 1e-9,
+                "uncertainty increased: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn pf_is_incrementally_consistent() {
+        // Frontier with 6 points must be consistent with frontier with 12:
+        // no early point may be dominated by a strictly better later answer
+        // at the same objective trade-off region beyond solver tolerance.
+        let p = convex_problem();
+        let small = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+            .solve(&p, 6)
+            .unwrap();
+        let large = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+            .solve(&p, 12)
+            .unwrap();
+        // Every point of the small run must re-appear in the large run, or
+        // be (weakly) dominated by a refinement found later: PF only ever
+        // adds probes, so it never contradicts earlier answers.
+        for s in &small.frontier {
+            assert!(
+                large
+                    .frontier
+                    .iter()
+                    .any(|l| l.f == s.f || dominates(&l.f, &s.f)),
+                "point {:?} contradicted by the larger run",
+                s.f
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_problem_returns_single_point() {
+        // Both objectives minimized at the same corner: no tradeoff.
+        let f1: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |x| x[0]));
+        let f2: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |x| 2.0 * x[0]));
+        let p = MooProblem::new(1, vec![f1, f2]);
+        let run = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+            .solve(&p, 10)
+            .unwrap();
+        assert_eq!(run.frontier.len(), 1);
+        assert!(run.frontier[0].f[0].abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_global_constraints_error() {
+        let p = convex_problem().with_constraints(vec![
+            Bound::new(0.0, 50.0), // latency <= 50 impossible (min 100)
+            Bound::FREE,
+        ]);
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default());
+        assert!(matches!(pf.solve(&p, 5), Err(Error::Infeasible(_))));
+    }
+
+    #[test]
+    fn three_objectives_are_supported() {
+        let f1: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 1.0 - x[0]));
+        let f2: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 1.0 - x[1]));
+        let f3: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| x[0] + x[1]));
+        let p = MooProblem::new(2, vec![f1, f2, f3]);
+        let run = ProgressiveFrontier::new(PfVariant::ApproxParallel, PfOptions::default())
+            .solve(&p, 8)
+            .unwrap();
+        assert!(run.frontier.len() >= 3, "got {}", run.frontier.len());
+        assert_eq!(run.utopia.len(), 3);
+    }
+
+    #[test]
+    fn grid_cells_tile_the_rectangle() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 2.0]);
+        let cells = grid_cells(&r, 3, 2);
+        assert_eq!(cells.len(), 9);
+        let vol: f64 = cells.iter().map(Rect::volume).sum();
+        assert!((vol - r.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_probe_subdivision_keeps_all_but_lower_cell() {
+        let r = Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]);
+        let cells = subdivide_after_empty_probe(&r, &[0.5, 0.5]);
+        assert_eq!(cells.len(), 3);
+        let vol: f64 = cells.iter().map(Rect::volume).sum();
+        assert!((vol - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,287 @@
+//! Automatic solution selection from a computed Pareto frontier (§V and
+//! Appendix B).
+//!
+//! Once the Progressive Frontier has produced a Pareto set, one point must
+//! be turned into the job configuration. Strategies:
+//!
+//! * **Utopia Nearest (UN)** — the Pareto point closest (in normalized
+//!   Euclidean distance) to the Utopia point.
+//! * **Weighted Utopia Nearest (WUN)** — UN with a preference weight vector
+//!   `(w_1, …, w_k)`, `Σ w_i = 1`; the workload-aware variant composes
+//!   internal (expert) weights with external (application) weights.
+//! * **Slope Maximization (SLL/SLR)** — 2-D only: the point with the
+//!   steepest slope to one of the two reference points.
+//! * **Knee Point (KPL/KPR)** — 2-D only: the point maximizing the ratio of
+//!   the slopes to both reference points.
+
+use crate::error::{Error, Result};
+use crate::pareto::ParetoPoint;
+
+/// Selection strategy over the Pareto frontier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// Utopia-Nearest.
+    UtopiaNearest,
+    /// Weighted Utopia-Nearest with application weights (one per objective).
+    WeightedUtopiaNearest(Vec<f64>),
+    /// Slope maximization against the left reference point (min objective 0).
+    SlopeLeft,
+    /// Slope maximization against the right reference point (min objective 1).
+    SlopeRight,
+    /// Knee point, left orientation.
+    KneeLeft,
+    /// Knee point, right orientation.
+    KneeRight,
+}
+
+/// Workload size category used by workload-aware WUN: expert knowledge says
+/// long-running jobs deserve extra resources (weight latency up), short
+/// jobs should stay cheap (weight cost up) — §V "Recommendation".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadClass {
+    /// Short jobs (default-config latency in the lowest tercile).
+    Low,
+    /// Medium jobs.
+    Medium,
+    /// Long-running jobs (highest tercile).
+    High,
+}
+
+impl WorkloadClass {
+    /// Classify a job by its latency under the default configuration,
+    /// given the tercile cut points of the historical distribution.
+    pub fn classify(default_latency: f64, t1: f64, t2: f64) -> Self {
+        if default_latency < t1 {
+            WorkloadClass::Low
+        } else if default_latency < t2 {
+            WorkloadClass::Medium
+        } else {
+            WorkloadClass::High
+        }
+    }
+
+    /// Internal expert weights `(w_latency, w_cost)` for a 2-objective
+    /// latency/cost problem.
+    pub fn internal_weights(self) -> [f64; 2] {
+        match self {
+            WorkloadClass::Low => [0.3, 0.7],
+            WorkloadClass::Medium => [0.5, 0.5],
+            WorkloadClass::High => [0.7, 0.3],
+        }
+    }
+}
+
+/// Compose internal (expert) and external (application) weights:
+/// `w_i = w^I_i · w^E_i`, renormalized to sum to one.
+pub fn compose_weights(internal: &[f64], external: &[f64]) -> Vec<f64> {
+    let mut w: Vec<f64> = internal.iter().zip(external).map(|(a, b)| a * b).collect();
+    let s: f64 = w.iter().sum();
+    if s > 0.0 {
+        for wi in &mut w {
+            *wi /= s;
+        }
+    }
+    w
+}
+
+/// Select one Pareto point. Returns its index into `frontier`.
+///
+/// `utopia`/`nadir` are the corners of the objective box used for
+/// normalization; slope/knee strategies require exactly two objectives.
+pub fn recommend(
+    frontier: &[ParetoPoint],
+    utopia: &[f64],
+    nadir: &[f64],
+    strategy: &Strategy,
+) -> Result<usize> {
+    if frontier.is_empty() {
+        return Err(Error::Infeasible("empty Pareto frontier".into()));
+    }
+    let k = utopia.len();
+    for p in frontier {
+        if p.f.len() != k {
+            return Err(Error::DimensionMismatch { expected: k, got: p.f.len() });
+        }
+    }
+    let norm = |f: &[f64]| -> Vec<f64> {
+        f.iter()
+            .enumerate()
+            .map(|(d, v)| {
+                let w = (nadir[d] - utopia[d]).max(1e-12);
+                ((v - utopia[d]) / w).clamp(0.0, 1.0)
+            })
+            .collect()
+    };
+    match strategy {
+        Strategy::UtopiaNearest => {
+            Ok(argmin(frontier.iter().map(|p| {
+                norm(&p.f).iter().map(|v| v * v).sum::<f64>()
+            })))
+        }
+        Strategy::WeightedUtopiaNearest(w) => {
+            if w.len() != k {
+                return Err(Error::DimensionMismatch { expected: k, got: w.len() });
+            }
+            Ok(argmin(frontier.iter().map(|p| {
+                norm(&p.f)
+                    .iter()
+                    .zip(w)
+                    .map(|(v, wi)| (wi * v) * (wi * v))
+                    .sum::<f64>()
+            })))
+        }
+        Strategy::SlopeLeft | Strategy::SlopeRight | Strategy::KneeLeft | Strategy::KneeRight => {
+            if k != 2 {
+                return Err(Error::InvalidConfig(
+                    "slope/knee strategies are defined for 2 objectives".into(),
+                ));
+            }
+            // Reference points: r1 achieves min objective 0 (leftmost),
+            // r2 achieves min objective 1 (bottom-right) — Appendix B.
+            let r1 = [0.0, 1.0]; // normalized: best f1, worst f2
+            let r2 = [1.0, 0.0];
+            let slope = |p: &[f64], r: &[f64; 2]| -> f64 {
+                let dx = (p[0] - r[0]).abs().max(1e-12);
+                let dy = (p[1] - r[1]).abs();
+                dy / dx
+            };
+            match strategy {
+                Strategy::SlopeLeft => Ok(argmax(frontier.iter().map(|p| slope(&norm(&p.f), &r1)))),
+                Strategy::SlopeRight => {
+                    Ok(argmax(frontier.iter().map(|p| slope(&norm(&p.f), &r2))))
+                }
+                Strategy::KneeLeft => Ok(argmax(frontier.iter().map(|p| {
+                    let n = norm(&p.f);
+                    slope(&n, &r1) / slope(&n, &r2).max(1e-12)
+                }))),
+                Strategy::KneeRight => Ok(argmax(frontier.iter().map(|p| {
+                    let n = norm(&p.f);
+                    slope(&n, &r2) / slope(&n, &r1).max(1e-12)
+                }))),
+                _ => unreachable!(),
+            }
+        }
+    }
+}
+
+fn argmin(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::INFINITY;
+    for (i, v) in values.enumerate() {
+        if v < best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmax(values: impl Iterator<Item = f64>) -> usize {
+    let mut best = 0;
+    let mut best_v = f64::NEG_INFINITY;
+    for (i, v) in values.enumerate() {
+        if v > best_v {
+            best_v = v;
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staircase() -> Vec<ParetoPoint> {
+        // Normalized-ish frontier over [100,300] x [8,24] (Fig. 2(b) style).
+        vec![
+            ParetoPoint::new(vec![0.9], vec![120.0, 20.0]),
+            ParetoPoint::new(vec![0.5], vec![150.0, 16.0]),
+            ParetoPoint::new(vec![0.3], vec![200.0, 12.0]),
+            ParetoPoint::new(vec![0.1], vec![280.0, 9.0]),
+        ]
+    }
+
+    const U: [f64; 2] = [100.0, 8.0];
+    const N: [f64; 2] = [300.0, 24.0];
+
+    #[test]
+    fn utopia_nearest_picks_the_balanced_point() {
+        let i = recommend(&staircase(), &U, &N, &Strategy::UtopiaNearest).unwrap();
+        // normalized: (.1,.75) d2=.5725 ; (.25,.5) d2=.3125 ; (.5,.25) d2=.3125 ; (.9,.0625) .8139
+        // tie between 1 and 2 -> first wins
+        assert_eq!(i, 1);
+    }
+
+    #[test]
+    fn wun_follows_latency_preference() {
+        // Heavy latency preference pulls towards low-latency points.
+        let i = recommend(
+            &staircase(),
+            &U,
+            &N,
+            &Strategy::WeightedUtopiaNearest(vec![0.9, 0.1]),
+        )
+        .unwrap();
+        assert_eq!(i, 0, "latency-favoring weights should pick the fastest point");
+        // Heavy cost preference pulls the other way.
+        let i = recommend(
+            &staircase(),
+            &U,
+            &N,
+            &Strategy::WeightedUtopiaNearest(vec![0.1, 0.9]),
+        )
+        .unwrap();
+        assert_eq!(i, 3, "cost-favoring weights should pick the cheapest point");
+    }
+
+    #[test]
+    fn balanced_wun_equals_un() {
+        let un = recommend(&staircase(), &U, &N, &Strategy::UtopiaNearest).unwrap();
+        let wun = recommend(
+            &staircase(),
+            &U,
+            &N,
+            &Strategy::WeightedUtopiaNearest(vec![0.5, 0.5]),
+        )
+        .unwrap();
+        assert_eq!(un, wun);
+    }
+
+    #[test]
+    fn slope_and_knee_run_on_2d_only() {
+        let f3 = vec![ParetoPoint::new(vec![0.0], vec![1.0, 2.0, 3.0])];
+        let err = recommend(&f3, &[0.0; 3], &[1.0; 3], &Strategy::SlopeLeft);
+        assert!(err.is_err());
+        let i = recommend(&staircase(), &U, &N, &Strategy::SlopeLeft).unwrap();
+        assert!(i < 4);
+        let i = recommend(&staircase(), &U, &N, &Strategy::KneeLeft).unwrap();
+        assert!(i < 4);
+    }
+
+    #[test]
+    fn empty_frontier_is_an_error() {
+        assert!(recommend(&[], &U, &N, &Strategy::UtopiaNearest).is_err());
+    }
+
+    #[test]
+    fn weight_arity_is_checked() {
+        let err = recommend(
+            &staircase(),
+            &U,
+            &N,
+            &Strategy::WeightedUtopiaNearest(vec![1.0]),
+        );
+        assert!(matches!(err, Err(Error::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn workload_classes_and_weight_composition() {
+        assert_eq!(WorkloadClass::classify(1.0, 10.0, 60.0), WorkloadClass::Low);
+        assert_eq!(WorkloadClass::classify(30.0, 10.0, 60.0), WorkloadClass::Medium);
+        assert_eq!(WorkloadClass::classify(120.0, 10.0, 60.0), WorkloadClass::High);
+        let w = compose_weights(&WorkloadClass::High.internal_weights(), &[0.5, 0.5]);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w[0] > w[1], "long jobs weight latency up: {w:?}");
+    }
+}

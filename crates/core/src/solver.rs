@@ -1,0 +1,328 @@
+//! The MOO problem definition, the constrained-optimization (CO) subproblem
+//! produced by middle-point probes (Eq. 2 / Problem A.1), and an exact
+//! enumeration solver used as the reference implementation.
+//!
+//! The paper's MINLP comparator (Knitro) is substituted here by
+//! [`ExactGridSolver`], which enumerates a fine lattice over `[0,1]^D` —
+//! exact up to lattice resolution, and (like Knitro) far too slow for online
+//! use, which is precisely the role it plays in the evaluation.
+
+use crate::error::{Error, Result};
+use crate::objective::ObjectiveModel;
+use std::sync::Arc;
+
+/// Objective bound used by CO constraints: `F_j(x) ∈ [lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bound {
+    /// Lower bound `F^L_j` (may be `-inf`).
+    pub lo: f64,
+    /// Upper bound `F^U_j` (may be `+inf`).
+    pub hi: f64,
+}
+
+impl Bound {
+    /// An unconstrained bound.
+    pub const FREE: Bound = Bound { lo: f64::NEG_INFINITY, hi: f64::INFINITY };
+
+    /// A finite interval bound.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Whether `v` satisfies the bound up to tolerance `tol` (relative to
+    /// the bound width when finite).
+    pub fn satisfied(&self, v: f64, tol: f64) -> bool {
+        let slack = if self.hi.is_finite() && self.lo.is_finite() {
+            tol * (self.hi - self.lo).max(1e-12)
+        } else {
+            tol
+        };
+        v >= self.lo - slack && v <= self.hi + slack
+    }
+
+    /// Whether both endpoints are finite.
+    pub fn is_finite(&self) -> bool {
+        self.lo.is_finite() && self.hi.is_finite()
+    }
+}
+
+/// A multi-objective optimization problem (Problem III.1): `k` objective
+/// models over a shared normalized configuration space `[0,1]^D`, with
+/// optional global value constraints per objective and optional general
+/// inequality constraints `g(x) ≤ 0` (the §IV-B "additional constraints"
+/// extension — e.g. "executors × memory must fit the cluster").
+#[derive(Clone)]
+pub struct MooProblem {
+    /// Input dimensionality `D`.
+    pub dim: usize,
+    /// The `k` objective models (all minimized).
+    pub objectives: Vec<Arc<dyn ObjectiveModel>>,
+    /// Optional user constraints `F_i ∈ [F^L_i, F^U_i]`.
+    pub constraints: Vec<Bound>,
+    /// General inequality constraints: each model `g` requires `g(x) ≤ 0`.
+    pub inequalities: Vec<Arc<dyn ObjectiveModel>>,
+}
+
+impl MooProblem {
+    /// Build an unconstrained problem.
+    pub fn new(dim: usize, objectives: Vec<Arc<dyn ObjectiveModel>>) -> Self {
+        let k = objectives.len();
+        Self { dim, objectives, constraints: vec![Bound::FREE; k], inequalities: Vec::new() }
+    }
+
+    /// Attach global objective-value constraints.
+    pub fn with_constraints(mut self, constraints: Vec<Bound>) -> Self {
+        assert_eq!(constraints.len(), self.objectives.len());
+        self.constraints = constraints;
+        self
+    }
+
+    /// Attach a general inequality constraint `g(x) ≤ 0`.
+    pub fn with_inequality(mut self, g: Arc<dyn ObjectiveModel>) -> Self {
+        self.inequalities.push(g);
+        self
+    }
+
+    /// Whether `x` satisfies every inequality constraint (within `tol`).
+    pub fn inequalities_satisfied(&self, x: &[f64], tol: f64) -> bool {
+        self.inequalities.iter().all(|g| g.predict(x) <= tol)
+    }
+
+    /// Number of objectives `k`.
+    pub fn num_objectives(&self) -> usize {
+        self.objectives.len()
+    }
+
+    /// Evaluate all objectives at `x`.
+    pub fn evaluate(&self, x: &[f64]) -> Result<Vec<f64>> {
+        if x.len() != self.dim {
+            return Err(Error::DimensionMismatch { expected: self.dim, got: x.len() });
+        }
+        let mut f = Vec::with_capacity(self.objectives.len());
+        for (i, m) in self.objectives.iter().enumerate() {
+            let v = m.predict(x);
+            if !v.is_finite() {
+                return Err(Error::NonFiniteObjective { objective: i, value: v });
+            }
+            f.push(v);
+        }
+        Ok(f)
+    }
+
+    /// Whether an objective vector satisfies the global constraints.
+    pub fn feasible(&self, f: &[f64], tol: f64) -> bool {
+        f.iter().zip(&self.constraints).all(|(v, b)| b.satisfied(*v, tol))
+    }
+}
+
+/// A constrained single-objective optimization problem (Eq. 2):
+/// minimize objective `target` subject to `F_j(x) ∈ bounds[j]` for all `j`.
+#[derive(Debug, Clone)]
+pub struct CoProblem {
+    /// Index of the objective to minimize.
+    pub target: usize,
+    /// Per-objective bounds; `Bound::FREE` leaves an objective
+    /// unconstrained (the pure single-objective case of §IV-B.1).
+    pub bounds: Vec<Bound>,
+}
+
+impl CoProblem {
+    /// Minimize objective `target` with no constraints.
+    pub fn unconstrained(target: usize, k: usize) -> Self {
+        Self { target, bounds: vec![Bound::FREE; k] }
+    }
+
+    /// Minimize objective `target` subject to the given bounds.
+    pub fn constrained(target: usize, bounds: Vec<Bound>) -> Self {
+        Self { target, bounds }
+    }
+}
+
+/// A CO solution: the optimizing configuration and its objective vector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoSolution {
+    /// Normalized configuration.
+    pub x: Vec<f64>,
+    /// Objective vector at `x`.
+    pub f: Vec<f64>,
+}
+
+/// A solver for CO subproblems. Implemented by [`ExactGridSolver`] (exact,
+/// slow) and by [`crate::mogd::Mogd`] (approximate, fast).
+pub trait CoSolver: Send + Sync {
+    /// Solve the CO problem; `None` means no feasible point was found.
+    fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>>;
+
+    /// Number of underlying model evaluations the last `solve` used, if the
+    /// solver tracks it (used by probe-count experiments). Default: unknown.
+    fn last_evals(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Exact lattice-enumeration solver: evaluates every point of a per-dimension
+/// lattice with `resolution` levels and picks the constrained minimum.
+///
+/// Complexity `O(resolution^D)` — use only for `D ≤ 4` (the role Knitro
+/// plays in the paper: an exact but impractically slow reference).
+#[derive(Debug, Clone)]
+pub struct ExactGridSolver {
+    /// Lattice levels per dimension (≥ 2).
+    pub resolution: usize,
+    /// Constraint tolerance.
+    pub tol: f64,
+}
+
+impl Default for ExactGridSolver {
+    fn default() -> Self {
+        Self { resolution: 64, tol: 1e-9 }
+    }
+}
+
+impl ExactGridSolver {
+    /// Create a solver with the given lattice resolution.
+    pub fn new(resolution: usize) -> Self {
+        Self { resolution, ..Self::default() }
+    }
+}
+
+impl CoSolver for ExactGridSolver {
+    fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>> {
+        if co.target >= problem.num_objectives() {
+            return Err(Error::NoSuchObjective(co.target));
+        }
+        if self.resolution < 2 {
+            return Err(Error::InvalidConfig("grid resolution must be >= 2".into()));
+        }
+        let d = problem.dim;
+        let r = self.resolution;
+        let total = r.checked_pow(d as u32).ok_or_else(|| {
+            Error::InvalidConfig(format!("grid {r}^{d} overflows; reduce resolution or dim"))
+        })?;
+        let mut best: Option<CoSolution> = None;
+        let mut x = vec![0.0; d];
+        for idx in 0..total {
+            let mut rem = idx;
+            for xd in x.iter_mut() {
+                *xd = (rem % r) as f64 / (r - 1) as f64;
+                rem /= r;
+            }
+            let f = problem.evaluate(&x)?;
+            let ok = f.iter().zip(&co.bounds).all(|(v, b)| b.satisfied(*v, self.tol))
+                && problem.feasible(&f, self.tol)
+                && problem.inequalities_satisfied(&x, self.tol);
+            if ok {
+                let better = match &best {
+                    None => true,
+                    Some(b) => f[co.target] < b.f[co.target],
+                };
+                if better {
+                    best = Some(CoSolution { x: x.clone(), f });
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FnModel;
+
+    fn toy_problem() -> MooProblem {
+        // latency = 1/(0.1+x), cost = 1 + 9x over x in [0,1]
+        let latency: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |x| 1.0 / (0.1 + x[0])));
+        let cost: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |x| 1.0 + 9.0 * x[0]));
+        MooProblem::new(1, vec![latency, cost])
+    }
+
+    #[test]
+    fn evaluate_checks_dims_and_finiteness() {
+        let p = toy_problem();
+        assert!(matches!(p.evaluate(&[0.5, 0.5]), Err(Error::DimensionMismatch { .. })));
+        let bad: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(1, |_| f64::NAN));
+        let p = MooProblem::new(1, vec![bad]);
+        assert!(matches!(
+            p.evaluate(&[0.5]),
+            Err(Error::NonFiniteObjective { objective: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn unconstrained_grid_finds_global_min() {
+        let p = toy_problem();
+        let s = ExactGridSolver::new(101);
+        let sol = s
+            .solve(&p, &CoProblem::unconstrained(0, 2))
+            .unwrap()
+            .expect("feasible");
+        // latency minimized at x = 1.
+        assert!((sol.x[0] - 1.0).abs() < 1e-9);
+        assert!((sol.f[0] - 1.0 / 1.1).abs() < 1e-9);
+        let sol = s
+            .solve(&p, &CoProblem::unconstrained(1, 2))
+            .unwrap()
+            .expect("feasible");
+        // cost minimized at x = 0.
+        assert!((sol.x[0]).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constrained_grid_respects_bounds() {
+        let p = toy_problem();
+        let s = ExactGridSolver::new(201);
+        // minimize latency subject to cost <= 5.5  => x <= 0.5 => latency >= 1/0.6
+        let co = CoProblem::constrained(0, vec![Bound::FREE, Bound::new(0.0, 5.5)]);
+        let sol = s.solve(&p, &co).unwrap().expect("feasible");
+        assert!(sol.f[1] <= 5.5 + 1e-6);
+        assert!((sol.x[0] - 0.5).abs() < 1e-2);
+    }
+
+    #[test]
+    fn infeasible_constraints_return_none() {
+        let p = toy_problem();
+        let s = ExactGridSolver::new(64);
+        // cost <= 0.5 is unachievable (cost >= 1).
+        let co = CoProblem::constrained(0, vec![Bound::FREE, Bound::new(0.0, 0.5)]);
+        assert_eq!(s.solve(&p, &co).unwrap(), None);
+    }
+
+    #[test]
+    fn global_constraints_restrict_the_grid() {
+        let p = toy_problem().with_constraints(vec![Bound::new(0.0, 2.0), Bound::FREE]);
+        let s = ExactGridSolver::new(201);
+        // minimize cost, but latency must be <= 2 => x >= 0.4 => cost >= 4.6
+        let sol = s.solve(&p, &CoProblem::unconstrained(1, 2)).unwrap().expect("feasible");
+        assert!(sol.f[0] <= 2.0 + 1e-6);
+        assert!((sol.x[0] - 0.4).abs() < 1e-2);
+    }
+
+    #[test]
+    fn exact_grid_honors_inequality_constraints() {
+        // Minimize latency with x <= 0.5 enforced via g(x) = x - 0.5 <= 0.
+        let p = toy_problem().with_inequality(Arc::new(FnModel::new(1, |x| x[0] - 0.5)));
+        let s = ExactGridSolver::new(201);
+        let sol = s.solve(&p, &CoProblem::unconstrained(0, 2)).unwrap().expect("feasible");
+        assert!(sol.x[0] <= 0.5 + 1e-9);
+        assert!((sol.x[0] - 0.5).abs() < 1e-2, "boundary optimum: {}", sol.x[0]);
+    }
+
+    #[test]
+    fn bound_satisfaction_tolerance_is_relative() {
+        let b = Bound::new(0.0, 100.0);
+        assert!(b.satisfied(100.0 + 0.05, 1e-3)); // slack = 0.1
+        assert!(!b.satisfied(101.0, 1e-3));
+        assert!(Bound::FREE.satisfied(1e300, 0.0));
+    }
+
+    #[test]
+    fn bad_target_is_an_error() {
+        let p = toy_problem();
+        let s = ExactGridSolver::default();
+        assert!(matches!(
+            s.solve(&p, &CoProblem::unconstrained(7, 2)),
+            Err(Error::NoSuchObjective(7))
+        ));
+    }
+}

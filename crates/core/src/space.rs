@@ -1,0 +1,437 @@
+//! Mixed parameter spaces and their continuous relaxation.
+//!
+//! Spark runtime parameters mix categorical (`spark.shuffle.compress`),
+//! integer (`spark.executor.instances`) and continuous
+//! (`spark.memory.fraction`) knobs. Following §IV-B step 1 of the paper,
+//! the optimizer works over a continuous relaxation: categoricals are
+//! one-hot encoded, every dimension is normalized to `[0,1]`, and integer /
+//! boolean dimensions are relaxed to continuous values. After optimization
+//! the solution is decoded by rounding integers, thresholding booleans, and
+//! taking the arg-max dummy for categoricals.
+
+use crate::error::{Error, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The domain of a single knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamKind {
+    /// A real-valued knob in `[lo, hi]`.
+    Continuous {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// An integer knob in `[lo, hi]` (inclusive).
+    Integer {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// A boolean knob.
+    Boolean,
+    /// A categorical knob with the given choices (one-hot encoded).
+    Categorical {
+        /// The category labels.
+        choices: Vec<String>,
+    },
+}
+
+/// A named knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpec {
+    /// Knob name, e.g. `"spark.executor.cores"`.
+    pub name: String,
+    /// Knob domain.
+    pub kind: ParamKind,
+}
+
+impl ParamSpec {
+    /// Continuous knob in `[lo, hi]`.
+    pub fn continuous(name: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Self { name: name.into(), kind: ParamKind::Continuous { lo, hi } }
+    }
+    /// Integer knob in `[lo, hi]`.
+    pub fn integer(name: impl Into<String>, lo: i64, hi: i64) -> Self {
+        Self { name: name.into(), kind: ParamKind::Integer { lo, hi } }
+    }
+    /// Boolean knob.
+    pub fn boolean(name: impl Into<String>) -> Self {
+        Self { name: name.into(), kind: ParamKind::Boolean }
+    }
+    /// Categorical knob.
+    pub fn categorical(name: impl Into<String>, choices: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            kind: ParamKind::Categorical { choices: choices.iter().map(|s| s.to_string()).collect() },
+        }
+    }
+
+    /// Number of encoded (continuous) dimensions this knob occupies.
+    pub fn encoded_width(&self) -> usize {
+        match &self.kind {
+            ParamKind::Categorical { choices } => choices.len(),
+            _ => 1,
+        }
+    }
+}
+
+/// A concrete value for one knob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// Value of a continuous knob.
+    Float(f64),
+    /// Value of an integer knob.
+    Int(i64),
+    /// Value of a boolean knob.
+    Bool(bool),
+    /// Index into the choices of a categorical knob.
+    Cat(usize),
+}
+
+impl fmt::Display for ParamValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamValue::Float(v) => write!(f, "{v:.4}"),
+            ParamValue::Int(v) => write!(f, "{v}"),
+            ParamValue::Bool(v) => write!(f, "{v}"),
+            ParamValue::Cat(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl ParamValue {
+    /// The value as `f64`, for numeric knobs.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Float(v) => *v,
+            ParamValue::Int(v) => *v as f64,
+            ParamValue::Bool(v) => *v as u8 as f64,
+            ParamValue::Cat(v) => *v as f64,
+        }
+    }
+}
+
+/// A full job configuration: one [`ParamValue`] per knob of a space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Configuration {
+    /// Values, positionally aligned with [`ParamSpace::specs`].
+    pub values: Vec<ParamValue>,
+}
+
+impl Configuration {
+    /// Build a configuration from raw values.
+    pub fn new(values: Vec<ParamValue>) -> Self {
+        Self { values }
+    }
+
+    /// The value of knob `i`.
+    pub fn get(&self, i: usize) -> &ParamValue {
+        &self.values[i]
+    }
+}
+
+/// An ordered collection of knobs and the codec between raw configurations
+/// and the normalized `[0,1]^D` optimization space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    specs: Vec<ParamSpec>,
+    encoded_dim: usize,
+}
+
+impl ParamSpace {
+    /// Build and validate a space.
+    pub fn new(specs: Vec<ParamSpec>) -> Result<Self> {
+        for spec in &specs {
+            match &spec.kind {
+                ParamKind::Continuous { lo, hi } => {
+                    if !lo.is_finite() || !hi.is_finite() || lo >= hi {
+                        return Err(Error::InvalidParameter(format!(
+                            "{}: continuous bounds [{lo}, {hi}] invalid",
+                            spec.name
+                        )));
+                    }
+                }
+                ParamKind::Integer { lo, hi } => {
+                    if lo > hi {
+                        return Err(Error::InvalidParameter(format!(
+                            "{}: integer bounds [{lo}, {hi}] invalid",
+                            spec.name
+                        )));
+                    }
+                }
+                ParamKind::Boolean => {}
+                ParamKind::Categorical { choices } => {
+                    if choices.is_empty() {
+                        return Err(Error::InvalidParameter(format!(
+                            "{}: categorical domain is empty",
+                            spec.name
+                        )));
+                    }
+                }
+            }
+        }
+        let encoded_dim = specs.iter().map(ParamSpec::encoded_width).sum();
+        Ok(Self { specs, encoded_dim })
+    }
+
+    /// The knob definitions.
+    pub fn specs(&self) -> &[ParamSpec] {
+        &self.specs
+    }
+
+    /// Number of knobs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the space has no knobs.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Dimensionality `D` of the normalized encoded space.
+    pub fn encoded_dim(&self) -> usize {
+        self.encoded_dim
+    }
+
+    /// Index of the knob named `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.specs.iter().position(|s| s.name == name)
+    }
+
+    /// Encode a raw configuration into normalized `[0,1]^D`.
+    pub fn encode(&self, config: &Configuration) -> Result<Vec<f64>> {
+        if config.values.len() != self.specs.len() {
+            return Err(Error::DimensionMismatch {
+                expected: self.specs.len(),
+                got: config.values.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.encoded_dim);
+        for (spec, value) in self.specs.iter().zip(&config.values) {
+            match (&spec.kind, value) {
+                (ParamKind::Continuous { lo, hi }, ParamValue::Float(v)) => {
+                    out.push(((v - lo) / (hi - lo)).clamp(0.0, 1.0));
+                }
+                (ParamKind::Integer { lo, hi }, ParamValue::Int(v)) => {
+                    let span = (hi - lo) as f64;
+                    out.push(if span > 0.0 { ((v - lo) as f64 / span).clamp(0.0, 1.0) } else { 0.0 });
+                }
+                (ParamKind::Boolean, ParamValue::Bool(v)) => out.push(*v as u8 as f64),
+                (ParamKind::Categorical { choices }, ParamValue::Cat(i)) => {
+                    if *i >= choices.len() {
+                        return Err(Error::InvalidParameter(format!(
+                            "{}: categorical index {i} out of range",
+                            spec.name
+                        )));
+                    }
+                    for c in 0..choices.len() {
+                        out.push(if c == *i { 1.0 } else { 0.0 });
+                    }
+                }
+                (_, v) => {
+                    return Err(Error::InvalidParameter(format!(
+                        "{}: value {v:?} does not match knob kind {:?}",
+                        spec.name, spec.kind
+                    )));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Decode a normalized point back into a raw configuration: integers
+    /// are rounded to the nearest value, booleans thresholded at 0.5, and
+    /// categoricals decoded by arg-max over their dummy variables (§IV-B).
+    pub fn decode(&self, x: &[f64]) -> Result<Configuration> {
+        if x.len() != self.encoded_dim {
+            return Err(Error::DimensionMismatch { expected: self.encoded_dim, got: x.len() });
+        }
+        let mut values = Vec::with_capacity(self.specs.len());
+        let mut cursor = 0;
+        for spec in &self.specs {
+            match &spec.kind {
+                ParamKind::Continuous { lo, hi } => {
+                    let v = lo + x[cursor].clamp(0.0, 1.0) * (hi - lo);
+                    values.push(ParamValue::Float(v));
+                    cursor += 1;
+                }
+                ParamKind::Integer { lo, hi } => {
+                    let span = (hi - lo) as f64;
+                    let v = *lo + (x[cursor].clamp(0.0, 1.0) * span).round() as i64;
+                    values.push(ParamValue::Int(v.clamp(*lo, *hi)));
+                    cursor += 1;
+                }
+                ParamKind::Boolean => {
+                    values.push(ParamValue::Bool(x[cursor] >= 0.5));
+                    cursor += 1;
+                }
+                ParamKind::Categorical { choices } => {
+                    let slice = &x[cursor..cursor + choices.len()];
+                    let best = slice
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    values.push(ParamValue::Cat(best));
+                    cursor += choices.len();
+                }
+            }
+        }
+        Ok(Configuration::new(values))
+    }
+
+    /// Snap a normalized point onto the grid of decodable values: the
+    /// result of `encode(decode(x))`. Used by solvers to report the
+    /// objective value of the *actual* (rounded) configuration.
+    pub fn snap(&self, x: &[f64]) -> Result<Vec<f64>> {
+        self.encode(&self.decode(x)?)
+    }
+
+    /// Sample a uniformly random raw configuration.
+    pub fn sample(&self, rng: &mut impl rand::Rng) -> Configuration {
+        let values = self
+            .specs
+            .iter()
+            .map(|spec| match &spec.kind {
+                ParamKind::Continuous { lo, hi } => ParamValue::Float(rng.gen_range(*lo..=*hi)),
+                ParamKind::Integer { lo, hi } => ParamValue::Int(rng.gen_range(*lo..=*hi)),
+                ParamKind::Boolean => ParamValue::Bool(rng.gen_bool(0.5)),
+                ParamKind::Categorical { choices } => ParamValue::Cat(rng.gen_range(0..choices.len())),
+            })
+            .collect();
+        Configuration::new(values)
+    }
+
+    /// Describe a configuration as `name=value` pairs for logs and reports.
+    pub fn render(&self, config: &Configuration) -> String {
+        self.specs
+            .iter()
+            .zip(&config.values)
+            .map(|(s, v)| match (&s.kind, v) {
+                (ParamKind::Categorical { choices }, ParamValue::Cat(i)) => {
+                    format!("{}={}", s.name, choices.get(*i).map(String::as_str).unwrap_or("?"))
+                }
+                _ => format!("{}={v}", s.name),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mixed_space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::integer("executors", 2, 20),
+            ParamSpec::continuous("memory.fraction", 0.2, 0.9),
+            ParamSpec::boolean("shuffle.compress"),
+            ParamSpec::categorical("serializer", &["java", "kryo", "arrow"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_dim_counts_one_hot_width() {
+        let s = mixed_space();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.encoded_dim(), 1 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = mixed_space();
+        let c = Configuration::new(vec![
+            ParamValue::Int(11),
+            ParamValue::Float(0.55),
+            ParamValue::Bool(true),
+            ParamValue::Cat(2),
+        ]);
+        let x = s.encode(&c).unwrap();
+        assert_eq!(x.len(), 6);
+        assert!((x[0] - 0.5).abs() < 1e-12);
+        assert!((x[1] - 0.5).abs() < 1e-12);
+        assert_eq!(x[2], 1.0);
+        assert_eq!(&x[3..6], &[0.0, 0.0, 1.0]);
+        let back = s.decode(&x).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn decode_rounds_and_argmaxes() {
+        let s = mixed_space();
+        let c = s.decode(&[0.49, 0.0, 0.49, 0.2, 0.7, 0.1]).unwrap();
+        // 0.49 * 18 = 8.82 -> 2 + 9 = 11
+        assert_eq!(c.values[0], ParamValue::Int(11));
+        assert_eq!(c.values[2], ParamValue::Bool(false));
+        assert_eq!(c.values[3], ParamValue::Cat(1));
+    }
+
+    #[test]
+    fn encode_rejects_wrong_arity_and_kind() {
+        let s = mixed_space();
+        let too_short = Configuration::new(vec![ParamValue::Int(2)]);
+        assert!(matches!(s.encode(&too_short), Err(Error::DimensionMismatch { .. })));
+        let wrong_kind = Configuration::new(vec![
+            ParamValue::Float(3.0),
+            ParamValue::Float(0.5),
+            ParamValue::Bool(false),
+            ParamValue::Cat(0),
+        ]);
+        assert!(matches!(s.encode(&wrong_kind), Err(Error::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn invalid_spaces_are_rejected() {
+        assert!(ParamSpace::new(vec![ParamSpec::continuous("x", 1.0, 0.0)]).is_err());
+        assert!(ParamSpace::new(vec![ParamSpec::integer("x", 5, 2)]).is_err());
+        assert!(ParamSpace::new(vec![ParamSpec::categorical("x", &[])]).is_err());
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let s = mixed_space();
+        let x = [0.37, 0.81, 0.63, 0.3, 0.3, 0.4];
+        let snapped = s.snap(&x).unwrap();
+        let twice = s.snap(&snapped).unwrap();
+        assert_eq!(snapped, twice);
+    }
+
+    #[test]
+    fn sample_is_in_domain_and_deterministic_per_seed() {
+        let s = mixed_space();
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = s.sample(&mut rng);
+        let mut rng = StdRng::seed_from_u64(7);
+        let b = s.sample(&mut rng);
+        assert_eq!(a, b);
+        match a.values[0] {
+            ParamValue::Int(v) => assert!((2..=20).contains(&v)),
+            _ => panic!("expected int"),
+        }
+        // Encoding a sample never fails.
+        s.encode(&a).unwrap();
+    }
+
+    #[test]
+    fn render_names_categorical_choices() {
+        let s = mixed_space();
+        let c = Configuration::new(vec![
+            ParamValue::Int(4),
+            ParamValue::Float(0.5),
+            ParamValue::Bool(true),
+            ParamValue::Cat(1),
+        ]);
+        let r = s.render(&c);
+        assert!(r.contains("executors=4"));
+        assert!(r.contains("serializer=kryo"));
+    }
+}

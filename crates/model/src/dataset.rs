@@ -1,0 +1,180 @@
+//! Training datasets: design matrices of (normalized configuration →
+//! observed objective) pairs, target scalers, and deterministic splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised regression dataset. Inputs are expected to already live in
+/// the normalized `[0,1]^D` configuration space (the `udao-core`
+/// `ParamSpace` codec produces them); targets are raw objective values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Input rows.
+    pub x: Vec<Vec<f64>>,
+    /// Targets, one per row.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Build a dataset; panics on ragged input.
+    pub fn new(x: Vec<Vec<f64>>, y: Vec<f64>) -> Self {
+        assert_eq!(x.len(), y.len(), "x/y length mismatch");
+        if let Some(d) = x.first().map(Vec::len) {
+            assert!(x.iter().all(|r| r.len() == d), "ragged design matrix");
+        }
+        Self { x, y }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Input dimensionality (0 when empty).
+    pub fn dim(&self) -> usize {
+        self.x.first().map(Vec::len).unwrap_or(0)
+    }
+
+    /// Append another dataset (e.g. a new batch of traces).
+    pub fn extend(&mut self, other: &Dataset) {
+        if !other.is_empty() {
+            assert!(self.is_empty() || self.dim() == other.dim(), "dim mismatch");
+            self.x.extend(other.x.iter().cloned());
+            self.y.extend(other.y.iter().cloned());
+        }
+    }
+
+    /// Deterministic shuffled train/test split; `train_frac ∈ (0,1]`.
+    pub fn split(&self, train_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(&mut StdRng::seed_from_u64(seed));
+        let n_train = ((self.len() as f64 * train_frac).round() as usize).min(self.len());
+        let pick = |ids: &[usize]| {
+            Dataset::new(
+                ids.iter().map(|&i| self.x[i].clone()).collect(),
+                ids.iter().map(|&i| self.y[i]).collect(),
+            )
+        };
+        (pick(&idx[..n_train]), pick(&idx[n_train..]))
+    }
+}
+
+/// Affine target scaler: models train on standardized targets and predict
+/// on the raw scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scaler {
+    /// Target mean.
+    pub mean: f64,
+    /// Target standard deviation (≥ tiny epsilon).
+    pub std: f64,
+}
+
+impl Scaler {
+    /// Fit to targets.
+    pub fn fit(y: &[f64]) -> Self {
+        let mean = crate::linalg::mean(y);
+        let std = crate::linalg::std_dev(y).max(1e-9);
+        Self { mean, std }
+    }
+
+    /// Raw → standardized.
+    #[inline]
+    pub fn transform(&self, v: f64) -> f64 {
+        (v - self.mean) / self.std
+    }
+
+    /// Standardized → raw.
+    #[inline]
+    pub fn inverse(&self, v: f64) -> f64 {
+        v * self.std + self.mean
+    }
+}
+
+/// Weighted mean absolute percentage error (WMAPE), the accuracy metric of
+/// Expt 4/5: `Σ|y − ŷ| / Σ|y|`.
+pub fn wmape(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let num: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum();
+    let den: f64 = truth.iter().map(|t| t.abs()).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        Dataset::new(
+            (0..10).map(|i| vec![i as f64 / 9.0]).collect(),
+            (0..10).map(|i| i as f64).collect(),
+        )
+    }
+
+    #[test]
+    fn split_partitions_without_loss() {
+        let d = toy();
+        let (tr, te) = d.split(0.7, 42);
+        assert_eq!(tr.len(), 7);
+        assert_eq!(te.len(), 3);
+        let mut all: Vec<f64> = tr.y.iter().chain(te.y.iter()).cloned().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, d.y);
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        let d = toy();
+        let (a, _) = d.split(0.5, 7);
+        let (b, _) = d.split(0.5, 7);
+        assert_eq!(a, b);
+        let (c, _) = d.split(0.5, 8);
+        assert_ne!(a, c, "different seeds should shuffle differently");
+    }
+
+    #[test]
+    fn scaler_round_trips() {
+        let s = Scaler::fit(&[10.0, 20.0, 30.0]);
+        assert!((s.inverse(s.transform(17.0)) - 17.0).abs() < 1e-12);
+        assert!((s.transform(20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaler_survives_constant_targets() {
+        let s = Scaler::fit(&[5.0, 5.0, 5.0]);
+        assert!(s.transform(5.0).is_finite());
+        assert!((s.inverse(s.transform(5.0)) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extend_appends_rows() {
+        let mut d = toy();
+        let d2 = Dataset::new(vec![vec![0.5]], vec![99.0]);
+        d.extend(&d2);
+        assert_eq!(d.len(), 11);
+        assert_eq!(*d.y.last().unwrap(), 99.0);
+    }
+
+    #[test]
+    fn wmape_basics() {
+        assert_eq!(wmape(&[10.0, 10.0], &[10.0, 10.0]), 0.0);
+        assert!((wmape(&[10.0, 10.0], &[9.0, 11.0]) - 0.1).abs() < 1e-12);
+        assert_eq!(wmape(&[0.0], &[1.0]), 0.0, "zero denominator guarded");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_matrix_panics() {
+        Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![0.0, 0.0]);
+    }
+}

@@ -1,0 +1,268 @@
+//! Feature engineering (§V.2): constant-feature filtering, standardization,
+//! and LASSO-path knob selection.
+//!
+//! OtterTune-style knob selection ranks knobs by the order in which their
+//! coefficients enter the LASSO solution path as the regularization
+//! strength decreases; UDAO mixes the top LASSO knobs with
+//! domain-knowledge picks. The LASSO itself is solved by cyclic coordinate
+//! descent on standardized features.
+
+/// Indices of columns whose value is (numerically) constant across rows —
+/// these carry no signal and are dropped before model training.
+pub fn constant_columns(x: &[Vec<f64>]) -> Vec<usize> {
+    let Some(first) = x.first() else { return Vec::new() };
+    (0..first.len())
+        .filter(|&c| x.iter().all(|r| (r[c] - first[c]).abs() < 1e-12))
+        .collect()
+}
+
+/// Remove the given columns from every row (indices must be sorted).
+pub fn drop_columns(x: &[Vec<f64>], cols: &[usize]) -> Vec<Vec<f64>> {
+    x.iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .filter(|(i, _)| cols.binary_search(i).is_err())
+                .map(|(_, v)| *v)
+                .collect()
+        })
+        .collect()
+}
+
+/// Columnwise standardization statistics.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Per-column means.
+    pub mean: Vec<f64>,
+    /// Per-column standard deviations (≥ epsilon).
+    pub std: Vec<f64>,
+}
+
+/// Fit per-column mean/std.
+pub fn column_stats(x: &[Vec<f64>]) -> ColumnStats {
+    let d = x.first().map(Vec::len).unwrap_or(0);
+    let n = x.len().max(1) as f64;
+    let mut mean = vec![0.0; d];
+    for row in x {
+        for (m, v) in mean.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    let mut std = vec![0.0; d];
+    for row in x {
+        for (s, (v, m)) in std.iter_mut().zip(row.iter().zip(&mean)) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    for s in &mut std {
+        *s = (*s / n).sqrt().max(1e-9);
+    }
+    ColumnStats { mean, std }
+}
+
+/// Solve the LASSO `min ½‖y − Xβ‖² + λ·n·‖β‖₁` on standardized columns by
+/// cyclic coordinate descent; returns the coefficients on the standardized
+/// scale.
+pub fn lasso(x: &[Vec<f64>], y: &[f64], lambda: f64, max_iters: usize) -> Vec<f64> {
+    let n = x.len();
+    let d = x.first().map(Vec::len).unwrap_or(0);
+    if n == 0 || d == 0 {
+        return vec![0.0; d];
+    }
+    let stats = column_stats(x);
+    let xs: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| row.iter().zip(stats.mean.iter().zip(&stats.std)).map(|(v, (m, s))| (v - m) / s).collect())
+        .collect();
+    let y_mean = crate::linalg::mean(y);
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    let mut beta = vec![0.0; d];
+    let mut resid = yc.clone();
+    // Per-column squared norms for the coordinate updates.
+    let col_sq: Vec<f64> = (0..d).map(|c| xs.iter().map(|r| r[c] * r[c]).sum()).collect();
+    let thresh = lambda * n as f64;
+    for _ in 0..max_iters {
+        let mut max_delta: f64 = 0.0;
+        for c in 0..d {
+            if col_sq[c] == 0.0 {
+                continue;
+            }
+            // rho = x_c · (resid + x_c * beta_c)
+            let rho: f64 =
+                xs.iter().zip(&resid).map(|(r, re)| r[c] * re).sum::<f64>() + col_sq[c] * beta[c];
+            let new_beta = soft_threshold(rho, thresh) / col_sq[c];
+            let delta = new_beta - beta[c];
+            if delta != 0.0 {
+                for (re, r) in resid.iter_mut().zip(&xs) {
+                    *re -= delta * r[c];
+                }
+                beta[c] = new_beta;
+                max_delta = max_delta.max(delta.abs());
+            }
+        }
+        if max_delta < 1e-8 {
+            break;
+        }
+    }
+    beta
+}
+
+#[inline]
+fn soft_threshold(v: f64, t: f64) -> f64 {
+    if v > t {
+        v - t
+    } else if v < -t {
+        v + t
+    } else {
+        0.0
+    }
+}
+
+/// Rank features by the order in which they enter the LASSO path as λ
+/// decreases geometrically from `λ_max` (the smallest λ that zeroes all
+/// coefficients). Returns feature indices, most important first.
+pub fn lasso_path_ranking(x: &[Vec<f64>], y: &[f64], steps: usize) -> Vec<usize> {
+    let d = x.first().map(Vec::len).unwrap_or(0);
+    if d == 0 {
+        return Vec::new();
+    }
+    let n = x.len();
+    let stats = column_stats(x);
+    let y_mean = crate::linalg::mean(y);
+    // λ_max = max_c |x_c · y| / n over standardized columns.
+    let lambda_max = (0..d)
+        .map(|c| {
+            x.iter()
+                .zip(y)
+                .map(|(r, yi)| (r[c] - stats.mean[c]) / stats.std[c] * (yi - y_mean))
+                .sum::<f64>()
+                .abs()
+                / n as f64
+        })
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut order: Vec<usize> = Vec::with_capacity(d);
+    let mut lambda = lambda_max * 0.99;
+    for _ in 0..steps {
+        let beta = lasso(x, y, lambda, 200);
+        // New nonzeros enter in path order; larger |β| first within a step.
+        let mut entrants: Vec<(usize, f64)> = beta
+            .iter()
+            .enumerate()
+            .filter(|(c, b)| b.abs() > 1e-9 && !order.contains(c))
+            .map(|(c, b)| (c, b.abs()))
+            .collect();
+        entrants.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        order.extend(entrants.into_iter().map(|(c, _)| c));
+        if order.len() == d {
+            break;
+        }
+        lambda *= 0.6;
+    }
+    // Any never-entering feature goes last, in index order.
+    for c in 0..d {
+        if !order.contains(&c) {
+            order.push(c);
+        }
+    }
+    order
+}
+
+/// Select the `k` most important knobs by mixing the LASSO-path ranking
+/// with a list of must-keep domain-knowledge knobs (§V.2 "knob selection").
+pub fn select_knobs(
+    x: &[Vec<f64>],
+    y: &[f64],
+    k: usize,
+    domain_picks: &[usize],
+) -> Vec<usize> {
+    let mut selected: Vec<usize> = domain_picks.iter().cloned().take(k).collect();
+    for c in lasso_path_ranking(x, y, 24) {
+        if selected.len() >= k {
+            break;
+        }
+        if !selected.contains(&c) {
+            selected.push(c);
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn synth(n: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // y depends strongly on cols 0 and 2, weakly on 4; cols 1, 3 noise.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x: Vec<Vec<f64>> = (0..n).map(|_| (0..5).map(|_| rng.gen::<f64>()).collect()).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .map(|r| 10.0 * r[0] - 8.0 * r[2] + 0.5 * r[4] + 0.01 * rng.gen::<f64>())
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn constant_columns_are_found_and_dropped() {
+        let x = vec![vec![1.0, 2.0, 3.0], vec![1.0, 5.0, 3.0], vec![1.0, 7.0, 3.0]];
+        let c = constant_columns(&x);
+        assert_eq!(c, vec![0, 2]);
+        let x2 = drop_columns(&x, &c);
+        assert_eq!(x2, vec![vec![2.0], vec![5.0], vec![7.0]]);
+        assert!(constant_columns(&[]).is_empty());
+    }
+
+    #[test]
+    fn lasso_zeroes_noise_features() {
+        let (x, y) = synth(200, 3);
+        let beta = lasso(&x, &y, 0.05, 500);
+        assert!(beta[0].abs() > 1.0, "strong feature kept: {beta:?}");
+        assert!(beta[2].abs() > 1.0, "strong feature kept: {beta:?}");
+        assert!(beta[1].abs() < 0.05, "noise feature shrunk: {beta:?}");
+        assert!(beta[3].abs() < 0.05, "noise feature shrunk: {beta:?}");
+    }
+
+    #[test]
+    fn strong_lambda_kills_everything() {
+        let (x, y) = synth(100, 5);
+        let beta = lasso(&x, &y, 1e6, 100);
+        assert!(beta.iter().all(|b| *b == 0.0));
+    }
+
+    #[test]
+    fn path_ranking_orders_by_importance() {
+        let (x, y) = synth(300, 11);
+        let rank = lasso_path_ranking(&x, &y, 24);
+        assert_eq!(rank.len(), 5);
+        let pos = |c: usize| rank.iter().position(|&r| r == c).unwrap();
+        assert!(pos(0) < pos(1), "col 0 beats noise col 1: {rank:?}");
+        assert!(pos(2) < pos(3), "col 2 beats noise col 3: {rank:?}");
+        assert!(pos(0) < pos(4), "strong beats weak: {rank:?}");
+    }
+
+    #[test]
+    fn select_knobs_honors_domain_picks() {
+        let (x, y) = synth(200, 13);
+        let sel = select_knobs(&x, &y, 3, &[3]);
+        assert_eq!(sel[0], 3, "domain pick first");
+        assert_eq!(sel.len(), 3);
+        assert!(sel.contains(&0) || sel.contains(&2), "lasso fills the rest: {sel:?}");
+    }
+
+    #[test]
+    fn column_stats_are_correct() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 10.0]];
+        let s = column_stats(&x);
+        assert_eq!(s.mean, vec![2.0, 10.0]);
+        assert!((s.std[0] - 1.0).abs() < 1e-12);
+        assert!(s.std[1] >= 1e-9, "degenerate column guarded");
+    }
+}

@@ -1,0 +1,254 @@
+//! Small dense linear algebra: just enough for GP inference (Cholesky
+//! factorization and triangular solves) and LASSO coordinate descent.
+//! Matrices are row-major `Vec<f64>` — the sizes here (tens to a few
+//! hundred rows) never justify anything fancier.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Build from a nested slice of rows.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map(Vec::len).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–vector product `A·x`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Cholesky factorization `A = L·Lᵀ` for a symmetric positive-definite
+    /// matrix; returns the lower-triangular factor, or `None` if the matrix
+    /// is not (numerically) positive definite.
+    pub fn cholesky(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "cholesky needs a square matrix");
+        let n = self.rows;
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(l)
+    }
+
+    /// Solve `L·y = b` for lower-triangular `L` (forward substitution).
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n);
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for j in 0..i {
+                sum -= self[(i, j)] * y[j];
+            }
+            y[i] = sum / self[(i, i)];
+        }
+        y
+    }
+
+    /// Solve `Lᵀ·x = b` for lower-triangular `L` (backward substitution).
+    pub fn solve_lower_transpose(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.rows;
+        assert_eq!(b.len(), n);
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = b[i];
+            for j in i + 1..n {
+                sum -= self[(j, i)] * x[j];
+            }
+            x[i] = sum / self[(i, i)];
+        }
+        x
+    }
+
+    /// Solve `A·x = b` via this matrix's Cholesky factor: the caller passes
+    /// the factor `L`, i.e. `l.cholesky_solve(b)` where `l = a.cholesky()`.
+    pub fn cholesky_solve(&self, b: &[f64]) -> Vec<f64> {
+        let y = self.solve_lower(b);
+        self.solve_lower_transpose(&y)
+    }
+
+    /// `log det(A)` from this Cholesky factor `L`: `2·Σ log L_ii`.
+    pub fn log_det_from_cholesky(&self) -> f64 {
+        (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Dot product.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Squared Euclidean distance.
+pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Population standard deviation of a slice.
+pub fn std_dev(v: &[f64]) -> f64 {
+    if v.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(v);
+    (v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / v.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_and_indexing() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(a[(1, 0)], 3.0);
+    }
+
+    #[test]
+    fn cholesky_reconstructs_spd_matrix() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 3.8],
+        ]);
+        let l = a.cholesky().expect("SPD");
+        // L * L^T == A
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut v = 0.0;
+                for k in 0..3 {
+                    v += l[(i, k)] * l[(j, k)];
+                }
+                assert!((v - a[(i, j)]).abs() < 1e-12, "({i},{j}): {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(a.cholesky().is_none());
+    }
+
+    #[test]
+    fn cholesky_solve_round_trips() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 2.0, 0.6],
+            vec![2.0, 5.0, 1.5],
+            vec![0.6, 1.5, 3.8],
+        ]);
+        let l = a.cholesky().unwrap();
+        let x_true = vec![1.0, -2.0, 0.5];
+        let b = a.matvec(&x_true);
+        let x = l.cholesky_solve(&b);
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn log_det_matches_product_of_eigen() {
+        let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 8.0]]);
+        let l = a.cholesky().unwrap();
+        assert!((l.log_det_from_cholesky() - (16.0f64).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let l = Matrix::identity(4).cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(l.cholesky_solve(&b), b);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+}

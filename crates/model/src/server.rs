@@ -1,0 +1,380 @@
+//! The model server (§V): an asynchronous registry of per-(workload,
+//! objective) predictive models.
+//!
+//! The server ingests runtime traces as they arrive, trains models in the
+//! background (here: synchronously on demand — the *interface* is what the
+//! optimizer depends on), checkpoints the best weights, retrains from
+//! scratch on large trace updates, and fine-tunes incrementally on small
+//! ones, mirroring the industry practice the paper cites.
+
+use crate::dataset::Dataset;
+use crate::gp::{Gp, GpConfig};
+use crate::mlp::{Ensemble, MlpConfig};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+use udao_core::ObjectiveModel;
+
+/// Identifies one model: a workload and one of its objectives.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelKey {
+    /// Workload identifier (e.g. `"tpcxbb-q2-sf100"`).
+    pub workload: String,
+    /// Objective name (e.g. `"latency"`).
+    pub objective: String,
+}
+
+impl ModelKey {
+    /// Build a key.
+    pub fn new(workload: impl Into<String>, objective: impl Into<String>) -> Self {
+        Self { workload: workload.into(), objective: objective.into() }
+    }
+}
+
+/// Which model family to train for an objective.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Gaussian Process (OtterTune-style).
+    Gp(GpConfig),
+    /// Deep ensemble of MLPs (`members` networks).
+    Dnn {
+        /// Architecture and training hyperparameters per member.
+        config: MlpConfig,
+        /// Number of ensemble members.
+        members: usize,
+    },
+}
+
+impl Default for ModelKind {
+    fn default() -> Self {
+        ModelKind::Gp(GpConfig::default())
+    }
+}
+
+/// Threshold (in new traces) above which the server retrains from scratch
+/// instead of fine-tuning; the paper uses 5000 vs 1000 at cluster scale,
+/// scaled down here to simulator trace volumes.
+const RETRAIN_THRESHOLD: usize = 200;
+/// Epoch budget for incremental fine-tuning.
+const FINE_TUNE_EPOCHS: usize = 60;
+
+enum Trained {
+    /// GPs are always refit exactly; no incremental state to keep.
+    Gp,
+    Dnn(Ensemble),
+}
+
+struct Entry {
+    data: Dataset,
+    kind: ModelKind,
+    model: Option<Arc<dyn ObjectiveModel>>,
+    trained: Option<Trained>,
+    /// Learn in log-target space (positive heavy-tailed objectives).
+    log_target: bool,
+    /// Traces ingested since the last (re)training.
+    pending: usize,
+    /// Number of retrains / fine-tunes performed (diagnostics).
+    retrains: usize,
+    fine_tunes: usize,
+}
+
+/// Wrap a trained model for serving, applying the log-space transform when
+/// the entry was registered with [`ModelServer::register_log`].
+fn wrap_model<M: ObjectiveModel + 'static>(model: M, log: bool) -> Arc<dyn ObjectiveModel> {
+    if log {
+        Arc::new(crate::transform::LogSpace(model))
+    } else {
+        Arc::new(model)
+    }
+}
+
+/// The model registry. Thread-safe; clones of the `Arc`-wrapped models are
+/// handed to the MOO layer and stay valid across retrains.
+#[derive(Default)]
+pub struct ModelServer {
+    entries: RwLock<HashMap<ModelKey, Entry>>,
+}
+
+impl ModelServer {
+    /// Create an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a model for `key` with the given family. Idempotent; the
+    /// family of an existing entry is left unchanged.
+    pub fn register(&self, key: ModelKey, kind: ModelKind) {
+        self.register_inner(key, kind, false);
+    }
+
+    /// Like [`register`](Self::register), but the model learns `ln(y)` and
+    /// predicts through `exp` — the right choice for strictly positive,
+    /// heavy-tailed objectives such as latency, where a linear-space model
+    /// can hallucinate negative values that gradient-based optimization
+    /// would exploit.
+    pub fn register_log(&self, key: ModelKey, kind: ModelKind) {
+        self.register_inner(key, kind, true);
+    }
+
+    fn register_inner(&self, key: ModelKey, kind: ModelKind, log_target: bool) {
+        self.entries.write().entry(key).or_insert_with(|| Entry {
+            data: Dataset::default(),
+            kind,
+            model: None,
+            trained: None,
+            log_target,
+            pending: 0,
+            retrains: 0,
+            fine_tunes: 0,
+        });
+    }
+
+    /// Ingest a batch of traces for `key` and update its model: a full
+    /// retrain if the entry is untrained or the pending volume crossed
+    /// [`RETRAIN_THRESHOLD`], an incremental fine-tune otherwise.
+    pub fn ingest(&self, key: &ModelKey, batch: &Dataset) {
+        let mut entries = self.entries.write();
+        let Some(e) = entries.get_mut(key) else { return };
+        // Log-target entries store and train on ln(y); targets are clamped
+        // at a tiny positive value to survive degenerate traces.
+        let batch = if e.log_target {
+            Dataset::new(batch.x.clone(), batch.y.iter().map(|v| v.max(1e-9).ln()).collect())
+        } else {
+            batch.clone()
+        };
+        e.data.extend(&batch);
+        e.pending += batch.len();
+        if e.data.is_empty() {
+            return;
+        }
+        let log = e.log_target;
+        let need_full = e.trained.is_none() || e.pending >= RETRAIN_THRESHOLD;
+        match (&mut e.trained, need_full) {
+            (Some(Trained::Dnn(ens)), false) => {
+                ens.fine_tune(&batch, FINE_TUNE_EPOCHS);
+                e.fine_tunes += 1;
+                e.model = Some(wrap_model(ens.clone(), log));
+            }
+            _ => {
+                // Full (re)train; GPs are always refit exactly.
+                match &e.kind {
+                    ModelKind::Gp(cfg) => {
+                        if let Some(gp) = Gp::fit(&e.data, cfg) {
+                            e.model = Some(wrap_model(gp, log));
+                            e.trained = Some(Trained::Gp);
+                            e.retrains += 1;
+                        }
+                    }
+                    ModelKind::Dnn { config, members } => {
+                        if let Some(ens) = Ensemble::fit(&e.data, config, *members) {
+                            e.model = Some(wrap_model(ens.clone(), log));
+                            e.trained = Some(Trained::Dnn(ens));
+                            e.retrains += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if need_full {
+            e.pending = 0;
+        }
+    }
+
+    /// Retrieve the current model for `key`, if one has been trained.
+    pub fn get(&self, key: &ModelKey) -> Option<Arc<dyn ObjectiveModel>> {
+        self.entries.read().get(key).and_then(|e| e.model.clone())
+    }
+
+    /// Number of traces held for `key`.
+    pub fn trace_count(&self, key: &ModelKey) -> usize {
+        self.entries.read().get(key).map(|e| e.data.len()).unwrap_or(0)
+    }
+
+    /// `(full retrains, incremental fine-tunes)` performed for `key`.
+    pub fn training_stats(&self, key: &ModelKey) -> (usize, usize) {
+        self.entries
+            .read()
+            .get(key)
+            .map(|e| (e.retrains, e.fine_tunes))
+            .unwrap_or((0, 0))
+    }
+
+    /// All registered keys (sorted for determinism).
+    pub fn keys(&self) -> Vec<ModelKey> {
+        let mut keys: Vec<ModelKey> = self.entries.read().keys().cloned().collect();
+        keys.sort_by(|a, b| (&a.workload, &a.objective).cmp(&(&b.workload, &b.objective)));
+        keys
+    }
+
+    /// Serialize the server state (trace datasets, model families, target
+    /// transforms) to a JSON checkpoint. Training is deterministic, so
+    /// persisting the data rather than the weights reproduces identical
+    /// models on [`ModelServer::load_json`] while staying robust to model
+    /// format changes.
+    pub fn save_json(&self) -> String {
+        let entries = self.entries.read();
+        let mut dump: Vec<PersistedEntry> = entries
+            .iter()
+            .map(|(k, e)| PersistedEntry {
+                key: k.clone(),
+                kind: e.kind.clone(),
+                log_target: e.log_target,
+                // Stored data is already log-transformed for log entries;
+                // persist the raw-equivalent so load re-applies the codec.
+                x: e.data.x.clone(),
+                y: if e.log_target {
+                    e.data.y.iter().map(|v| v.exp()).collect()
+                } else {
+                    e.data.y.clone()
+                },
+            })
+            .collect();
+        dump.sort_by(|a, b| {
+            (&a.key.workload, &a.key.objective).cmp(&(&b.key.workload, &b.key.objective))
+        });
+        serde_json::to_string(&dump).expect("server state serializes")
+    }
+
+    /// Restore a server from a [`ModelServer::save_json`] checkpoint,
+    /// retraining every entry from its persisted traces.
+    pub fn load_json(json: &str) -> Option<ModelServer> {
+        let dump: Vec<PersistedEntry> = serde_json::from_str(json).ok()?;
+        let server = ModelServer::new();
+        for e in dump {
+            server.register_inner(e.key.clone(), e.kind, e.log_target);
+            server.ingest(&e.key, &Dataset::new(e.x, e.y));
+        }
+        Some(server)
+    }
+}
+
+/// One persisted registry entry.
+#[derive(Serialize, Deserialize)]
+struct PersistedEntry {
+    key: ModelKey,
+    kind: ModelKind,
+    log_target: bool,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize, slope: f64) -> Dataset {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1).max(1) as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 2.0 + slope * r[0]).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn register_ingest_get_round_trip() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q2", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        assert!(server.get(&key).is_none(), "no model before traces");
+        server.ingest(&key, &line_data(20, 5.0));
+        let model = server.get(&key).expect("model trained");
+        assert!((model.predict(&[0.5]) - 4.5).abs() < 0.3);
+        assert_eq!(server.trace_count(&key), 20);
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("nope", "latency");
+        server.ingest(&key, &line_data(5, 1.0));
+        assert!(server.get(&key).is_none());
+        assert_eq!(server.trace_count(&key), 0);
+    }
+
+    #[test]
+    fn small_updates_fine_tune_dnn_large_updates_retrain() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q9", "latency");
+        server.register(
+            key.clone(),
+            ModelKind::Dnn {
+                config: MlpConfig { epochs: 120, hidden: vec![16], ..Default::default() },
+                members: 2,
+            },
+        );
+        server.ingest(&key, &line_data(30, 5.0)); // first train: full
+        assert_eq!(server.training_stats(&key), (1, 0));
+        server.ingest(&key, &line_data(10, 5.0)); // small: fine-tune
+        assert_eq!(server.training_stats(&key), (1, 1));
+        server.ingest(&key, &line_data(250, 5.0)); // large: retrain
+        assert_eq!(server.training_stats(&key), (2, 1));
+    }
+
+    #[test]
+    fn handed_out_models_survive_retrains() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q5", "cost");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(15, 3.0));
+        let old = server.get(&key).unwrap();
+        let before = old.predict(&[0.5]);
+        server.ingest(&key, &line_data(250, -3.0)); // retrain on different data
+        // The old Arc still answers with the old model.
+        assert_eq!(old.predict(&[0.5]), before);
+        // The registry serves the new one.
+        let new = server.get(&key).unwrap();
+        assert!((new.predict(&[0.5]) - before).abs() > 0.5);
+    }
+
+    #[test]
+    fn log_registered_models_never_predict_negative() {
+        use udao_core::ObjectiveModel;
+        let server = ModelServer::new();
+        let key = ModelKey::new("q7", "latency");
+        server.register_log(key.clone(), ModelKind::Gp(GpConfig::default()));
+        // Steep positive target: linear-space GPs extrapolate negative here.
+        let x: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64 / 14.0]).collect();
+        let y: Vec<f64> = x.iter().map(|r| 0.2 + 100.0 * r[0] * r[0]).collect();
+        server.ingest(&key, &Dataset::new(x, y));
+        let m = server.get(&key).unwrap();
+        for i in 0..50 {
+            let p = m.predict(&[i as f64 / 49.0]);
+            assert!(p > 0.0, "log-space model predicted {p} at x={i}");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_models_exactly() {
+        use udao_core::ObjectiveModel;
+        let server = ModelServer::new();
+        let key = ModelKey::new("q2", "latency");
+        server.register_log(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(20, 6.0));
+        let original = server.get(&key).unwrap();
+
+        let json = server.save_json();
+        let restored = ModelServer::load_json(&json).expect("loads");
+        let model = restored.get(&key).expect("model retrained");
+        for i in 0..10 {
+            let x = [i as f64 / 9.0];
+            assert!(
+                (model.predict(&x) - original.predict(&x)).abs() < 1e-9,
+                "deterministic retraining reproduces the model"
+            );
+        }
+        assert_eq!(restored.trace_count(&key), 20);
+        assert!(ModelServer::load_json("{not json").is_none());
+    }
+
+    #[test]
+    fn keys_are_sorted() {
+        let server = ModelServer::new();
+        server.register(ModelKey::new("b", "y"), ModelKind::default());
+        server.register(ModelKey::new("a", "z"), ModelKind::default());
+        server.register(ModelKey::new("a", "y"), ModelKind::default());
+        let keys = server.keys();
+        assert_eq!(
+            keys,
+            vec![ModelKey::new("a", "y"), ModelKey::new("a", "z"), ModelKey::new("b", "y")]
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Target-space transforms for learned models.
+//!
+//! Positive, heavy-tailed objectives (latency, CPU-hours, IO volume) are
+//! best learned in log space: the regression sees a tamer distribution and
+//! the exponentiated prediction can never go negative — which matters
+//! because a gradient-based optimizer will happily exploit a model that
+//! hallucinates negative latency far from its training data.
+
+use udao_core::ObjectiveModel;
+
+/// Wraps a model trained on `ln(y)`; predictions are mapped back through
+/// `exp`, with chained gradients and a delta-method uncertainty estimate.
+pub struct LogSpace<M>(pub M);
+
+impl<M: ObjectiveModel> ObjectiveModel for LogSpace<M> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        // Clamp the exponent so a wild inner model cannot overflow.
+        self.0.predict(x).clamp(-80.0, 80.0).exp()
+    }
+
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        // Delta method: std[exp(Z)] ≈ exp(μ)·σ for small σ.
+        let mu = self.0.predict(x).clamp(-80.0, 80.0);
+        mu.exp() * self.0.predict_std(x)
+    }
+
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        let v = self.predict(x);
+        self.0.gradient(x, out);
+        for g in out.iter_mut() {
+            *g *= v;
+        }
+    }
+
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        // d/dx [exp(μ)σ] = exp(μ)(σ·∇μ + ∇σ).
+        let mu = self.0.predict(x).clamp(-80.0, 80.0);
+        let sigma = self.0.predict_std(x);
+        let mut gmu = vec![0.0; x.len()];
+        self.0.gradient(x, &mut gmu);
+        self.0.std_gradient(x, out);
+        let e = mu.exp();
+        for (o, gm) in out.iter_mut().zip(&gmu) {
+            *o = e * (sigma * gm + *o);
+        }
+    }
+}
+
+/// Whether a target vector is safely log-transformable (strictly positive).
+pub fn log_transformable(y: &[f64]) -> bool {
+    !y.is_empty() && y.iter().all(|v| *v > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_core::objective::FnModel;
+
+    #[test]
+    fn predictions_are_exponentiated() {
+        let m = LogSpace(FnModel::new(1, |x| x[0])); // ln y = x
+        assert!((m.predict(&[0.0]) - 1.0).abs() < 1e-12);
+        assert!((m.predict(&[1.0]) - std::f64::consts::E).abs() < 1e-12);
+        assert!(m.predict(&[-5.0]) > 0.0, "always positive");
+    }
+
+    #[test]
+    fn gradient_chains_through_exp() {
+        let m = LogSpace(FnModel::new(1, |x| 2.0 * x[0]));
+        let mut g = [0.0];
+        m.gradient(&[0.5], &mut g);
+        let h = 1e-6;
+        let fd = (m.predict(&[0.5 + h]) - m.predict(&[0.5 - h])) / (2.0 * h);
+        assert!((g[0] - fd).abs() < 1e-4 * fd.abs(), "{} vs {fd}", g[0]);
+    }
+
+    #[test]
+    fn extreme_inner_values_do_not_overflow() {
+        let m = LogSpace(FnModel::new(1, |_| 1e6));
+        assert!(m.predict(&[0.5]).is_finite());
+    }
+
+    #[test]
+    fn std_scales_with_the_mean() {
+        struct Noisy;
+        impl ObjectiveModel for Noisy {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                x[0]
+            }
+            fn predict_std(&self, _: &[f64]) -> f64 {
+                0.1
+            }
+        }
+        let m = LogSpace(Noisy);
+        assert!(m.predict_std(&[2.0]) > m.predict_std(&[0.0]));
+    }
+
+    #[test]
+    fn transformability_check() {
+        assert!(log_transformable(&[1.0, 2.0]));
+        assert!(!log_transformable(&[1.0, 0.0]));
+        assert!(!log_transformable(&[-1.0]));
+        assert!(!log_transformable(&[]));
+    }
+}

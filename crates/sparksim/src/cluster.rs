@@ -1,0 +1,61 @@
+//! Physical cluster description.
+//!
+//! Matches the paper's testbed shape: 20 compute nodes, 2×16 cores each,
+//! 768 GB of memory, RAID disks — scaled into simulator units.
+
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous cluster of compute nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of compute nodes.
+    pub nodes: usize,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// Memory per node in GB.
+    pub mem_per_node_gb: f64,
+    /// Aggregate disk bandwidth per node, MB/s.
+    pub disk_mb_s: f64,
+    /// Network bandwidth per node, MB/s.
+    pub net_mb_s: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation cluster (scaled): 20 nodes × 32 cores.
+    pub fn paper_cluster() -> Self {
+        Self {
+            nodes: 20,
+            cores_per_node: 32,
+            mem_per_node_gb: 768.0,
+            disk_mb_s: 800.0,
+            net_mb_s: 1200.0,
+        }
+    }
+
+    /// A small cluster for fast tests.
+    pub fn small() -> Self {
+        Self { nodes: 4, cores_per_node: 8, mem_per_node_gb: 64.0, disk_mb_s: 400.0, net_mb_s: 600.0 }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Total memory across the cluster, GB.
+    pub fn total_mem_gb(&self) -> f64 {
+        self.nodes as f64 * self.mem_per_node_gb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.total_cores(), 640);
+        assert!((c.total_mem_gb() - 15_360.0).abs() < 1e-9);
+    }
+}

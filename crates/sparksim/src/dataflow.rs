@@ -1,0 +1,219 @@
+//! Dataflow programs: operator DAGs partitioned into shuffle-bounded
+//! stages, the programming model the paper assumes (§II-A).
+
+use serde::{Deserialize, Serialize};
+
+/// A physical operator, following the TPCx-BB Q2 plan of Fig. 1(b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Table scan from HDFS.
+    HiveTableScan,
+    /// Row filter.
+    Filter,
+    /// Column projection.
+    Project,
+    /// Shuffle exchange (stage boundary).
+    Exchange,
+    /// Sort.
+    Sort,
+    /// Hash aggregation.
+    HashAggregate,
+    /// Shuffle hash / sort-merge join probe.
+    Join,
+    /// Broadcast hash join (no shuffle if the build side fits).
+    BroadcastJoin,
+    /// A user-defined script transformation (Python/UDF) — CPU-heavy.
+    ScriptTransformation,
+    /// An iterative ML training operator (e.g. clustering, regression).
+    MlTrain,
+    /// Limit / top-k.
+    Limit,
+}
+
+impl Operator {
+    /// Relative CPU cost per MB of input, in simulator milliseconds on a
+    /// reference core. UDFs and ML are far heavier than relational ops.
+    pub fn cpu_ms_per_mb(self) -> f64 {
+        match self {
+            Operator::HiveTableScan => 1.2,
+            Operator::Filter => 0.4,
+            Operator::Project => 0.3,
+            Operator::Exchange => 0.8,
+            Operator::Sort => 2.2,
+            Operator::HashAggregate => 1.6,
+            Operator::Join => 2.0,
+            Operator::BroadcastJoin => 1.1,
+            Operator::ScriptTransformation => 9.0,
+            Operator::MlTrain => 14.0,
+            Operator::Limit => 0.1,
+        }
+    }
+
+    /// Memory expansion factor: working-set bytes per input byte.
+    pub fn mem_expansion(self) -> f64 {
+        match self {
+            Operator::HiveTableScan => 0.4,
+            Operator::Filter | Operator::Project | Operator::Limit => 0.2,
+            Operator::Exchange => 0.8,
+            Operator::Sort => 2.4,
+            Operator::HashAggregate => 1.8,
+            Operator::Join => 2.2,
+            Operator::BroadcastJoin => 1.2,
+            Operator::ScriptTransformation => 1.0,
+            Operator::MlTrain => 2.8,
+        }
+    }
+}
+
+/// A pipelined stage: a chain of operators between shuffle boundaries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Stage {
+    /// Operators executed in this stage's task pipeline.
+    pub ops: Vec<Operator>,
+    /// Input volume in MB (table scan size or upstream shuffle size).
+    pub input_mb: f64,
+    /// Output selectivity: output bytes per input byte.
+    pub selectivity: f64,
+    /// Indices of upstream stages this stage consumes (via shuffle), empty
+    /// for scan stages.
+    pub deps: Vec<usize>,
+    /// Whether this is a scan stage whose partitioning follows
+    /// `maxPartitionBytes` rather than the shuffle-partition knobs.
+    pub is_scan: bool,
+    /// For join stages: size of the build side in MB (drives the
+    /// broadcast-vs-shuffle decision).
+    pub build_side_mb: Option<f64>,
+    /// Number of iterations for ML stages (the stage repeats).
+    pub iterations: usize,
+}
+
+impl Stage {
+    /// A scan stage over `input_mb` of data.
+    pub fn scan(input_mb: f64, ops: Vec<Operator>, selectivity: f64) -> Self {
+        Self { ops, input_mb, selectivity, deps: Vec::new(), is_scan: true, build_side_mb: None, iterations: 1 }
+    }
+
+    /// A shuffle stage consuming `deps`.
+    pub fn shuffle(deps: Vec<usize>, input_mb: f64, ops: Vec<Operator>, selectivity: f64) -> Self {
+        Self { ops, input_mb, selectivity, deps, is_scan: false, build_side_mb: None, iterations: 1 }
+    }
+
+    /// Mark as a join with the given build-side size.
+    pub fn with_build_side(mut self, mb: f64) -> Self {
+        self.build_side_mb = Some(mb);
+        self
+    }
+
+    /// Mark as iterative (ML training).
+    pub fn with_iterations(mut self, n: usize) -> Self {
+        self.iterations = n.max(1);
+        self
+    }
+
+    /// Total per-MB CPU cost of the stage pipeline.
+    pub fn cpu_ms_per_mb(&self) -> f64 {
+        self.ops.iter().map(|o| o.cpu_ms_per_mb()).sum()
+    }
+
+    /// Peak memory expansion across the pipeline.
+    pub fn mem_expansion(&self) -> f64 {
+        self.ops.iter().map(|o| o.mem_expansion()).fold(0.0, f64::max)
+    }
+
+    /// Whether the pipeline contains a UDF / script operator.
+    pub fn has_udf(&self) -> bool {
+        self.ops.contains(&Operator::ScriptTransformation)
+    }
+}
+
+/// A dataflow program: stages in topological order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataflowProgram {
+    /// Stage list; `deps` indices always point backwards.
+    pub stages: Vec<Stage>,
+}
+
+impl DataflowProgram {
+    /// Build and validate (deps must point to earlier stages).
+    pub fn new(stages: Vec<Stage>) -> Self {
+        for (i, s) in stages.iter().enumerate() {
+            for &d in &s.deps {
+                assert!(d < i, "stage {i} depends on later stage {d}");
+            }
+        }
+        Self { stages }
+    }
+
+    /// Total scan input in MB.
+    pub fn total_input_mb(&self) -> f64 {
+        self.stages.iter().filter(|s| s.is_scan).map(|s| s.input_mb).sum()
+    }
+
+    /// Whether the program contains ML training stages.
+    pub fn has_ml(&self) -> bool {
+        self.stages.iter().any(|s| s.ops.contains(&Operator::MlTrain))
+    }
+
+    /// The TPCx-BB Q2 plan of Fig. 1(b): scan → filter/project → exchange →
+    /// sort → script transformation (UDF) → aggregate → top-k.
+    pub fn tpcxbb_q2(scale_mb: f64) -> Self {
+        DataflowProgram::new(vec![
+            Stage::scan(scale_mb, vec![Operator::HiveTableScan, Operator::Filter, Operator::Project], 0.35),
+            Stage::shuffle(
+                vec![0],
+                scale_mb * 0.35,
+                vec![Operator::Exchange, Operator::Sort, Operator::ScriptTransformation],
+                0.5,
+            ),
+            Stage::shuffle(
+                vec![1],
+                scale_mb * 0.35 * 0.5,
+                vec![Operator::HashAggregate, Operator::Limit],
+                0.05,
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q2_plan_shape() {
+        let p = DataflowProgram::tpcxbb_q2(1000.0);
+        assert_eq!(p.stages.len(), 3);
+        assert!(p.stages[0].is_scan);
+        assert!(p.stages[1].has_udf());
+        assert!(!p.has_ml());
+        assert!((p.total_input_mb() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn udf_costs_more_cpu_than_relational_ops() {
+        assert!(Operator::ScriptTransformation.cpu_ms_per_mb() > 4.0 * Operator::Join.cpu_ms_per_mb() / 2.0);
+        assert!(Operator::MlTrain.cpu_ms_per_mb() > Operator::ScriptTransformation.cpu_ms_per_mb());
+    }
+
+    #[test]
+    fn stage_aggregates_pipeline_costs() {
+        let s = Stage::scan(100.0, vec![Operator::HiveTableScan, Operator::Filter], 0.5);
+        assert!((s.cpu_ms_per_mb() - 1.6).abs() < 1e-12);
+        assert!((s.mem_expansion() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later stage")]
+    fn forward_deps_panic() {
+        DataflowProgram::new(vec![Stage::shuffle(vec![0], 1.0, vec![Operator::Join], 1.0)]);
+    }
+
+    #[test]
+    fn builders_set_flags() {
+        let s = Stage::shuffle(vec![], 10.0, vec![Operator::Join], 1.0)
+            .with_build_side(5.0)
+            .with_iterations(0);
+        assert_eq!(s.build_side_mb, Some(5.0));
+        assert_eq!(s.iterations, 1, "iterations clamp to >= 1");
+    }
+}

@@ -1,0 +1,493 @@
+//! The batch execution engine: runs a [`DataflowProgram`] under a
+//! [`BatchConf`] on a [`ClusterSpec`] and reports runtime metrics.
+//!
+//! This is a resource-constrained stage simulator: each stage's tasks are
+//! scheduled in waves over the executor task slots, with per-task times
+//! composed of CPU work, shuffle fetch, shuffle write, spill penalties, and
+//! scheduling overhead — each term responsive to the 12 tuned knobs. Task
+//! skew is injected as deterministic per-stage noise so that repeated runs
+//! under the same seed reproduce exactly.
+
+use crate::cluster::ClusterSpec;
+use crate::dataflow::{DataflowProgram, Operator};
+use crate::params::BatchConf;
+use serde::{Deserialize, Serialize};
+
+/// Observed metrics of one simulated job — the trace schema the model
+/// server learns from (a condensed version of the paper's 360 metrics).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobMetrics {
+    /// End-to-end latency, seconds.
+    pub latency_s: f64,
+    /// Allocated cores (`executors × cores/executor`).
+    pub cores: f64,
+    /// Aggregate CPU time across tasks, hours.
+    pub cpu_hours: f64,
+    /// Average CPU utilization of the allocated slots, `[0,1]`.
+    pub cpu_util: f64,
+    /// Bytes read from disk (scan + spill), MB.
+    pub disk_read_mb: f64,
+    /// Shuffle bytes written, MB.
+    pub shuffle_write_mb: f64,
+    /// Shuffle bytes read over the network, MB.
+    pub shuffle_read_mb: f64,
+    /// Total time tasks spent waiting on shuffle fetches, seconds.
+    pub fetch_wait_s: f64,
+    /// Bytes spilled to disk under memory pressure, MB.
+    pub spill_mb: f64,
+    /// Number of tasks launched.
+    pub num_tasks: usize,
+    /// Executors actually granted (after cluster capacity caps).
+    pub executors_granted: usize,
+}
+
+impl JobMetrics {
+    /// Resource cost in CPU-hours (objective 7): `latency × cores`.
+    pub fn cost_cpu_hour(&self) -> f64 {
+        self.latency_s * self.cores / 3600.0
+    }
+
+    /// Weighted cost (objective 8, serverless-DB inspired): CPU-hour plus
+    /// IO-request charges.
+    pub fn cost_weighted(&self, cpu_hour_rate: f64, io_gb_rate: f64) -> f64 {
+        cpu_hour_rate * self.cost_cpu_hour()
+            + io_gb_rate * (self.disk_read_mb + self.shuffle_write_mb) / 1024.0
+    }
+}
+
+/// Deterministic per-(seed, stage, salt) multiplicative noise in
+/// `[1, 1+spread]` — task skew and stragglers.
+fn skew_noise(seed: u64, stage: usize, salt: u64, spread: f64) -> f64 {
+    let mut h = seed ^ 0x9E37_79B9_7F4A_7C15;
+    for v in [stage as u64, salt] {
+        h ^= v.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = h.rotate_left(27).wrapping_mul(0x94D0_49BB_1331_11EB);
+    }
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + spread * unit
+}
+
+/// Run `program` under `conf` on `cluster`; `seed` controls skew noise.
+pub fn simulate_batch(
+    program: &DataflowProgram,
+    conf: &BatchConf,
+    cluster: &ClusterSpec,
+    seed: u64,
+) -> JobMetrics {
+    // --- Resource grant: the cluster caps what YARN would actually give. ---
+    let req_execs = conf.executor_instances.max(1) as usize;
+    let cores_per_exec = conf.executor_cores.max(1) as usize;
+    let mem_per_exec_gb = conf.executor_memory_gb.max(1) as f64;
+    let by_cores = cluster.total_cores() / cores_per_exec;
+    let by_mem = (cluster.total_mem_gb() * 0.9 / mem_per_exec_gb) as usize;
+    let execs = req_execs.min(by_cores.max(1)).min(by_mem.max(1));
+    let slots = (execs * cores_per_exec).max(1);
+
+    // Per-task memory budget (MB): the Spark unified-memory execution region
+    // divided among concurrently running tasks on an executor.
+    let task_mem_mb = mem_per_exec_gb * 1024.0 * conf.memory_fraction.clamp(0.05, 0.95)
+        / cores_per_exec as f64;
+
+    // Columnar batch-size efficiency: U-shaped around ~10k rows.
+    let batch = conf.columnar_batch_size.max(100) as f64;
+    let columnar_factor = 1.0 + 0.05 * (batch / 10_000.0).ln().powi(2);
+
+    // Fetch efficiency: small maxSizeInFlight serializes fetches.
+    let inflight = conf.reducer_max_size_in_flight_mb.max(1) as f64;
+    let inflight_factor = 1.0 + 0.5 * ((48.0 / inflight) - 1.0).clamp(0.0, 2.0);
+
+    let mut finish = vec![0.0f64; program.stages.len()];
+    let mut total_cpu_ms = 0.0;
+    let mut disk_read_mb = 0.0;
+    let mut shuffle_write_mb = 0.0;
+    let mut shuffle_read_mb = 0.0;
+    let mut fetch_wait_s = 0.0;
+    let mut spill_mb = 0.0;
+    let mut num_tasks = 0usize;
+
+    // Executor acquisition ramp-up.
+    let startup_s = 2.0 + 0.05 * execs as f64;
+    let mut clock = startup_s;
+
+    for (si, stage) in program.stages.iter().enumerate() {
+        // --- Partitioning. ---
+        let sqlish = stage.ops.iter().any(|o| {
+            matches!(
+                o,
+                Operator::Exchange
+                    | Operator::Sort
+                    | Operator::HashAggregate
+                    | Operator::Join
+                    | Operator::BroadcastJoin
+                    | Operator::Limit
+            )
+        });
+        let partitions = if stage.is_scan {
+            ((stage.input_mb / conf.max_partition_mb.max(8) as f64).ceil() as usize).max(1)
+        } else if sqlish {
+            conf.shuffle_partitions.max(1) as usize
+        } else {
+            conf.default_parallelism.max(1) as usize
+        };
+        num_tasks += partitions * stage.iterations;
+        let per_task_mb = stage.input_mb / partitions as f64;
+
+        // --- Broadcast-vs-shuffle join decision. ---
+        let broadcast = stage
+            .build_side_mb
+            .map(|b| b <= conf.broadcast_threshold_mb as f64)
+            .unwrap_or(false);
+
+        // --- CPU work per task. ---
+        let mut cpu_per_mb = 0.0;
+        for op in &stage.ops {
+            let mut c = op.cpu_ms_per_mb();
+            if broadcast && *op == Operator::Join {
+                c = Operator::BroadcastJoin.cpu_ms_per_mb();
+            }
+            if *op == Operator::HiveTableScan {
+                c *= columnar_factor;
+            }
+            cpu_per_mb += c;
+        }
+        // Compression: extra CPU on exchange, fewer bytes on the wire.
+        let has_exchange = stage.ops.contains(&Operator::Exchange);
+        if conf.shuffle_compress && has_exchange {
+            cpu_per_mb += 0.15 * Operator::Exchange.cpu_ms_per_mb();
+        }
+        let mut task_cpu_ms = per_task_mb * cpu_per_mb;
+
+        // --- Memory pressure / spill. ---
+        let working_mb = per_task_mb * stage.mem_expansion();
+        let pressure = working_mb / task_mem_mb.max(1.0);
+        if pressure > 1.0 {
+            let over = (pressure - 1.0).min(3.0);
+            task_cpu_ms *= 1.0 + 0.8 * over;
+            let stage_spill = (working_mb - task_mem_mb).max(0.0) * partitions as f64;
+            spill_mb += stage_spill * stage.iterations as f64;
+        }
+
+        // --- Shuffle read (fetch) per task. ---
+        let mut task_fetch_s = 0.0;
+        if !stage.is_scan && !stage.deps.is_empty() {
+            let mut read_mb = per_task_mb;
+            if broadcast {
+                // Probe side stays local; only the build side moves, once per
+                // executor, charged below as a fixed stage cost.
+                read_mb = 0.0;
+            }
+            if conf.shuffle_compress {
+                read_mb /= 3.0;
+            }
+            task_fetch_s = read_mb / cluster.net_mb_s * inflight_factor;
+            shuffle_read_mb += read_mb * partitions as f64 * stage.iterations as f64;
+        }
+
+        // --- Shuffle write of this stage's output. ---
+        let out_mb = stage.input_mb * stage.selectivity;
+        let is_terminal = !program.stages.iter().any(|s| s.deps.contains(&si));
+        let mut task_write_s = 0.0;
+        if !is_terminal {
+            let mut write_mb = out_mb / partitions as f64;
+            if conf.shuffle_compress {
+                write_mb /= 3.0;
+            }
+            let bypass = (conf.shuffle_partitions as usize)
+                <= conf.shuffle_sort_bypass_merge_threshold.max(1) as usize;
+            let write_cost = if bypass { 0.7 } else { 1.0 };
+            task_write_s = write_mb / cluster.disk_mb_s * write_cost;
+            if !bypass {
+                // Merge-sort of shuffle files costs extra CPU.
+                task_cpu_ms += write_mb * 0.6;
+            }
+            shuffle_write_mb += write_mb * partitions as f64 * stage.iterations as f64;
+        }
+
+        // --- Disk read for scans. ---
+        let mut task_read_s = 0.0;
+        if stage.is_scan {
+            task_read_s = per_task_mb / cluster.disk_mb_s;
+            disk_read_mb += stage.input_mb;
+        }
+
+        // --- Assemble the per-task time and schedule waves. ---
+        let overhead_ms = 60.0; // task serialization + scheduling
+        let avg_task_s =
+            (task_cpu_ms + overhead_ms) / 1000.0 + task_fetch_s + task_write_s + task_read_s;
+        let straggler = skew_noise(seed, si, 1, 0.35);
+        let waves = partitions.div_ceil(slots);
+        let mut stage_s =
+            (waves.saturating_sub(1)) as f64 * avg_task_s + avg_task_s * straggler;
+        // Broadcast distribution cost: build side to every executor.
+        if broadcast {
+            if let Some(b) = stage.build_side_mb {
+                // Driver collects the build side, then torrents it out.
+                stage_s += 2.0 * b / cluster.net_mb_s;
+            }
+        }
+        // Iterative stages repeat with a per-iteration barrier.
+        if stage.iterations > 1 {
+            stage_s = stage_s * stage.iterations as f64 + 0.15 * stage.iterations as f64;
+        }
+        // Run-to-run variance.
+        stage_s *= skew_noise(seed, si, 2, 0.06);
+
+        total_cpu_ms += task_cpu_ms * partitions as f64 * stage.iterations as f64;
+        fetch_wait_s += task_fetch_s * partitions as f64 * stage.iterations as f64;
+
+        // --- Critical-path accounting (stages on one job serialize unless
+        //     their dependency chains are disjoint). ---
+        let ready = stage.deps.iter().map(|&d| finish[d]).fold(startup_s, f64::max);
+        let start = ready.max(clock);
+        finish[si] = start + stage_s;
+        clock = finish[si];
+    }
+
+    let latency_s = finish.iter().cloned().fold(startup_s, f64::max);
+    let cpu_hours = total_cpu_ms / 1000.0 / 3600.0;
+    let busy = total_cpu_ms / 1000.0;
+    let cpu_util = (busy / (latency_s * slots as f64)).clamp(0.0, 1.0);
+
+    JobMetrics {
+        latency_s,
+        cores: (execs * cores_per_exec) as f64,
+        cpu_hours,
+        cpu_util,
+        disk_read_mb: disk_read_mb + spill_mb,
+        shuffle_write_mb,
+        shuffle_read_mb,
+        fetch_wait_s,
+        spill_mb,
+        num_tasks,
+        executors_granted: execs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q2() -> DataflowProgram {
+        DataflowProgram::tpcxbb_q2(4_000.0)
+    }
+
+    fn base_conf() -> BatchConf {
+        BatchConf { executor_instances: 8, executor_cores: 2, executor_memory_gb: 8, ..BatchConf::spark_default() }
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let a = simulate_batch(&q2(), &base_conf(), &ClusterSpec::paper_cluster(), 7);
+        let b = simulate_batch(&q2(), &base_conf(), &ClusterSpec::paper_cluster(), 7);
+        assert_eq!(a, b);
+        let c = simulate_batch(&q2(), &base_conf(), &ClusterSpec::paper_cluster(), 8);
+        assert_ne!(a.latency_s, c.latency_s, "different seeds perturb skew");
+    }
+
+    #[test]
+    fn more_cores_reduce_latency_but_raise_cost() {
+        let cluster = ClusterSpec::paper_cluster();
+        let small = simulate_batch(&q2(), &base_conf(), &cluster, 1);
+        let big_conf = BatchConf { executor_instances: 24, ..base_conf() };
+        let big = simulate_batch(&q2(), &big_conf, &cluster, 1);
+        assert!(big.latency_s < small.latency_s, "{} !< {}", big.latency_s, small.latency_s);
+        assert!(big.cores > small.cores);
+    }
+
+    #[test]
+    fn diminishing_returns_to_parallelism() {
+        let cluster = ClusterSpec::paper_cluster();
+        let lat = |execs: i64| {
+            simulate_batch(
+                &q2(),
+                &BatchConf { executor_instances: execs, ..base_conf() },
+                &cluster,
+                1,
+            )
+            .latency_s
+        };
+        let gain_lo = lat(4) - lat(8);
+        let gain_hi = lat(20) - lat(24);
+        assert!(gain_lo > gain_hi, "early cores help more: {gain_lo} vs {gain_hi}");
+    }
+
+    #[test]
+    fn starving_memory_triggers_spill_and_slowdown() {
+        let cluster = ClusterSpec::paper_cluster();
+        let roomy = simulate_batch(
+            &q2(),
+            &BatchConf { executor_memory_gb: 16, memory_fraction: 0.8, shuffle_partitions: 64, ..base_conf() },
+            &cluster,
+            1,
+        );
+        let starved = simulate_batch(
+            &q2(),
+            &BatchConf { executor_memory_gb: 1, memory_fraction: 0.2, shuffle_partitions: 8, ..base_conf() },
+            &cluster,
+            1,
+        );
+        assert_eq!(roomy.spill_mb, 0.0, "roomy run must not spill");
+        assert!(starved.spill_mb > 0.0, "starved run must spill");
+        assert!(starved.latency_s > roomy.latency_s);
+    }
+
+    #[test]
+    fn compression_cuts_network_bytes_but_costs_cpu() {
+        let cluster = ClusterSpec::paper_cluster();
+        let on = simulate_batch(&q2(), &BatchConf { shuffle_compress: true, ..base_conf() }, &cluster, 1);
+        let off = simulate_batch(&q2(), &BatchConf { shuffle_compress: false, ..base_conf() }, &cluster, 1);
+        assert!(on.shuffle_read_mb < off.shuffle_read_mb / 2.0);
+        assert!(on.cpu_hours > off.cpu_hours);
+    }
+
+    #[test]
+    fn parallelism_knob_has_a_sweet_spot() {
+        let cluster = ClusterSpec::paper_cluster();
+        let lat = |parts: i64| {
+            simulate_batch(
+                &q2(),
+                &BatchConf { shuffle_partitions: parts, default_parallelism: parts, ..base_conf() },
+                &cluster,
+                1,
+            )
+            .latency_s
+        };
+        let tiny = lat(1); // no parallelism + memory pressure
+        let mid = lat(64);
+        let huge = lat(1000); // per-task overhead dominates
+        assert!(mid < tiny, "mid {mid} vs tiny {tiny}");
+        assert!(mid < huge, "mid {mid} vs huge {huge}");
+    }
+
+    #[test]
+    fn broadcast_join_avoids_shuffle_when_build_side_fits() {
+        use crate::dataflow::{Operator, Stage};
+        let plan = |build_mb: f64| {
+            DataflowProgram::new(vec![
+                Stage::scan(2_000.0, vec![Operator::HiveTableScan], 0.5),
+                Stage::shuffle(vec![0], 1_000.0, vec![Operator::Exchange, Operator::Join], 0.2)
+                    .with_build_side(build_mb),
+            ])
+        };
+        let cluster = ClusterSpec::paper_cluster();
+        let conf = BatchConf { broadcast_threshold_mb: 10, ..base_conf() };
+        let small_build = simulate_batch(&plan(5.0), &conf, &cluster, 1);
+        let large_build = simulate_batch(&plan(500.0), &conf, &cluster, 1);
+        assert!(
+            small_build.shuffle_read_mb < large_build.shuffle_read_mb,
+            "broadcast skips the probe-side shuffle"
+        );
+    }
+
+    #[test]
+    fn cluster_caps_the_grant() {
+        let cluster = ClusterSpec::small(); // 32 cores total
+        let greedy = BatchConf {
+            executor_instances: 29,
+            executor_cores: 5,
+            executor_memory_gb: 32,
+            ..BatchConf::spark_default()
+        };
+        let m = simulate_batch(&q2(), &greedy, &cluster, 1);
+        assert!(m.executors_granted < 29);
+        assert!(m.cores <= cluster.total_cores() as f64);
+    }
+
+    #[test]
+    fn cost_metrics_are_consistent() {
+        let m = simulate_batch(&q2(), &base_conf(), &ClusterSpec::paper_cluster(), 1);
+        assert!((m.cost_cpu_hour() - m.latency_s * m.cores / 3600.0).abs() < 1e-12);
+        assert!(m.cost_weighted(1.0, 0.1) > 0.0);
+        assert!(m.cpu_util > 0.0 && m.cpu_util <= 1.0);
+        assert!(m.num_tasks > 0);
+    }
+
+    #[test]
+    fn smaller_partition_bytes_spawn_more_scan_tasks() {
+        let cluster = ClusterSpec::paper_cluster();
+        let coarse = simulate_batch(
+            &q2(),
+            &BatchConf { max_partition_mb: 512, ..base_conf() },
+            &cluster,
+            1,
+        );
+        let fine = simulate_batch(
+            &q2(),
+            &BatchConf { max_partition_mb: 32, ..base_conf() },
+            &cluster,
+            1,
+        );
+        assert!(fine.num_tasks > coarse.num_tasks, "{} vs {}", fine.num_tasks, coarse.num_tasks);
+    }
+
+    #[test]
+    fn small_in_flight_buffers_raise_fetch_wait() {
+        let cluster = ClusterSpec::paper_cluster();
+        let small = simulate_batch(
+            &q2(),
+            &BatchConf { reducer_max_size_in_flight_mb: 8, ..base_conf() },
+            &cluster,
+            1,
+        );
+        let large = simulate_batch(
+            &q2(),
+            &BatchConf { reducer_max_size_in_flight_mb: 128, ..base_conf() },
+            &cluster,
+            1,
+        );
+        assert!(small.fetch_wait_s > large.fetch_wait_s);
+    }
+
+    #[test]
+    fn bypass_merge_threshold_trades_write_cost_for_sort_cpu() {
+        let cluster = ClusterSpec::paper_cluster();
+        // Below the threshold the bypass path skips the shuffle merge-sort.
+        let bypass = simulate_batch(
+            &q2(),
+            &BatchConf { shuffle_partitions: 64, shuffle_sort_bypass_merge_threshold: 200, ..base_conf() },
+            &cluster,
+            1,
+        );
+        let sorted = simulate_batch(
+            &q2(),
+            &BatchConf { shuffle_partitions: 64, shuffle_sort_bypass_merge_threshold: 8, ..base_conf() },
+            &cluster,
+            1,
+        );
+        assert!(sorted.cpu_hours > bypass.cpu_hours, "{} vs {}", sorted.cpu_hours, bypass.cpu_hours);
+    }
+
+    #[test]
+    fn columnar_batch_size_has_a_sweet_spot() {
+        let cluster = ClusterSpec::paper_cluster();
+        let lat = |batch: i64| {
+            simulate_batch(
+                &q2(),
+                &BatchConf { columnar_batch_size: batch, ..base_conf() },
+                &cluster,
+                1,
+            )
+            .latency_s
+        };
+        let tiny = lat(1_000);
+        let good = lat(10_000);
+        let huge = lat(40_000);
+        assert!(good <= tiny, "{good} vs tiny {tiny}");
+        assert!(good <= huge, "{good} vs huge {huge}");
+    }
+
+    #[test]
+    fn ml_iterations_multiply_stage_time() {
+        use crate::dataflow::{Operator, Stage};
+        let plan = |iters: usize| {
+            DataflowProgram::new(vec![
+                Stage::scan(500.0, vec![Operator::HiveTableScan], 1.0),
+                Stage::shuffle(vec![0], 500.0, vec![Operator::MlTrain], 0.1).with_iterations(iters),
+            ])
+        };
+        let cluster = ClusterSpec::paper_cluster();
+        let one = simulate_batch(&plan(1), &base_conf(), &cluster, 1);
+        let ten = simulate_batch(&plan(10), &base_conf(), &cluster, 1);
+        assert!(ten.latency_s > one.latency_s * 3.0, "{} vs {}", ten.latency_s, one.latency_s);
+    }
+}

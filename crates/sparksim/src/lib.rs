@@ -1,0 +1,62 @@
+//! # udao-sparksim — a discrete-event Spark cluster and workload simulator
+//!
+//! The UDAO paper evaluates on a 20-node Spark cluster running the TPCx-BB
+//! benchmark (batch) and a click-stream benchmark (streaming). This crate
+//! substitutes that testbed with a from-scratch simulator that preserves
+//! what the optimizer actually senses: a *non-linear, non-convex,
+//! knob-sensitive mapping* from runtime configurations to conflicting
+//! objectives.
+//!
+//! The simulator executes a stage DAG over executor task slots:
+//!
+//! * **Resource knobs** (`executor.instances`, `executor.cores`,
+//!   `executor.memory`) set the number of task slots and per-task memory,
+//!   with diminishing returns (waves of tasks) and a cluster capacity cap.
+//! * **Parallelism knobs** (`default.parallelism`, `sql.shuffle.partitions`,
+//!   `files.maxPartitionBytes`) trade per-task overhead against skew and
+//!   memory pressure — the classic sweet-spot curve.
+//! * **Memory knobs** (`memory.fraction`) move the spill cliff: tasks whose
+//!   working set exceeds their share of the execution region pay a
+//!   multiplicative spill penalty.
+//! * **Shuffle knobs** (`shuffle.compress`, `reducer.maxSizeInFlight`,
+//!   `shuffle.sort.bypassMergeThreshold`) trade CPU against network bytes
+//!   and fetch-wait time.
+//! * **Planner knobs** (`autoBroadcastJoinThreshold`,
+//!   `inMemoryColumnarStorage.batchSize`) switch join strategies and scan
+//!   efficiency.
+//!
+//! Batch workloads model the 30 TPCx-BB templates (14 SQL, 11 SQL+UDF,
+//! 5 ML) parameterized into 258 workloads; streaming workloads model the
+//! 6 click-stream templates parameterized into 63 workloads, executed as
+//! micro-batches whose latency explodes once per-batch processing time
+//! exceeds the batch interval.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod dataflow;
+pub mod exec;
+pub mod objectives;
+pub mod params;
+pub mod streaming;
+pub mod trace;
+pub mod workloads;
+
+pub use cluster::ClusterSpec;
+
+/// Deterministic run-to-run multiplicative noise in `[1, 1+spread]`,
+/// shared by the batch and streaming engines (splitmix-style hash).
+pub(crate) fn exec_noise(seed: u64, spread: f64) -> f64 {
+    let mut h = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    let unit = (h >> 11) as f64 / (1u64 << 53) as f64;
+    1.0 + spread * unit
+}
+
+pub use dataflow::{DataflowProgram, Operator, Stage};
+pub use exec::{simulate_batch, JobMetrics};
+pub use params::{BatchConf, StreamConf};
+pub use streaming::{simulate_streaming, StreamMetrics};
+pub use workloads::{batch_workloads, streaming_workloads, Workload, WorkloadKind};

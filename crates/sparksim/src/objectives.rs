@@ -1,0 +1,154 @@
+//! The objective catalog UDAO offers to external requests (§II-B): latency,
+//! throughput, CPU utilization, IO load, network load, and three resource
+//! cost measures — all extracted from simulator metrics and expressed in
+//! *minimization* space.
+
+use crate::exec::JobMetrics;
+use crate::streaming::StreamMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Batch objectives (minimization space).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BatchObjective {
+    /// Average job latency, seconds.
+    Latency,
+    /// CPU utilization — a maximization objective, returned negated.
+    CpuUtilization,
+    /// IO load: disk MB moved.
+    IoLoad,
+    /// Network load: shuffle MB moved.
+    NetworkLoad,
+    /// Resource cost in allocated CPU cores (cost1 of Expt 4).
+    CostCores,
+    /// Resource cost in CPU-hours (`latency × cores`).
+    CostCpuHour,
+    /// Weighted CPU-hour + IO cost (cost2 of Expt 4, serverless pricing);
+    /// rates in dollars per CPU-hour / per GB.
+    CostWeighted {
+        /// $ per CPU-hour.
+        cpu_hour_rate: f64,
+        /// $ per GB of IO.
+        io_gb_rate: f64,
+    },
+}
+
+impl BatchObjective {
+    /// Canonical cost2 rates used in the experiments.
+    pub fn cost2() -> Self {
+        BatchObjective::CostWeighted { cpu_hour_rate: 4.8e-2, io_gb_rate: 4.0e-4 }
+    }
+
+    /// Objective name for model-server keys and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchObjective::Latency => "latency",
+            BatchObjective::CpuUtilization => "cpu_utilization",
+            BatchObjective::IoLoad => "io_load",
+            BatchObjective::NetworkLoad => "network_load",
+            BatchObjective::CostCores => "cost_cores",
+            BatchObjective::CostCpuHour => "cost_cpu_hour",
+            BatchObjective::CostWeighted { .. } => "cost_weighted",
+        }
+    }
+
+    /// Extract the (minimization-space) value from job metrics.
+    pub fn extract(&self, m: &JobMetrics) -> f64 {
+        match self {
+            BatchObjective::Latency => m.latency_s,
+            BatchObjective::CpuUtilization => -m.cpu_util,
+            BatchObjective::IoLoad => m.disk_read_mb,
+            BatchObjective::NetworkLoad => m.shuffle_read_mb,
+            BatchObjective::CostCores => m.cores,
+            BatchObjective::CostCpuHour => m.cost_cpu_hour(),
+            BatchObjective::CostWeighted { cpu_hour_rate, io_gb_rate } => {
+                m.cost_weighted(*cpu_hour_rate, *io_gb_rate)
+            }
+        }
+    }
+}
+
+/// Streaming objectives (minimization space).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamObjective {
+    /// Average record latency, seconds.
+    Latency,
+    /// Throughput (records/s) — maximization, returned negated.
+    Throughput,
+    /// Resource cost in allocated CPU cores.
+    CostCores,
+}
+
+impl StreamObjective {
+    /// Objective name for model-server keys and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamObjective::Latency => "latency",
+            StreamObjective::Throughput => "throughput",
+            StreamObjective::CostCores => "cost_cores",
+        }
+    }
+
+    /// Extract the (minimization-space) value from streaming metrics.
+    pub fn extract(&self, m: &StreamMetrics) -> f64 {
+        match self {
+            StreamObjective::Latency => m.latency_s,
+            StreamObjective::Throughput => -m.throughput,
+            StreamObjective::CostCores => m.cores,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> JobMetrics {
+        JobMetrics {
+            latency_s: 100.0,
+            cores: 16.0,
+            cpu_hours: 0.4,
+            cpu_util: 0.8,
+            disk_read_mb: 2_000.0,
+            shuffle_write_mb: 500.0,
+            shuffle_read_mb: 450.0,
+            fetch_wait_s: 3.0,
+            spill_mb: 0.0,
+            num_tasks: 120,
+            executors_granted: 8,
+        }
+    }
+
+    #[test]
+    fn batch_extraction_matches_metrics() {
+        let m = metrics();
+        assert_eq!(BatchObjective::Latency.extract(&m), 100.0);
+        assert_eq!(BatchObjective::CostCores.extract(&m), 16.0);
+        assert!((BatchObjective::CostCpuHour.extract(&m) - 100.0 * 16.0 / 3600.0).abs() < 1e-12);
+        assert_eq!(BatchObjective::CpuUtilization.extract(&m), -0.8, "maximization negated");
+        assert_eq!(BatchObjective::IoLoad.extract(&m), 2_000.0);
+        assert_eq!(BatchObjective::NetworkLoad.extract(&m), 450.0);
+        assert!(BatchObjective::cost2().extract(&m) > 0.0);
+    }
+
+    #[test]
+    fn stream_extraction() {
+        let m = StreamMetrics {
+            latency_s: 2.5,
+            throughput: 1e6,
+            cores: 8.0,
+            stable: true,
+            batch_processing_s: 1.0,
+            shuffle_mb_s: 30.0,
+        };
+        assert_eq!(StreamObjective::Latency.extract(&m), 2.5);
+        assert_eq!(StreamObjective::Throughput.extract(&m), -1e6);
+        assert_eq!(StreamObjective::CostCores.extract(&m), 8.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(BatchObjective::Latency.name(), "latency");
+        assert_eq!(BatchObjective::cost2().name(), "cost_weighted");
+        assert_eq!(StreamObjective::Throughput.name(), "throughput");
+    }
+}

@@ -1,0 +1,287 @@
+//! Spark runtime parameters: the 12 batch knobs and 10 streaming knobs
+//! selected by the paper's knob-selection pipeline (Appendix C-B), with
+//! typed configuration structs and the `udao-core` parameter-space
+//! definitions that make them optimizable.
+
+use serde::{Deserialize, Serialize};
+use udao_core::space::{Configuration, ParamSpace, ParamSpec, ParamValue};
+
+/// The 12 most important batch knobs (Appendix C-B list).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchConf {
+    /// `spark.default.parallelism`.
+    pub default_parallelism: i64,
+    /// `spark.executor.instances`.
+    pub executor_instances: i64,
+    /// `spark.executor.cores`.
+    pub executor_cores: i64,
+    /// `spark.executor.memory` in GB.
+    pub executor_memory_gb: i64,
+    /// `spark.reducer.maxSizeInFlight` in MB.
+    pub reducer_max_size_in_flight_mb: i64,
+    /// `spark.shuffle.sort.bypassMergeThreshold`.
+    pub shuffle_sort_bypass_merge_threshold: i64,
+    /// `spark.shuffle.compress`.
+    pub shuffle_compress: bool,
+    /// `spark.memory.fraction`.
+    pub memory_fraction: f64,
+    /// `spark.sql.inMemoryColumnarStorage.batchSize`.
+    pub columnar_batch_size: i64,
+    /// `spark.sql.files.maxPartitionBytes` in MB.
+    pub max_partition_mb: i64,
+    /// `spark.sql.autoBroadcastJoinThreshold` in MB.
+    pub broadcast_threshold_mb: i64,
+    /// `spark.sql.shuffle.partitions`.
+    pub shuffle_partitions: i64,
+}
+
+impl BatchConf {
+    /// Spark's out-of-the-box defaults (the `x1` first-run configuration).
+    pub fn spark_default() -> Self {
+        Self {
+            default_parallelism: 32,
+            executor_instances: 4,
+            executor_cores: 1,
+            executor_memory_gb: 4,
+            reducer_max_size_in_flight_mb: 48,
+            shuffle_sort_bypass_merge_threshold: 200,
+            shuffle_compress: true,
+            memory_fraction: 0.6,
+            columnar_batch_size: 10_000,
+            max_partition_mb: 128,
+            broadcast_threshold_mb: 10,
+            shuffle_partitions: 200,
+        }
+    }
+
+    /// Total cores allocated: `executor_instances × executor_cores` —
+    /// objective 6, "resource cost in CPU cores".
+    pub fn total_cores(&self) -> i64 {
+        self.executor_instances * self.executor_cores
+    }
+
+    /// The optimizable knob space. Core ranges follow the paper's Expt 3
+    /// setting (total cores allowed in `[4, 58]`).
+    pub fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::integer("spark.default.parallelism", 8, 512),
+            ParamSpec::integer("spark.executor.instances", 2, 29),
+            ParamSpec::integer("spark.executor.cores", 1, 5),
+            ParamSpec::integer("spark.executor.memory", 1, 32),
+            ParamSpec::integer("spark.reducer.maxSizeInFlight", 8, 128),
+            ParamSpec::integer("spark.shuffle.sort.bypassMergeThreshold", 8, 800),
+            ParamSpec::boolean("spark.shuffle.compress"),
+            ParamSpec::continuous("spark.memory.fraction", 0.2, 0.9),
+            ParamSpec::integer("spark.sql.inMemoryColumnarStorage.batchSize", 1_000, 40_000),
+            ParamSpec::integer("spark.sql.files.maxPartitionBytes", 32, 512),
+            ParamSpec::integer("spark.sql.autoBroadcastJoinThreshold", 0, 100),
+            ParamSpec::integer("spark.sql.shuffle.partitions", 8, 1_000),
+        ])
+        .expect("batch knob space is valid")
+    }
+
+    /// Convert a raw `udao-core` configuration (positionally aligned with
+    /// [`BatchConf::space`]) into a typed conf.
+    pub fn from_configuration(c: &Configuration) -> Self {
+        let int = |i: usize| match c.get(i) {
+            ParamValue::Int(v) => *v,
+            other => panic!("knob {i}: expected int, got {other:?}"),
+        };
+        let flt = |i: usize| match c.get(i) {
+            ParamValue::Float(v) => *v,
+            other => panic!("knob {i}: expected float, got {other:?}"),
+        };
+        let boolean = |i: usize| match c.get(i) {
+            ParamValue::Bool(v) => *v,
+            other => panic!("knob {i}: expected bool, got {other:?}"),
+        };
+        Self {
+            default_parallelism: int(0),
+            executor_instances: int(1),
+            executor_cores: int(2),
+            executor_memory_gb: int(3),
+            reducer_max_size_in_flight_mb: int(4),
+            shuffle_sort_bypass_merge_threshold: int(5),
+            shuffle_compress: boolean(6),
+            memory_fraction: flt(7),
+            columnar_batch_size: int(8),
+            max_partition_mb: int(9),
+            broadcast_threshold_mb: int(10),
+            shuffle_partitions: int(11),
+        }
+    }
+
+    /// Convert back into a raw configuration.
+    pub fn to_configuration(&self) -> Configuration {
+        Configuration::new(vec![
+            ParamValue::Int(self.default_parallelism),
+            ParamValue::Int(self.executor_instances),
+            ParamValue::Int(self.executor_cores),
+            ParamValue::Int(self.executor_memory_gb),
+            ParamValue::Int(self.reducer_max_size_in_flight_mb),
+            ParamValue::Int(self.shuffle_sort_bypass_merge_threshold),
+            ParamValue::Bool(self.shuffle_compress),
+            ParamValue::Float(self.memory_fraction),
+            ParamValue::Int(self.columnar_batch_size),
+            ParamValue::Int(self.max_partition_mb),
+            ParamValue::Int(self.broadcast_threshold_mb),
+            ParamValue::Int(self.shuffle_partitions),
+        ])
+    }
+}
+
+/// The 10 most important streaming knobs (Appendix C-B list).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamConf {
+    /// Micro-batch interval in seconds.
+    pub batch_interval_s: f64,
+    /// `spark.streaming.blockInterval` in milliseconds.
+    pub block_interval_ms: i64,
+    /// Offered input rate, records/second.
+    pub input_rate: i64,
+    /// `spark.default.parallelism`.
+    pub default_parallelism: i64,
+    /// `spark.executor.instances`.
+    pub executor_instances: i64,
+    /// `spark.executor.cores`.
+    pub executor_cores: i64,
+    /// `spark.executor.memory` in GB.
+    pub executor_memory_gb: i64,
+    /// `spark.reducer.maxSizeInFlight` in MB.
+    pub reducer_max_size_in_flight_mb: i64,
+    /// `spark.shuffle.compress`.
+    pub shuffle_compress: bool,
+    /// `spark.memory.fraction`.
+    pub memory_fraction: f64,
+}
+
+impl StreamConf {
+    /// Spark Streaming defaults.
+    pub fn spark_default() -> Self {
+        Self {
+            batch_interval_s: 2.0,
+            block_interval_ms: 200,
+            input_rate: 200_000,
+            default_parallelism: 32,
+            executor_instances: 4,
+            executor_cores: 2,
+            executor_memory_gb: 4,
+            reducer_max_size_in_flight_mb: 48,
+            shuffle_compress: true,
+            memory_fraction: 0.6,
+        }
+    }
+
+    /// Total cores allocated.
+    pub fn total_cores(&self) -> i64 {
+        self.executor_instances * self.executor_cores
+    }
+
+    /// The optimizable knob space.
+    pub fn space() -> ParamSpace {
+        ParamSpace::new(vec![
+            ParamSpec::continuous("batchInterval", 0.5, 10.0),
+            ParamSpec::integer("spark.streaming.blockInterval", 50, 1_000),
+            ParamSpec::integer("inputRate", 50_000, 1_500_000),
+            ParamSpec::integer("spark.default.parallelism", 8, 256),
+            ParamSpec::integer("spark.executor.instances", 2, 29),
+            ParamSpec::integer("spark.executor.cores", 1, 5),
+            ParamSpec::integer("spark.executor.memory", 1, 32),
+            ParamSpec::integer("spark.reducer.maxSizeInFlight", 8, 128),
+            ParamSpec::boolean("spark.shuffle.compress"),
+            ParamSpec::continuous("spark.memory.fraction", 0.2, 0.9),
+        ])
+        .expect("streaming knob space is valid")
+    }
+
+    /// Convert a raw configuration (aligned with [`StreamConf::space`]).
+    pub fn from_configuration(c: &Configuration) -> Self {
+        let int = |i: usize| match c.get(i) {
+            ParamValue::Int(v) => *v,
+            other => panic!("knob {i}: expected int, got {other:?}"),
+        };
+        let flt = |i: usize| match c.get(i) {
+            ParamValue::Float(v) => *v,
+            other => panic!("knob {i}: expected float, got {other:?}"),
+        };
+        let boolean = |i: usize| match c.get(i) {
+            ParamValue::Bool(v) => *v,
+            other => panic!("knob {i}: expected bool, got {other:?}"),
+        };
+        Self {
+            batch_interval_s: flt(0),
+            block_interval_ms: int(1),
+            input_rate: int(2),
+            default_parallelism: int(3),
+            executor_instances: int(4),
+            executor_cores: int(5),
+            executor_memory_gb: int(6),
+            reducer_max_size_in_flight_mb: int(7),
+            shuffle_compress: boolean(8),
+            memory_fraction: flt(9),
+        }
+    }
+
+    /// Convert back into a raw configuration.
+    pub fn to_configuration(&self) -> Configuration {
+        Configuration::new(vec![
+            ParamValue::Float(self.batch_interval_s),
+            ParamValue::Int(self.block_interval_ms),
+            ParamValue::Int(self.input_rate),
+            ParamValue::Int(self.default_parallelism),
+            ParamValue::Int(self.executor_instances),
+            ParamValue::Int(self.executor_cores),
+            ParamValue::Int(self.executor_memory_gb),
+            ParamValue::Int(self.reducer_max_size_in_flight_mb),
+            ParamValue::Bool(self.shuffle_compress),
+            ParamValue::Float(self.memory_fraction),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_space_has_12_knobs() {
+        let s = BatchConf::space();
+        assert_eq!(s.len(), 12);
+        assert!(s.index_of("spark.memory.fraction").is_some());
+    }
+
+    #[test]
+    fn stream_space_has_10_knobs() {
+        let s = StreamConf::space();
+        assert_eq!(s.len(), 10);
+        assert!(s.index_of("batchInterval").is_some());
+    }
+
+    #[test]
+    fn batch_conf_round_trips_through_configuration() {
+        let conf = BatchConf::spark_default();
+        let c = conf.to_configuration();
+        let back = BatchConf::from_configuration(&c);
+        assert_eq!(conf, back);
+        // And through the encoded space too.
+        let space = BatchConf::space();
+        let x = space.encode(&c).unwrap();
+        let decoded = space.decode(&x).unwrap();
+        assert_eq!(BatchConf::from_configuration(&decoded), conf);
+    }
+
+    #[test]
+    fn stream_conf_round_trips_through_configuration() {
+        let conf = StreamConf::spark_default();
+        let back = StreamConf::from_configuration(&conf.to_configuration());
+        assert_eq!(conf, back);
+    }
+
+    #[test]
+    fn total_cores_matches_expt3_range() {
+        // The space allows total cores in roughly [2, 145]; the experiments
+        // constrain to [4, 58] via objective bounds, not knob bounds.
+        let d = BatchConf::spark_default();
+        assert_eq!(d.total_cores(), 4);
+    }
+}

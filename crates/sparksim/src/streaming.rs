@@ -1,0 +1,225 @@
+//! Micro-batch streaming execution (Spark Streaming model).
+//!
+//! Each batch interval accumulates `input_rate × interval` records, which
+//! are processed as a small job over the executor slots. The defining
+//! dynamic is *stability*: while per-batch processing time stays below the
+//! batch interval, end-to-end latency ≈ interval + processing time; once
+//! processing falls behind, batches queue up and latency grows with the
+//! simulation horizon — exactly the latency/throughput cliff the paper's
+//! serverless use case must avoid.
+
+use crate::cluster::ClusterSpec;
+use crate::params::StreamConf;
+use serde::{Deserialize, Serialize};
+
+/// A streaming query shape: per-record costs of its operator pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamQuery {
+    /// CPU microseconds per record on a reference core.
+    pub cpu_us_per_record: f64,
+    /// Bytes per record entering the shuffle stage.
+    pub shuffle_bytes_per_record: f64,
+    /// State working set in MB per 100k records/s of input (windowing).
+    pub state_mb_per_100k: f64,
+    /// Whether the pipeline contains a UDF / ML scoring step.
+    pub has_udf: bool,
+}
+
+/// Observed metrics of one simulated streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamMetrics {
+    /// Average end-to-end record latency, seconds.
+    pub latency_s: f64,
+    /// Sustained throughput, records/second.
+    pub throughput: f64,
+    /// Allocated cores.
+    pub cores: f64,
+    /// Whether the configuration is stable (processing keeps up).
+    pub stable: bool,
+    /// Average per-batch processing time, seconds.
+    pub batch_processing_s: f64,
+    /// Shuffle MB moved per second.
+    pub shuffle_mb_s: f64,
+}
+
+/// Simulate `horizon_batches` micro-batches of `query` under `conf`.
+pub fn simulate_streaming(
+    query: &StreamQuery,
+    conf: &StreamConf,
+    cluster: &ClusterSpec,
+    seed: u64,
+) -> StreamMetrics {
+    let horizon_batches = 50usize;
+    let interval = conf.batch_interval_s.max(0.1);
+    let rate = conf.input_rate.max(1) as f64;
+    let records_per_batch = rate * interval;
+
+    // Resource grant (same capacity model as batch).
+    let cores_per_exec = conf.executor_cores.max(1) as usize;
+    let execs = (conf.executor_instances.max(1) as usize)
+        .min((cluster.total_cores() / cores_per_exec).max(1))
+        .min(((cluster.total_mem_gb() * 0.9) / conf.executor_memory_gb.max(1) as f64) as usize)
+        .max(1);
+    let slots = (execs * cores_per_exec).max(1);
+
+    // Partitioning: receivers emit one block per blockInterval; tasks per
+    // batch = interval / blockInterval, further repartitioned by the
+    // parallelism knob for the shuffle stage.
+    let blocks = ((interval * 1000.0) / conf.block_interval_ms.max(10) as f64).ceil().max(1.0);
+    let map_tasks = blocks as usize;
+    let reduce_tasks = conf.default_parallelism.max(1) as usize;
+
+    // Per-record CPU, inflated by UDF presence.
+    let mut cpu_us = query.cpu_us_per_record * if query.has_udf { 1.6 } else { 1.0 };
+    if conf.shuffle_compress {
+        cpu_us *= 1.12; // compression CPU
+    }
+
+    // Memory pressure: streaming state + per-batch working set vs the
+    // execution region.
+    let task_mem_mb = conf.executor_memory_gb.max(1) as f64 * 1024.0
+        * conf.memory_fraction.clamp(0.05, 0.95)
+        / cores_per_exec as f64;
+    let state_mb = query.state_mb_per_100k * rate / 100_000.0;
+    let batch_mb = records_per_batch * query.shuffle_bytes_per_record / 1e6;
+    let working_per_task = (state_mb + batch_mb) / slots as f64;
+    let pressure = (working_per_task / task_mem_mb.max(1.0)).max(0.0);
+    let spill_factor = if pressure > 1.0 { 1.0 + 0.8 * (pressure - 1.0).min(3.0) } else { 1.0 };
+
+    // Shuffle volume and fetch time per batch.
+    let mut shuffle_mb = batch_mb;
+    if conf.shuffle_compress {
+        shuffle_mb /= 3.0;
+    }
+    let inflight = conf.reducer_max_size_in_flight_mb.max(1) as f64;
+    let inflight_factor = 1.0 + 0.5 * ((48.0 / inflight) - 1.0).clamp(0.0, 2.0);
+    let fetch_s = shuffle_mb / cluster.net_mb_s * inflight_factor;
+
+    // Per-batch processing time: map waves + reduce waves + fixed overhead.
+    let overhead_per_task_s = 0.045;
+    let cpu_s_total = records_per_batch * cpu_us / 1e6 * spill_factor;
+    let map_waves = map_tasks.div_ceil(slots) as f64;
+    let reduce_waves = reduce_tasks.div_ceil(slots) as f64;
+    let map_s = cpu_s_total * 0.6 / slots as f64 * map_waves.max(1.0)
+        + overhead_per_task_s * map_waves;
+    let reduce_s = cpu_s_total * 0.4 / slots as f64 * reduce_waves.max(1.0)
+        + overhead_per_task_s * reduce_waves
+        + fetch_s;
+    let skew = crate::exec_noise(seed, 0.08);
+    let processing = (map_s + reduce_s + 0.05) * skew;
+
+    // Backlog dynamics over the horizon.
+    let mut backlog = 0.0f64; // seconds of queued work
+    let mut latency_sum = 0.0;
+    for _ in 0..horizon_batches {
+        backlog = (backlog + processing - interval).max(0.0);
+        // A record waits on average interval/2 to enter the batch, then the
+        // backlog, then its batch's processing time.
+        latency_sum += interval / 2.0 + backlog + processing;
+    }
+    let stable = processing <= interval;
+    let latency = latency_sum / horizon_batches as f64;
+    let throughput = if stable { rate } else { rate * (interval / processing) };
+
+    StreamMetrics {
+        latency_s: latency,
+        throughput,
+        cores: slots as f64,
+        stable,
+        batch_processing_s: processing,
+        shuffle_mb_s: shuffle_mb / interval,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query() -> StreamQuery {
+        StreamQuery {
+            cpu_us_per_record: 18.0,
+            shuffle_bytes_per_record: 120.0,
+            state_mb_per_100k: 80.0,
+            has_udf: true,
+        }
+    }
+
+    fn base_conf() -> StreamConf {
+        StreamConf {
+            executor_instances: 8,
+            executor_cores: 2,
+            executor_memory_gb: 8,
+            input_rate: 200_000,
+            ..StreamConf::spark_default()
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(
+            simulate_streaming(&query(), &base_conf(), &c, 3),
+            simulate_streaming(&query(), &base_conf(), &c, 3)
+        );
+    }
+
+    #[test]
+    fn stable_configs_hold_input_rate() {
+        let c = ClusterSpec::paper_cluster();
+        let m = simulate_streaming(&query(), &base_conf(), &c, 1);
+        assert!(m.stable, "processing {} vs interval {}", m.batch_processing_s, 2.0);
+        assert!((m.throughput - 200_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn overload_degrades_latency_and_throughput() {
+        let c = ClusterSpec::paper_cluster();
+        let overloaded = StreamConf {
+            input_rate: 1_500_000,
+            executor_instances: 2,
+            executor_cores: 1,
+            ..base_conf()
+        };
+        let m = simulate_streaming(&query(), &overloaded, &c, 1);
+        assert!(!m.stable);
+        assert!(m.throughput < 1_500_000.0);
+        let ok = simulate_streaming(&query(), &base_conf(), &c, 1);
+        assert!(m.latency_s > ok.latency_s * 3.0, "{} vs {}", m.latency_s, ok.latency_s);
+    }
+
+    #[test]
+    fn more_cores_raise_sustainable_throughput() {
+        let c = ClusterSpec::paper_cluster();
+        let tput = |execs: i64| {
+            let conf = StreamConf {
+                executor_instances: execs,
+                input_rate: 1_200_000,
+                ..base_conf()
+            };
+            simulate_streaming(&query(), &conf, &c, 1).throughput
+        };
+        assert!(tput(24) > tput(2), "{} vs {}", tput(24), tput(2));
+    }
+
+    #[test]
+    fn longer_batch_interval_raises_latency_when_stable() {
+        let c = ClusterSpec::paper_cluster();
+        let lat = |interval: f64| {
+            let conf = StreamConf { batch_interval_s: interval, input_rate: 100_000, ..base_conf() };
+            simulate_streaming(&query(), &conf, &c, 1)
+        };
+        let short = lat(1.0);
+        let long = lat(8.0);
+        assert!(short.stable && long.stable);
+        assert!(long.latency_s > short.latency_s);
+    }
+
+    #[test]
+    fn compression_reduces_shuffle_rate() {
+        let c = ClusterSpec::paper_cluster();
+        let on = simulate_streaming(&query(), &StreamConf { shuffle_compress: true, ..base_conf() }, &c, 1);
+        let off =
+            simulate_streaming(&query(), &StreamConf { shuffle_compress: false, ..base_conf() }, &c, 1);
+        assert!(on.shuffle_mb_s < off.shuffle_mb_s / 2.0);
+    }
+}

@@ -1,0 +1,308 @@
+//! Benchmark workloads: a TPCx-BB-style batch suite (30 templates — 14 SQL,
+//! 11 SQL+UDF, 5 ML — parameterized into 258 workloads, 58 offline + 200
+//! online) and a click-stream streaming suite (6 templates — 5 SQL+UDF,
+//! 1 ML — parameterized into 63 workloads), matching the populations used
+//! in §VI.
+//!
+//! Template plans are generated deterministically from the template id, so
+//! the whole benchmark is reproducible without shipping data.
+
+use crate::dataflow::{DataflowProgram, Operator, Stage};
+use crate::streaming::StreamQuery;
+use serde::{Deserialize, Serialize};
+
+/// Task class of a template.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Pure SQL query.
+    Sql,
+    /// SQL mixed with UDFs (script transformations).
+    SqlUdf,
+    /// Machine-learning task.
+    Ml,
+    /// Streaming query.
+    Streaming,
+}
+
+/// The executable payload of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadPayload {
+    /// A batch dataflow program.
+    Batch(DataflowProgram),
+    /// A streaming query shape.
+    Stream(StreamQuery),
+}
+
+/// One concrete workload: a parameterized instance of a template.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Stable identifier, e.g. `"q2-v3"`.
+    pub id: String,
+    /// Template number (1-based, matching TPCx-BB query numbers).
+    pub template: usize,
+    /// Variant number within the template.
+    pub variant: usize,
+    /// Task class.
+    pub kind: WorkloadKind,
+    /// Simulation seed (drives skew noise).
+    pub seed: u64,
+    /// Whether the model server may sample this workload intensively
+    /// (offline) or only observe user-invoked runs (online) — §V.1.
+    pub offline: bool,
+    /// The program / query to execute.
+    pub payload: WorkloadPayload,
+}
+
+/// TPCx-BB ML template numbers (clustering/classification tasks).
+const ML_TEMPLATES: [usize; 5] = [5, 20, 25, 26, 28];
+/// TPCx-BB SQL+UDF template numbers (Q2 among them, as in Fig. 1(b)).
+const UDF_TEMPLATES: [usize; 11] = [2, 4, 10, 11, 16, 18, 19, 22, 23, 24, 27];
+
+fn batch_kind(template: usize) -> WorkloadKind {
+    if ML_TEMPLATES.contains(&template) {
+        WorkloadKind::Ml
+    } else if UDF_TEMPLATES.contains(&template) {
+        WorkloadKind::SqlUdf
+    } else {
+        WorkloadKind::Sql
+    }
+}
+
+/// Splitmix-style deterministic hash used for template plan generation.
+fn mix(seed: u64) -> u64 {
+    let mut h = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+fn unit(seed: u64) -> f64 {
+    (mix(seed) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Generate the dataflow plan of one batch template at the given scale
+/// multiplier. Template 2 always yields the canonical Q2 plan of Fig. 1(b).
+pub fn batch_template_plan(template: usize, scale_mult: f64) -> DataflowProgram {
+    // Base scan size spreads templates across two orders of magnitude of
+    // latency, as the paper notes for TPCx-BB.
+    let h = template as u64 * 1000 + 7;
+    let base_mb = 300.0 * (1.0 + 60.0 * unit(h)) * scale_mult;
+    if template == 2 {
+        return DataflowProgram::tpcxbb_q2(base_mb);
+    }
+    let kind = batch_kind(template);
+    let n_shuffles = 1 + (mix(h + 1) % 3) as usize; // 1..=3 shuffle stages
+    let mut stages =
+        vec![Stage::scan(base_mb, vec![Operator::HiveTableScan, Operator::Filter, Operator::Project], 0.3 + 0.4 * unit(h + 2))];
+    // Some templates join against a dimension table scanned separately.
+    let has_join = mix(h + 3) % 2 == 0;
+    if has_join {
+        let dim_mb = base_mb * (0.002 + 0.2 * unit(h + 4));
+        stages.push(Stage::scan(dim_mb, vec![Operator::HiveTableScan, Operator::Project], 0.8));
+    }
+    let mut prev = 0usize;
+    for s in 0..n_shuffles {
+        let upstream_out = stages[prev].input_mb * stages[prev].selectivity;
+        let mut ops = vec![Operator::Exchange];
+        if s == 0 && has_join {
+            ops.push(Operator::Join);
+        }
+        match kind {
+            WorkloadKind::SqlUdf if s == 0 => ops.push(Operator::ScriptTransformation),
+            WorkloadKind::Ml if s + 1 == n_shuffles => ops.push(Operator::MlTrain),
+            _ => {
+                if mix(h + 10 + s as u64) % 2 == 0 {
+                    ops.push(Operator::Sort);
+                }
+                ops.push(Operator::HashAggregate);
+            }
+        }
+        let mut deps = vec![prev];
+        if s == 0 && has_join {
+            deps.push(stages.len() - 1);
+        }
+        let mut stage =
+            Stage::shuffle(deps, upstream_out, ops, 0.1 + 0.5 * unit(h + 20 + s as u64));
+        if s == 0 && has_join {
+            let dim = &stages[1];
+            stage = stage.with_build_side(dim.input_mb * dim.selectivity);
+        }
+        if kind == WorkloadKind::Ml && s + 1 == n_shuffles {
+            stage = stage.with_iterations(4 + (mix(h + 30) % 8) as usize);
+        }
+        prev = stages.len();
+        stages.push(stage);
+    }
+    // Final collect.
+    let out = stages[prev].input_mb * stages[prev].selectivity;
+    stages.push(Stage::shuffle(vec![prev], out, vec![Operator::HashAggregate, Operator::Limit], 0.01));
+    DataflowProgram::new(stages)
+}
+
+/// Generate one streaming template's query shape.
+pub fn streaming_template_query(template: usize) -> StreamQuery {
+    let h = template as u64 * 7717 + 13;
+    let ml = template == 6; // 5 SQL+UDF templates + 1 ML template
+    StreamQuery {
+        cpu_us_per_record: if ml { 40.0 + 25.0 * unit(h) } else { 10.0 + 18.0 * unit(h) },
+        shuffle_bytes_per_record: 60.0 + 160.0 * unit(h + 1),
+        state_mb_per_100k: 40.0 + 120.0 * unit(h + 2),
+        has_udf: !ml,
+    }
+}
+
+/// The full 258-workload batch population: templates 1..=30 with 8–9
+/// variants each; variant 0 of every template plus variant 1 of the first
+/// 28 templates form the 58 offline workloads.
+pub fn batch_workloads() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(258);
+    for template in 1..=30usize {
+        let variants = if template <= 18 { 9 } else { 8 };
+        for variant in 0..variants {
+            // Variants scale the data by ×0.5 … ×3 around the template base.
+            let scale = 0.5 * 1.25f64.powi(variant as i32);
+            let offline = variant == 0 || (variant == 1 && template <= 28);
+            out.push(Workload {
+                id: format!("q{template}-v{variant}"),
+                template,
+                variant,
+                kind: batch_kind(template),
+                seed: (template as u64) << 16 | variant as u64,
+                offline,
+                payload: WorkloadPayload::Batch(batch_template_plan(template, scale)),
+            });
+        }
+    }
+    out
+}
+
+/// The 63-workload streaming population: 6 templates, 10–11 variants each
+/// (variants vary the arrival intensity the query was authored for).
+pub fn streaming_workloads() -> Vec<Workload> {
+    let mut out = Vec::with_capacity(63);
+    for template in 1..=6usize {
+        let variants = if template <= 3 { 11 } else { 10 };
+        for variant in 0..variants {
+            let mut query = streaming_template_query(template);
+            // Variants shift the per-record cost (different UDF mixes).
+            query.cpu_us_per_record *= 0.7 + 0.12 * variant as f64;
+            out.push(Workload {
+                id: format!("s{template}-v{variant}"),
+                template,
+                variant,
+                kind: if template == 6 { WorkloadKind::Ml } else { WorkloadKind::Streaming },
+                seed: 0xABCD + ((template as u64) << 8 | variant as u64),
+                offline: variant < 2,
+                payload: WorkloadPayload::Stream(query),
+            });
+        }
+    }
+    out
+}
+
+impl Workload {
+    /// The batch program, if this is a batch workload.
+    pub fn batch_program(&self) -> Option<&DataflowProgram> {
+        match &self.payload {
+            WorkloadPayload::Batch(p) => Some(p),
+            WorkloadPayload::Stream(_) => None,
+        }
+    }
+
+    /// The streaming query, if this is a streaming workload.
+    pub fn stream_query(&self) -> Option<&StreamQuery> {
+        match &self.payload {
+            WorkloadPayload::Stream(q) => Some(q),
+            WorkloadPayload::Batch(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_population_matches_paper_counts() {
+        let w = batch_workloads();
+        assert_eq!(w.len(), 258);
+        assert_eq!(w.iter().filter(|w| w.offline).count(), 58);
+        assert_eq!(w.iter().filter(|w| !w.offline).count(), 200);
+    }
+
+    #[test]
+    fn template_kind_counts_match_tpcxbb() {
+        let sql = (1..=30).filter(|&t| batch_kind(t) == WorkloadKind::Sql).count();
+        let udf = (1..=30).filter(|&t| batch_kind(t) == WorkloadKind::SqlUdf).count();
+        let ml = (1..=30).filter(|&t| batch_kind(t) == WorkloadKind::Ml).count();
+        assert_eq!((sql, udf, ml), (14, 11, 5));
+    }
+
+    #[test]
+    fn streaming_population_matches_paper_counts() {
+        let w = streaming_workloads();
+        assert_eq!(w.len(), 63);
+        assert_eq!(w.iter().filter(|w| w.kind == WorkloadKind::Ml).count(), 10);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(batch_workloads(), batch_workloads());
+        assert_eq!(streaming_workloads(), streaming_workloads());
+    }
+
+    #[test]
+    fn template_2_is_the_q2_plan() {
+        let plan = batch_template_plan(2, 1.0);
+        assert_eq!(plan.stages.len(), 3);
+        assert!(plan.stages[1].has_udf());
+    }
+
+    #[test]
+    fn ml_templates_carry_ml_stages() {
+        for &t in &ML_TEMPLATES {
+            let plan = batch_template_plan(t, 1.0);
+            assert!(plan.has_ml(), "template {t} should train a model");
+        }
+    }
+
+    #[test]
+    fn udf_templates_carry_udf_stages() {
+        for &t in &UDF_TEMPLATES {
+            let plan = batch_template_plan(t, 1.0);
+            assert!(
+                plan.stages.iter().any(|s| s.has_udf()),
+                "template {t} should run a script transformation"
+            );
+        }
+    }
+
+    #[test]
+    fn variants_scale_the_data() {
+        let w = batch_workloads();
+        let v0 = w.iter().find(|w| w.id == "q7-v0").unwrap();
+        let v5 = w.iter().find(|w| w.id == "q7-v5").unwrap();
+        let in0 = v0.batch_program().unwrap().total_input_mb();
+        let in5 = v5.batch_program().unwrap().total_input_mb();
+        assert!(in5 > 2.0 * in0, "{in5} vs {in0}");
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut ids: Vec<&str> = Vec::new();
+        for w in batch_workloads() {
+            assert!(!ids.contains(&w.id.as_str()));
+            ids.push(Box::leak(w.id.clone().into_boxed_str()));
+        }
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let b = &batch_workloads()[0];
+        assert!(b.batch_program().is_some());
+        assert!(b.stream_query().is_none());
+        let s = &streaming_workloads()[0];
+        assert!(s.stream_query().is_some());
+        assert!(s.batch_program().is_none());
+    }
+}

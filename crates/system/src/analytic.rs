@@ -1,0 +1,116 @@
+//! Analytic objective models for cost measures that are *certain* given the
+//! configuration (Expt 4: "cost1 in #cores, which is certain") — no
+//! learning needed, and exact gradients for MOGD.
+
+use udao_core::ObjectiveModel;
+use udao_sparksim::{BatchConf, StreamConf};
+
+/// `cost1 = executor.instances × executor.cores` over the encoded batch
+/// knob space. Works on the *relaxed* (continuous) encoding, so MOGD can
+/// differentiate through it; decoding rounds to the true integer cost.
+#[derive(Debug, Clone, Default)]
+pub struct BatchCostCoresModel;
+
+/// Encoded-dimension indices of the relevant batch knobs (positionally
+/// fixed by [`BatchConf::space`], whose knobs are all width-1).
+const B_EXECUTORS: usize = 1;
+const B_CORES: usize = 2;
+/// Knob ranges, mirroring [`BatchConf::space`].
+const B_EXEC_RANGE: (f64, f64) = (2.0, 29.0);
+const B_CORE_RANGE: (f64, f64) = (1.0, 5.0);
+
+impl ObjectiveModel for BatchCostCoresModel {
+    fn dim(&self) -> usize {
+        BatchConf::space().encoded_dim()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let e = B_EXEC_RANGE.0 + x[B_EXECUTORS].clamp(0.0, 1.0) * (B_EXEC_RANGE.1 - B_EXEC_RANGE.0);
+        let c = B_CORE_RANGE.0 + x[B_CORES].clamp(0.0, 1.0) * (B_CORE_RANGE.1 - B_CORE_RANGE.0);
+        e * c
+    }
+
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        for g in out.iter_mut() {
+            *g = 0.0;
+        }
+        let e = B_EXEC_RANGE.0 + x[B_EXECUTORS].clamp(0.0, 1.0) * (B_EXEC_RANGE.1 - B_EXEC_RANGE.0);
+        let c = B_CORE_RANGE.0 + x[B_CORES].clamp(0.0, 1.0) * (B_CORE_RANGE.1 - B_CORE_RANGE.0);
+        out[B_EXECUTORS] = c * (B_EXEC_RANGE.1 - B_EXEC_RANGE.0);
+        out[B_CORES] = e * (B_CORE_RANGE.1 - B_CORE_RANGE.0);
+    }
+}
+
+/// `cost = executor.instances × executor.cores` over the encoded streaming
+/// knob space.
+#[derive(Debug, Clone, Default)]
+pub struct StreamCostCoresModel;
+
+const S_EXECUTORS: usize = 4;
+const S_CORES: usize = 5;
+const S_EXEC_RANGE: (f64, f64) = (2.0, 29.0);
+const S_CORE_RANGE: (f64, f64) = (1.0, 5.0);
+
+impl ObjectiveModel for StreamCostCoresModel {
+    fn dim(&self) -> usize {
+        StreamConf::space().encoded_dim()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let e = S_EXEC_RANGE.0 + x[S_EXECUTORS].clamp(0.0, 1.0) * (S_EXEC_RANGE.1 - S_EXEC_RANGE.0);
+        let c = S_CORE_RANGE.0 + x[S_CORES].clamp(0.0, 1.0) * (S_CORE_RANGE.1 - S_CORE_RANGE.0);
+        e * c
+    }
+
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        for g in out.iter_mut() {
+            *g = 0.0;
+        }
+        let e = S_EXEC_RANGE.0 + x[S_EXECUTORS].clamp(0.0, 1.0) * (S_EXEC_RANGE.1 - S_EXEC_RANGE.0);
+        let c = S_CORE_RANGE.0 + x[S_CORES].clamp(0.0, 1.0) * (S_CORE_RANGE.1 - S_CORE_RANGE.0);
+        out[S_EXECUTORS] = c * (S_EXEC_RANGE.1 - S_EXEC_RANGE.0);
+        out[S_CORES] = e * (S_CORE_RANGE.1 - S_CORE_RANGE.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_sparksim::BatchConf;
+
+    #[test]
+    fn batch_cost_matches_decoded_configuration() {
+        let space = BatchConf::space();
+        let conf = BatchConf { executor_instances: 10, executor_cores: 3, ..BatchConf::spark_default() };
+        let x = space.encode(&conf.to_configuration()).unwrap();
+        let m = BatchCostCoresModel;
+        assert!((m.predict(&x) - 30.0).abs() < 1e-9);
+        assert_eq!(m.dim(), space.encoded_dim());
+    }
+
+    #[test]
+    fn batch_cost_gradient_matches_fd() {
+        let m = BatchCostCoresModel;
+        let x = vec![0.5; m.dim()];
+        let mut g = vec![0.0; m.dim()];
+        m.gradient(&x, &mut g);
+        let h = 1e-6;
+        for d in [B_EXECUTORS, B_CORES, 0, 7] {
+            let mut xp = x.clone();
+            xp[d] += h;
+            let mut xm = x.clone();
+            xm[d] -= h;
+            let fd = (m.predict(&xp) - m.predict(&xm)) / (2.0 * h);
+            assert!((g[d] - fd).abs() < 1e-5, "dim {d}: {} vs {fd}", g[d]);
+        }
+    }
+
+    #[test]
+    fn stream_cost_matches_decoded_configuration() {
+        use udao_sparksim::StreamConf;
+        let space = StreamConf::space();
+        let conf = StreamConf { executor_instances: 8, executor_cores: 4, ..StreamConf::spark_default() };
+        let x = space.encode(&conf.to_configuration()).unwrap();
+        assert!((StreamCostCoresModel.predict(&x) - 32.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,241 @@
+//! `udao-cli` — command-line front end for the UDAO optimizer.
+//!
+//! ```text
+//! udao-cli workloads [--streaming]
+//!     list the benchmark workloads
+//! udao-cli recommend --workload <id> [--objectives latency,cost_cores]
+//!     [--weights 0.5,0.5] [--constraint cost_cores=4:58]
+//!     [--family gp|dnn] [--traces 80] [--points 12] [--json]
+//!     train models from simulator traces and recommend a configuration
+//! udao-cli measure --workload <id> [--json]
+//!     run the Spark default configuration on the simulated cluster
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use udao::{BatchRequest, ModelFamily, Udao};
+use udao_sparksim::objectives::BatchObjective;
+use udao_sparksim::{batch_workloads, streaming_workloads, BatchConf, ClusterSpec};
+
+/// Parse `--key value` flags (and bare subcommand words) from argv.
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut words = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), "true".to_string());
+                i += 1;
+            }
+        } else {
+            words.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (words, flags)
+}
+
+/// Parse an objective name into the batch catalog.
+fn parse_objective(name: &str) -> Option<BatchObjective> {
+    match name {
+        "latency" => Some(BatchObjective::Latency),
+        "cost_cores" => Some(BatchObjective::CostCores),
+        "cost_cpu_hour" => Some(BatchObjective::CostCpuHour),
+        "cost_weighted" | "cost2" => Some(BatchObjective::cost2()),
+        "cpu_utilization" => Some(BatchObjective::CpuUtilization),
+        "io_load" => Some(BatchObjective::IoLoad),
+        "network_load" => Some(BatchObjective::NetworkLoad),
+        _ => None,
+    }
+}
+
+/// Parse `name=lo:hi` constraint syntax.
+fn parse_constraint(s: &str) -> Option<(String, f64, f64)> {
+    let (name, range) = s.split_once('=')?;
+    let (lo, hi) = range.split_once(':')?;
+    Some((name.to_string(), lo.parse().ok()?, hi.parse().ok()?))
+}
+
+fn cmd_workloads(flags: &HashMap<String, String>) -> ExitCode {
+    if flags.contains_key("streaming") {
+        println!("{:<10} {:>8} {:>8} {:>8}", "id", "template", "variant", "offline");
+        for w in streaming_workloads() {
+            println!("{:<10} {:>8} {:>8} {:>8}", w.id, w.template, w.variant, w.offline);
+        }
+    } else {
+        println!("{:<10} {:>8} {:>8} {:>8}  kind", "id", "template", "variant", "offline");
+        for w in batch_workloads() {
+            println!(
+                "{:<10} {:>8} {:>8} {:>8}  {:?}",
+                w.id, w.template, w.variant, w.offline, w.kind
+            );
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(id) = flags.get("workload") else {
+        eprintln!("recommend requires --workload <id> (see `udao-cli workloads`)");
+        return ExitCode::FAILURE;
+    };
+    let workloads = batch_workloads();
+    let Some(w) = workloads.iter().find(|w| &w.id == id) else {
+        eprintln!("unknown workload {id}");
+        return ExitCode::FAILURE;
+    };
+    let family = match flags.get("family").map(String::as_str) {
+        Some("dnn") => ModelFamily::Dnn,
+        _ => ModelFamily::Gp,
+    };
+    let traces: usize = flags.get("traces").and_then(|v| v.parse().ok()).unwrap_or(80);
+    let points: usize = flags.get("points").and_then(|v| v.parse().ok()).unwrap_or(12);
+
+    let objective_names = flags
+        .get("objectives")
+        .map(String::as_str)
+        .unwrap_or("latency,cost_cores");
+    let mut objectives = Vec::new();
+    for name in objective_names.split(',') {
+        match parse_objective(name.trim()) {
+            Some(o) => objectives.push(o),
+            None => {
+                eprintln!("unknown objective {name}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let weights: Option<Vec<f64>> = flags
+        .get("weights")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect());
+    let constraint = flags.get("constraint").and_then(|s| parse_constraint(s));
+
+    let udao = Udao::new(ClusterSpec::paper_cluster());
+    eprintln!("training {family:?} models for {id} from {traces} traces ...");
+    udao.train_batch(w, traces, family, &objectives);
+
+    let mut req = BatchRequest::new(id.clone()).points(points);
+    for o in &objectives {
+        match &constraint {
+            Some((name, lo, hi)) if name == o.name() => {
+                req = req.objective_bounded(*o, *lo, *hi);
+            }
+            _ => req = req.objective(*o),
+        }
+    }
+    if let Some(wts) = weights {
+        req = req.weights(wts);
+    }
+    match udao.recommend_batch(&req) {
+        Ok(rec) => {
+            let conf = rec.batch_conf.as_ref().expect("batch conf");
+            if flags.contains_key("json") {
+                println!(
+                    "{}",
+                    serde_json::json!({
+                        "workload": id,
+                        "configuration": conf,
+                        "predicted": rec.predicted,
+                        "frontier_size": rec.frontier.len(),
+                        "probes": rec.probes,
+                        "moo_seconds": rec.moo_seconds,
+                    })
+                );
+            } else {
+                println!("recommended configuration for {id}:");
+                println!("{}", BatchConf::space().render(&rec.configuration));
+                println!(
+                    "predicted objectives ({}): {:?}",
+                    objective_names, rec.predicted
+                );
+                println!(
+                    "frontier {} points / {} probes / {:.2}s MOO",
+                    rec.frontier.len(),
+                    rec.probes,
+                    rec.moo_seconds
+                );
+                let m = udao.measure_batch(w, conf, 0);
+                println!(
+                    "measured on the simulated cluster: latency {:.1}s, {:.0} cores, {:.4} CPU-h",
+                    m.latency_s, m.cores, m.cost_cpu_hour()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("recommendation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
+    let Some(id) = flags.get("workload") else {
+        eprintln!("measure requires --workload <id>");
+        return ExitCode::FAILURE;
+    };
+    let workloads = batch_workloads();
+    let Some(w) = workloads.iter().find(|w| &w.id == id) else {
+        eprintln!("unknown workload {id}");
+        return ExitCode::FAILURE;
+    };
+    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let conf = BatchConf::spark_default();
+    let m = udao.measure_batch(w, &conf, 0);
+    if flags.contains_key("json") {
+        println!("{}", serde_json::to_string_pretty(&m).expect("metrics serialize"));
+    } else {
+        println!(
+            "{id} under the Spark default configuration: latency {:.1}s, {:.0} cores, \
+             {:.4} CPU-h, {:.0} MB shuffled",
+            m.latency_s, m.cores, m.cost_cpu_hour(), m.shuffle_read_mb
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (words, flags) = parse_flags(&args);
+    match words.first().map(String::as_str) {
+        Some("workloads") => cmd_workloads(&flags),
+        Some("recommend") => cmd_recommend(&flags),
+        Some("measure") => cmd_measure(&flags),
+        _ => {
+            eprintln!("usage: udao-cli <workloads|recommend|measure> [flags]");
+            eprintln!("see the crate docs for flag details");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["recommend", "--workload", "q2-v0", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (words, flags) = parse_flags(&args);
+        assert_eq!(words, vec!["recommend"]);
+        assert_eq!(flags.get("workload").map(String::as_str), Some("q2-v0"));
+        assert_eq!(flags.get("json").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn objective_and_constraint_parsing() {
+        assert!(parse_objective("latency").is_some());
+        assert!(parse_objective("cost2").is_some());
+        assert!(parse_objective("nope").is_none());
+        let (name, lo, hi) = parse_constraint("cost_cores=4:58").unwrap();
+        assert_eq!((name.as_str(), lo, hi), ("cost_cores", 4.0, 58.0));
+        assert!(parse_constraint("garbage").is_none());
+    }
+}

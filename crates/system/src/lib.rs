@@ -1,0 +1,42 @@
+//! # udao — the Spark-based Unified Data Analytics Optimizer
+//!
+//! The end-to-end system of the paper (Fig. 1(a)): user or provider
+//! requests carry a dataflow program and a set of objectives (optionally
+//! with value constraints and preference weights); UDAO retrieves the
+//! task's predictive models from the model server, computes a
+//! Pareto-optimal set of configurations with the Progressive Frontier
+//! algorithms, and recommends the configuration that best explores the
+//! trade-offs.
+//!
+//! ```no_run
+//! use udao::{ModelFamily, Udao};
+//! use udao_sparksim::objectives::BatchObjective;
+//! use udao_sparksim::{batch_workloads, ClusterSpec};
+//!
+//! let udao = Udao::new(ClusterSpec::paper_cluster());
+//! let workloads = batch_workloads();
+//! let q2 = workloads.iter().find(|w| w.id == "q2-v0").unwrap();
+//!
+//! // Offline: the model server learns latency/cost models from traces.
+//! udao.train_batch(q2, 80, ModelFamily::Gp, &[BatchObjective::Latency]);
+//!
+//! // Online: a request with two objectives and a preference vector.
+//! let request = udao::BatchRequest::new(q2.id.clone())
+//!     .objective(BatchObjective::Latency)
+//!     .objective(BatchObjective::CostCores)
+//!     .weights(vec![0.9, 0.1]);
+//! let rec = udao.recommend_batch(&request).unwrap();
+//! println!("run Q2 with {:?}", rec.batch_conf);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod optimizer;
+pub mod pipeline;
+pub mod request;
+
+pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
+pub use optimizer::{ModelFamily, Recommendation, Udao};
+pub use pipeline::{PipelineRecommendation, PipelineRequest};
+pub use request::{BatchRequest, StreamRequest};

@@ -1,0 +1,630 @@
+//! The UDAO optimizer façade: model retrieval → Progressive Frontier →
+//! configuration recommendation (Fig. 1(a), modules 1–3).
+
+use crate::analytic::{BatchCostCoresModel, StreamCostCoresModel};
+use crate::request::{BatchRequest, StreamRequest};
+use std::sync::Arc;
+use std::time::Instant;
+use udao_core::objective::ObjectiveModel;
+use udao_core::pareto::ParetoPoint;
+use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+use udao_core::recommend::{recommend, Strategy};
+use udao_core::solver::Bound;
+use udao_core::space::Configuration;
+use udao_core::{Error, MooProblem, Result};
+use udao_model::dataset::Dataset;
+use udao_model::server::{ModelKey, ModelKind, ModelServer};
+use udao_model::{GpConfig, MlpConfig};
+use udao_sparksim::objectives::{BatchObjective, StreamObjective};
+use udao_sparksim::trace::{
+    batch_training_data, collect_batch_traces, collect_stream_traces, stream_training_data,
+    SamplingStrategy,
+};
+use udao_sparksim::{
+    simulate_batch, simulate_streaming, BatchConf, ClusterSpec, JobMetrics, StreamConf,
+    StreamMetrics, Workload,
+};
+
+/// Which learned model family the model server trains (§V): GPs (the
+/// OtterTune family) or deep ensembles (the UDAO DNN family [38]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// Gaussian Processes.
+    Gp,
+    /// Deep (MLP) ensembles.
+    Dnn,
+}
+
+impl ModelFamily {
+    fn kind(self) -> ModelKind {
+        match self {
+            ModelFamily::Gp => ModelKind::Gp(GpConfig::default()),
+            ModelFamily::Dnn => ModelKind::Dnn {
+                config: MlpConfig { hidden: vec![48, 48], epochs: 220, ..Default::default() },
+                members: 3,
+            },
+        }
+    }
+}
+
+/// A recommended configuration with its provenance.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// Normalized (snapped) configuration point.
+    pub x: Vec<f64>,
+    /// Raw decoded configuration.
+    pub configuration: Configuration,
+    /// Typed batch configuration, for batch requests.
+    pub batch_conf: Option<BatchConf>,
+    /// Typed streaming configuration, for streaming requests.
+    pub stream_conf: Option<StreamConf>,
+    /// Model-predicted objective vector at the recommendation
+    /// (minimization space).
+    pub predicted: Vec<f64>,
+    /// The full Pareto frontier the choice was made from.
+    pub frontier: Vec<ParetoPoint>,
+    /// Utopia point of the frontier computation.
+    pub utopia: Vec<f64>,
+    /// Nadir point of the frontier computation.
+    pub nadir: Vec<f64>,
+    /// CO probes the Progressive Frontier spent.
+    pub probes: usize,
+    /// Wall-clock seconds of the MOO phase.
+    pub moo_seconds: f64,
+}
+
+/// The MOO phase output: the selected point, the frontier it came from,
+/// the Utopia/Nadir corners, the probe count, and the elapsed seconds.
+type MooSelection = (Vec<f64>, Vec<ParetoPoint>, Vec<f64>, Vec<f64>, usize, f64);
+
+/// The UDAO system: a cluster, a model server, and the MOO engine.
+pub struct Udao {
+    cluster: ClusterSpec,
+    server: ModelServer,
+    pf_options: PfOptions,
+    pf_variant: PfVariant,
+    seed: u64,
+    /// Raw trace archive per objective name: `(workload id, dataset)` pairs
+    /// used for OtterTune-style workload mapping of data-poor online
+    /// workloads (§V.1).
+    history: parking_lot::RwLock<std::collections::HashMap<String, Vec<(String, Dataset)>>>,
+}
+
+impl Udao {
+    /// Create an optimizer for `cluster` with default (PF-AP) settings.
+    ///
+    /// MOGD runs with uncertainty handling enabled (`α = 1`): learned
+    /// models are optimized through the conservative estimate
+    /// `E[F] + α·std[F]` so that the solver cannot exploit hallucinated
+    /// minima far from the training data (§IV-B.3).
+    pub fn new(cluster: ClusterSpec) -> Self {
+        let mut pf_options = PfOptions::default();
+        pf_options.mogd.alpha = 1.0;
+        Self {
+            cluster,
+            server: ModelServer::new(),
+            pf_options,
+            pf_variant: PfVariant::ApproxParallel,
+            seed: 0xDA0,
+            history: Default::default(),
+        }
+    }
+
+    /// Override the Progressive Frontier variant/options.
+    pub fn with_pf(mut self, variant: PfVariant, options: PfOptions) -> Self {
+        self.pf_variant = variant;
+        self.pf_options = options;
+        self
+    }
+
+    /// The underlying model server.
+    pub fn model_server(&self) -> &ModelServer {
+        &self.server
+    }
+
+    /// The cluster this optimizer targets.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// Collect traces for a batch workload and train per-objective models.
+    /// Offline workloads use latency-seeking sampling; online workloads use
+    /// the heuristic sampler (§V.1). `CostCores` is analytic and skipped.
+    pub fn train_batch(
+        &self,
+        workload: &Workload,
+        n_traces: usize,
+        family: ModelFamily,
+        objectives: &[BatchObjective],
+    ) {
+        // Mixed sampling (best-practice + uniform exploration +
+        // latency-seeking) for both regimes: pure best-practice samples
+        // correlate knobs and poison the learned models off-manifold.
+        let strategy = SamplingStrategy::Mixed;
+        let _ = workload.offline;
+        let traces = collect_batch_traces(workload, &self.cluster, n_traces, strategy, self.seed);
+        for obj in objectives {
+            if matches!(obj, BatchObjective::CostCores) {
+                continue;
+            }
+            let key = ModelKey::new(workload.id.clone(), obj.name());
+            let (x, y) = batch_training_data(&traces, *obj);
+            // Strictly positive heavy-tailed objectives learn in log space.
+            if udao_model::transform::log_transformable(&y) {
+                self.server.register_log(key.clone(), family.kind());
+            } else {
+                self.server.register(key.clone(), family.kind());
+            }
+            let data = Dataset::new(x, y);
+            self.archive(obj.name(), &workload.id, &data);
+            self.server.ingest(&key, &data);
+        }
+    }
+
+    /// Record raw traces in the mapping archive.
+    fn archive(&self, objective: &str, workload_id: &str, data: &Dataset) {
+        let mut h = self.history.write();
+        let entry = h.entry(objective.to_string()).or_default();
+        match entry.iter_mut().find(|(id, _)| id == workload_id) {
+            Some((_, d)) => d.extend(data),
+            None => entry.push((workload_id.to_string(), data.clone())),
+        }
+    }
+
+    /// Train models for a *data-poor online* workload with OtterTune-style
+    /// workload mapping (§V.1): collect only `n_traces` (6–30 in the
+    /// paper) runs of the target, find the most similar previously-profiled
+    /// workload per objective, and train on the merged dataset — the
+    /// target's own observations taking precedence.
+    ///
+    /// Falls back to plain training when the archive has no usable match.
+    pub fn train_batch_mapped(
+        &self,
+        workload: &Workload,
+        n_traces: usize,
+        family: ModelFamily,
+        objectives: &[BatchObjective],
+    ) {
+        let traces = collect_batch_traces(
+            workload,
+            &self.cluster,
+            n_traces,
+            SamplingStrategy::Mixed,
+            self.seed,
+        );
+        for obj in objectives {
+            if matches!(obj, BatchObjective::CostCores) {
+                continue;
+            }
+            let key = ModelKey::new(workload.id.clone(), obj.name());
+            let (x, y) = batch_training_data(&traces, *obj);
+            let target = Dataset::new(x, y);
+            let mapped = {
+                let h = self.history.read();
+                h.get(obj.name()).and_then(|hist| {
+                    let others: Vec<(String, Dataset)> = hist
+                        .iter()
+                        .filter(|(id, _)| id != &workload.id)
+                        .cloned()
+                        .collect();
+                    udao_baselines::ottertune::map_workload(&target, &others)
+                })
+            };
+            let data = match mapped {
+                Some((_, merged)) => merged,
+                None => target.clone(),
+            };
+            if udao_model::transform::log_transformable(&data.y) {
+                self.server.register_log(key.clone(), family.kind());
+            } else {
+                self.server.register(key.clone(), family.kind());
+            }
+            self.archive(obj.name(), &workload.id, &target);
+            self.server.ingest(&key, &data);
+        }
+    }
+
+    /// Collect traces for a streaming workload and train models.
+    pub fn train_streaming(
+        &self,
+        workload: &Workload,
+        n_traces: usize,
+        family: ModelFamily,
+        objectives: &[StreamObjective],
+    ) {
+        let traces = collect_stream_traces(workload, &self.cluster, n_traces, self.seed);
+        for obj in objectives {
+            if matches!(obj, StreamObjective::CostCores) {
+                continue;
+            }
+            let key = ModelKey::new(workload.id.clone(), obj.name());
+            let (x, y) = stream_training_data(&traces, *obj);
+            if udao_model::transform::log_transformable(&y) {
+                self.server.register_log(key.clone(), family.kind());
+            } else {
+                self.server.register(key.clone(), family.kind());
+            }
+            self.server.ingest(&key, &Dataset::new(x, y));
+        }
+    }
+
+    /// Build the MOO problem for a batch request from the model server's
+    /// current models (the analytic cores model serves `CostCores`).
+    pub fn batch_problem(&self, request: &BatchRequest) -> Result<MooProblem> {
+        let space = BatchConf::space();
+        let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
+        for obj in &request.objectives {
+            if matches!(obj, BatchObjective::CostCores) {
+                models.push(Arc::new(BatchCostCoresModel));
+            } else {
+                let key = ModelKey::new(request.workload_id.clone(), obj.name());
+                let model = self.server.get(&key).ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "no trained model for workload {} objective {}",
+                        request.workload_id,
+                        obj.name()
+                    ))
+                })?;
+                models.push(Arc::new(model) as Arc<dyn ObjectiveModel>);
+            }
+        }
+        let constraints = request
+            .constraints
+            .iter()
+            .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
+            .collect();
+        Ok(MooProblem::new(space.encoded_dim(), models).with_constraints(constraints))
+    }
+
+    /// Build the MOO problem for a streaming request.
+    pub fn stream_problem(&self, request: &StreamRequest) -> Result<MooProblem> {
+        let space = StreamConf::space();
+        let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
+        for obj in &request.objectives {
+            if matches!(obj, StreamObjective::CostCores) {
+                models.push(Arc::new(StreamCostCoresModel));
+            } else {
+                let key = ModelKey::new(request.workload_id.clone(), obj.name());
+                let model = self.server.get(&key).ok_or_else(|| {
+                    Error::InvalidConfig(format!(
+                        "no trained model for workload {} objective {}",
+                        request.workload_id,
+                        obj.name()
+                    ))
+                })?;
+                models.push(Arc::new(model) as Arc<dyn ObjectiveModel>);
+            }
+        }
+        let constraints = request
+            .constraints
+            .iter()
+            .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
+            .collect();
+        Ok(MooProblem::new(space.encoded_dim(), models).with_constraints(constraints))
+    }
+
+    fn run_moo_and_select(
+        &self,
+        problem: &MooProblem,
+        points: usize,
+        weights: &Option<Vec<f64>>,
+    ) -> Result<MooSelection> {
+        let start = Instant::now();
+        let pf = ProgressiveFrontier::new(self.pf_variant, self.pf_options.clone());
+        let run = pf.solve(problem, points)?;
+        let strategy = match weights {
+            Some(w) => Strategy::WeightedUtopiaNearest(w.clone()),
+            None => Strategy::UtopiaNearest,
+        };
+        let idx = recommend(&run.frontier, &run.utopia, &run.nadir, &strategy)?;
+        Ok((
+            run.frontier[idx].x.clone(),
+            run.frontier.clone(),
+            run.utopia,
+            run.nadir,
+            run.probes,
+            start.elapsed().as_secs_f64(),
+        ))
+    }
+
+    /// Snap the chosen point onto the decodable knob grid, re-checking the
+    /// request's value constraints: integer rounding can push a boundary
+    /// point out of its constraint region (e.g. 11.8 × 4.9 cores rounding
+    /// to 12 × 5 = 60 > 58), in which case the nearest frontier point whose
+    /// snapped configuration stays feasible is used instead.
+    fn snap_feasible(
+        problem: &MooProblem,
+        space: &udao_core::space::ParamSpace,
+        chosen_x: &[f64],
+        frontier: &[ParetoPoint],
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        let snapped = space.snap(chosen_x)?;
+        let predicted = problem.evaluate(&snapped)?;
+        if problem.feasible(&predicted, 1e-3) {
+            return Ok((snapped, predicted));
+        }
+        // Try frontier points closest to the chosen one first.
+        let chosen_f = problem.evaluate(chosen_x)?;
+        let mut order: Vec<usize> = (0..frontier.len()).collect();
+        order.sort_by(|&a, &b| {
+            let da: f64 =
+                frontier[a].f.iter().zip(&chosen_f).map(|(v, c)| (v - c) * (v - c)).sum();
+            let db: f64 =
+                frontier[b].f.iter().zip(&chosen_f).map(|(v, c)| (v - c) * (v - c)).sum();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for i in order {
+            let s = space.snap(&frontier[i].x)?;
+            let p = problem.evaluate(&s)?;
+            if problem.feasible(&p, 1e-3) {
+                return Ok((s, p));
+            }
+        }
+        // No snapped frontier point is feasible; report the original.
+        Ok((snapped, predicted))
+    }
+
+    /// Handle a batch request end-to-end: models → Pareto frontier →
+    /// recommendation, snapped onto a real Spark configuration.
+    pub fn recommend_batch(&self, request: &BatchRequest) -> Result<Recommendation> {
+        if request.objectives.is_empty() {
+            return Err(Error::InvalidConfig("request has no objectives".into()));
+        }
+        let problem = self.batch_problem(request)?;
+        // Workload-aware WUN: compose the class's internal expert weights
+        // with the external application weights (2-objective case, §V).
+        let weights = match (&request.workload_class, &request.weights) {
+            (Some(class), external) if request.objectives.len() == 2 => {
+                let internal = class.internal_weights();
+                let external = external.clone().unwrap_or_else(|| vec![0.5, 0.5]);
+                Some(udao_core::recommend::compose_weights(&internal, &external))
+            }
+            _ => request.weights.clone(),
+        };
+        let (x, frontier, utopia, nadir, probes, moo_seconds) =
+            self.run_moo_and_select(&problem, request.points, &weights)?;
+        let space = BatchConf::space();
+        let (snapped, predicted) = Self::snap_feasible(&problem, &space, &x, &frontier)?;
+        let configuration = space.decode(&snapped)?;
+        Ok(Recommendation {
+            batch_conf: Some(BatchConf::from_configuration(&configuration)),
+            stream_conf: None,
+            x: snapped,
+            configuration,
+            predicted,
+            frontier,
+            utopia,
+            nadir,
+            probes,
+            moo_seconds,
+        })
+    }
+
+    /// Handle a streaming request end-to-end.
+    pub fn recommend_streaming(&self, request: &StreamRequest) -> Result<Recommendation> {
+        if request.objectives.is_empty() {
+            return Err(Error::InvalidConfig("request has no objectives".into()));
+        }
+        let problem = self.stream_problem(request)?;
+        let (x, frontier, utopia, nadir, probes, moo_seconds) =
+            self.run_moo_and_select(&problem, request.points, &request.weights)?;
+        let space = StreamConf::space();
+        let (snapped, predicted) = Self::snap_feasible(&problem, &space, &x, &frontier)?;
+        let configuration = space.decode(&snapped)?;
+        Ok(Recommendation {
+            batch_conf: None,
+            stream_conf: Some(StreamConf::from_configuration(&configuration)),
+            x: snapped,
+            configuration,
+            predicted,
+            frontier,
+            utopia,
+            nadir,
+            probes,
+            moo_seconds,
+        })
+    }
+
+    /// Execute a batch workload under `conf` on the (simulated) cluster —
+    /// the "measured" side of the Expt 4/5 comparisons.
+    pub fn measure_batch(&self, workload: &Workload, conf: &BatchConf, run: u64) -> JobMetrics {
+        let program = workload.batch_program().expect("batch workload");
+        simulate_batch(program, conf, &self.cluster, workload.seed ^ run << 32)
+    }
+
+    /// Execute a streaming workload under `conf` on the simulated cluster.
+    pub fn measure_streaming(
+        &self,
+        workload: &Workload,
+        conf: &StreamConf,
+        run: u64,
+    ) -> StreamMetrics {
+        let query = workload.stream_query().expect("streaming workload");
+        simulate_streaming(query, conf, &self.cluster, workload.seed ^ run << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_sparksim::{batch_workloads, streaming_workloads};
+
+    fn quick_pf() -> (PfVariant, PfOptions) {
+        (
+            PfVariant::ApproxSequential,
+            PfOptions {
+                mogd: udao_core::mogd::MogdConfig {
+                    multistarts: 4,
+                    max_iters: 60,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn end_to_end_batch_recommendation() {
+        let (v, o) = quick_pf();
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let workloads = batch_workloads();
+        let q2 = workloads.iter().find(|w| w.id == "q2-v0").unwrap();
+        udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let req = BatchRequest::new("q2-v0")
+            .objective(BatchObjective::Latency)
+            .objective(BatchObjective::CostCores)
+            .weights(vec![0.5, 0.5])
+            .points(8);
+        let rec = udao.recommend_batch(&req).unwrap();
+        let conf = rec.batch_conf.as_ref().unwrap();
+        assert!(conf.total_cores() >= 2);
+        assert!(rec.frontier.len() >= 2, "frontier {}", rec.frontier.len());
+        assert_eq!(rec.predicted.len(), 2);
+        // Measured run executes without issue.
+        let m = udao.measure_batch(q2, conf, 1);
+        assert!(m.latency_s > 0.0);
+    }
+
+    #[test]
+    fn missing_model_is_a_clear_error() {
+        let udao = Udao::new(ClusterSpec::paper_cluster());
+        let req = BatchRequest::new("q1-v0").objective(BatchObjective::Latency);
+        let err = udao.recommend_batch(&req).unwrap_err();
+        assert!(err.to_string().contains("no trained model"), "{err}");
+    }
+
+    #[test]
+    fn empty_request_is_rejected() {
+        let udao = Udao::new(ClusterSpec::paper_cluster());
+        assert!(udao.recommend_batch(&BatchRequest::new("q1-v0")).is_err());
+    }
+
+    #[test]
+    fn weights_shift_the_batch_recommendation() {
+        let (v, o) = quick_pf();
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let workloads = batch_workloads();
+        let q9 = workloads.iter().find(|w| w.id == "q9-v0").unwrap();
+        udao.train_batch(q9, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let base = BatchRequest::new("q9-v0")
+            .objective(BatchObjective::Latency)
+            .objective(BatchObjective::CostCores)
+            .points(10);
+        let lat_pref = udao
+            .recommend_batch(&base.clone().weights(vec![0.9, 0.1]))
+            .unwrap();
+        let cost_pref = udao
+            .recommend_batch(&base.weights(vec![0.1, 0.9]))
+            .unwrap();
+        // Favoring latency should never pick a higher-latency point than
+        // favoring cost.
+        assert!(
+            lat_pref.predicted[0] <= cost_pref.predicted[0] + 1e-6,
+            "latency preference: {} vs {}",
+            lat_pref.predicted[0],
+            cost_pref.predicted[0]
+        );
+        assert!(
+            lat_pref.predicted[1] >= cost_pref.predicted[1] - 1e-6,
+            "cost moves the other way"
+        );
+    }
+
+    #[test]
+    fn workload_aware_wun_biases_long_jobs_toward_latency() {
+        use udao_core::recommend::WorkloadClass;
+        let (v, o) = quick_pf();
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let workloads = batch_workloads();
+        let w = workloads.iter().find(|w| w.id == "q9-v0").unwrap();
+        udao.train_batch(w, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let base = BatchRequest::new("q9-v0")
+            .objective(BatchObjective::Latency)
+            .objective(BatchObjective::CostCores)
+            .weights(vec![0.5, 0.5])
+            .points(10);
+        let long = udao
+            .recommend_batch(&base.clone().workload_aware(WorkloadClass::High))
+            .unwrap();
+        let short = udao
+            .recommend_batch(&base.workload_aware(WorkloadClass::Low))
+            .unwrap();
+        // Snap-time feasibility fallback can swap adjacent frontier points,
+        // so allow a small relative tolerance on the ordering.
+        assert!(
+            long.predicted[0] <= short.predicted[0] * 1.05,
+            "High class favors latency: {} vs {}",
+            long.predicted[0],
+            short.predicted[0]
+        );
+    }
+
+    #[test]
+    fn workload_mapping_bootstraps_data_poor_workloads() {
+        use udao_model::dataset::wmape;
+        use udao_sparksim::trace::{batch_training_data, collect_batch_traces, SamplingStrategy};
+        let (v, o) = quick_pf();
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let workloads = batch_workloads();
+        // Offline sibling variant of the same template, profiled richly.
+        let offline = workloads.iter().find(|w| w.id == "q7-v0").unwrap();
+        let online = workloads.iter().find(|w| w.id == "q7-v1").unwrap();
+        udao.train_batch(offline, 120, ModelFamily::Gp, &[BatchObjective::Latency]);
+        // Online workload sees only 10 of its own runs, plus the mapping.
+        udao.train_batch_mapped(online, 10, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let mapped_model = udao
+            .model_server()
+            .get(&udao_model::ModelKey::new("q7-v1", "latency"))
+            .expect("mapped model trained");
+        // Plain 10-trace training for comparison.
+        let udao_plain = {
+            let (v, o) = quick_pf();
+            Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o)
+        };
+        udao_plain.train_batch(online, 10, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let plain_model = udao_plain
+            .model_server()
+            .get(&udao_model::ModelKey::new("q7-v1", "latency"))
+            .expect("plain model trained");
+        // Held-out accuracy: mapping must not hurt, and usually helps.
+        let test = collect_batch_traces(
+            online,
+            &ClusterSpec::paper_cluster(),
+            60,
+            SamplingStrategy::Random,
+            4242,
+        );
+        let (xs, ys) = batch_training_data(&test, BatchObjective::Latency);
+        let err = |m: &std::sync::Arc<dyn udao_core::ObjectiveModel>| {
+            wmape(&ys, &xs.iter().map(|x| m.predict(x)).collect::<Vec<_>>())
+        };
+        let e_mapped = err(&mapped_model);
+        let e_plain = err(&plain_model);
+        assert!(
+            e_mapped < e_plain * 1.1,
+            "mapping should not degrade accuracy: {e_mapped} vs {e_plain}"
+        );
+    }
+
+    #[test]
+    fn end_to_end_streaming_recommendation() {
+        let (v, o) = quick_pf();
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let workloads = streaming_workloads();
+        let s1 = &workloads[0];
+        udao.train_streaming(
+            s1,
+            40,
+            ModelFamily::Gp,
+            &[StreamObjective::Latency, StreamObjective::Throughput],
+        );
+        let req = StreamRequest::new(s1.id.clone())
+            .objective(StreamObjective::Latency)
+            .objective(StreamObjective::Throughput)
+            .points(8);
+        let rec = udao.recommend_streaming(&req).unwrap();
+        let conf = rec.stream_conf.as_ref().unwrap();
+        let m = udao.measure_streaming(s1, conf, 1);
+        assert!(m.throughput > 0.0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Optimization requests (Fig. 1(a) inputs): an analytic task, a set of
+//! objectives, and optional value constraints / preference weights.
+
+use udao_sparksim::objectives::{BatchObjective, StreamObjective};
+
+/// A batch optimization request.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// Workload identifier (must be known to the model server).
+    pub workload_id: String,
+    /// Objectives to optimize, in order.
+    pub objectives: Vec<BatchObjective>,
+    /// Optional per-objective value constraints `F_i ∈ [lo, hi]`
+    /// (positionally aligned with `objectives`).
+    pub constraints: Vec<Option<(f64, f64)>>,
+    /// Optional preference weights (`Σ w_i = 1`); `None` uses plain
+    /// Utopia-Nearest selection.
+    pub weights: Option<Vec<f64>>,
+    /// Optional workload size class for workload-aware WUN (§V): expert
+    /// internal weights for the class are composed with the external
+    /// application weights (2-objective latency/cost requests only).
+    pub workload_class: Option<udao_core::recommend::WorkloadClass>,
+    /// Number of Pareto points to request from the Progressive Frontier.
+    pub points: usize,
+}
+
+impl BatchRequest {
+    /// Start a request for `workload_id`.
+    pub fn new(workload_id: impl Into<String>) -> Self {
+        Self {
+            workload_id: workload_id.into(),
+            objectives: Vec::new(),
+            constraints: Vec::new(),
+            weights: None,
+            workload_class: None,
+            points: 12,
+        }
+    }
+
+    /// Enable workload-aware WUN with the given size class.
+    pub fn workload_aware(mut self, class: udao_core::recommend::WorkloadClass) -> Self {
+        self.workload_class = Some(class);
+        self
+    }
+
+    /// Add an unconstrained objective.
+    pub fn objective(mut self, o: BatchObjective) -> Self {
+        self.objectives.push(o);
+        self.constraints.push(None);
+        self
+    }
+
+    /// Add an objective with a value constraint.
+    pub fn objective_bounded(mut self, o: BatchObjective, lo: f64, hi: f64) -> Self {
+        self.objectives.push(o);
+        self.constraints.push(Some((lo, hi)));
+        self
+    }
+
+    /// Set preference weights.
+    pub fn weights(mut self, w: Vec<f64>) -> Self {
+        self.weights = Some(w);
+        self
+    }
+
+    /// Set the Pareto point budget.
+    pub fn points(mut self, n: usize) -> Self {
+        self.points = n;
+        self
+    }
+}
+
+/// A streaming optimization request.
+#[derive(Debug, Clone)]
+pub struct StreamRequest {
+    /// Workload identifier.
+    pub workload_id: String,
+    /// Objectives to optimize.
+    pub objectives: Vec<StreamObjective>,
+    /// Optional per-objective constraints.
+    pub constraints: Vec<Option<(f64, f64)>>,
+    /// Optional preference weights.
+    pub weights: Option<Vec<f64>>,
+    /// Pareto point budget.
+    pub points: usize,
+}
+
+impl StreamRequest {
+    /// Start a request for `workload_id`.
+    pub fn new(workload_id: impl Into<String>) -> Self {
+        Self {
+            workload_id: workload_id.into(),
+            objectives: Vec::new(),
+            constraints: Vec::new(),
+            weights: None,
+            points: 12,
+        }
+    }
+
+    /// Add an unconstrained objective.
+    pub fn objective(mut self, o: StreamObjective) -> Self {
+        self.objectives.push(o);
+        self.constraints.push(None);
+        self
+    }
+
+    /// Add an objective with a value constraint (in minimization space:
+    /// throughput bounds must be negated by the caller).
+    pub fn objective_bounded(mut self, o: StreamObjective, lo: f64, hi: f64) -> Self {
+        self.objectives.push(o);
+        self.constraints.push(Some((lo, hi)));
+        self
+    }
+
+    /// Set preference weights.
+    pub fn weights(mut self, w: Vec<f64>) -> Self {
+        self.weights = Some(w);
+        self
+    }
+
+    /// Set the Pareto point budget.
+    pub fn points(mut self, n: usize) -> Self {
+        self.points = n;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_objectives_aligned_with_constraints() {
+        let r = BatchRequest::new("q2-v0")
+            .objective(BatchObjective::Latency)
+            .objective_bounded(BatchObjective::CostCores, 4.0, 58.0)
+            .weights(vec![0.5, 0.5])
+            .points(20);
+        assert_eq!(r.objectives.len(), 2);
+        assert_eq!(r.constraints, vec![None, Some((4.0, 58.0))]);
+        assert_eq!(r.points, 20);
+        assert_eq!(r.weights.as_deref(), Some(&[0.5, 0.5][..]));
+    }
+
+    #[test]
+    fn stream_builder() {
+        let r = StreamRequest::new("s1-v0")
+            .objective(StreamObjective::Latency)
+            .objective(StreamObjective::Throughput);
+        assert_eq!(r.objectives.len(), 2);
+        assert!(r.weights.is_none());
+    }
+}

@@ -1,0 +1,178 @@
+//! Cross-method MOO integration tests: PF variants against the baseline
+//! methods on a shared learned-model problem, scored with the same
+//! uncertain-space metric — a miniature of the Fig. 4 experiment.
+
+use std::sync::Arc;
+use udao_baselines::evo::{nsga2, EvoConfig};
+use udao_baselines::mobo::{ehvi, MoboConfig};
+use udao_baselines::nc::{normal_constraints, NcConfig};
+use udao_baselines::ws::{weighted_sum, WsConfig};
+use udao_core::objective::{FnModel, ObjectiveModel};
+use udao_core::pareto::uncertain_space;
+use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+use udao_core::MooProblem;
+
+/// A latency/cost problem with the TPCx-BB Q2 geometry: latency falls with
+/// resources (knob 0) and rises with an inefficiency knob (knob 1); cost
+/// rises with both. Smooth, conflicting, non-degenerate.
+fn q2_like_problem() -> MooProblem {
+    let lat: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(3, |x| {
+        100.0 + 200.0 / (0.8 + 3.0 * x[0]) + 40.0 * x[1] + 15.0 * (x[2] - 0.5).powi(2)
+    }));
+    let cost: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(3, |x| 8.0 + 16.0 * x[0] + 6.0 * x[1]));
+    MooProblem::new(3, vec![lat, cost])
+}
+
+fn frontier_fs(pts: &[udao_core::ParetoPoint]) -> Vec<Vec<f64>> {
+    pts.iter().map(|p| p.f.clone()).collect()
+}
+
+const UTOPIA: [f64; 2] = [152.6, 8.0];
+const NADIR: [f64; 2] = [350.0, 24.0];
+
+#[test]
+fn every_method_reduces_uncertainty_below_half() {
+    let p = q2_like_problem();
+    let pf = ProgressiveFrontier::new(PfVariant::ApproxParallel, PfOptions::default())
+        .solve(&p, 15)
+        .unwrap();
+    let ws = weighted_sum(&p, 10, &WsConfig::default());
+    let nc = normal_constraints(&p, 10, &NcConfig::default());
+    let evo = nsga2(&p, 1500, &EvoConfig::default());
+    let bo = ehvi::run(&p, 25, &MoboConfig::default());
+    for (name, fs) in [
+        ("pf", frontier_fs(&pf.frontier)),
+        ("ws", frontier_fs(&ws.frontier)),
+        ("nc", frontier_fs(&nc.frontier)),
+        ("evo", frontier_fs(&evo.frontier)),
+        ("ehvi", frontier_fs(&bo.frontier)),
+    ] {
+        let u = uncertain_space(&fs, &UTOPIA, &NADIR);
+        assert!(u < 0.55, "{name}: uncertainty {u} with {} points", fs.len());
+    }
+}
+
+#[test]
+fn pf_offers_best_coverage_per_probe() {
+    let p = q2_like_problem();
+    let pf = ProgressiveFrontier::new(PfVariant::ApproxParallel, PfOptions::default())
+        .solve(&p, 15)
+        .unwrap();
+    let ws = weighted_sum(&p, 15, &WsConfig::default());
+    let u_pf = uncertain_space(&frontier_fs(&pf.frontier), &UTOPIA, &NADIR);
+    let u_ws = uncertain_space(&frontier_fs(&ws.frontier), &UTOPIA, &NADIR);
+    assert!(
+        u_pf <= u_ws + 0.05,
+        "PF coverage should not lose to WS: {u_pf} vs {u_ws}"
+    );
+}
+
+#[test]
+fn pf_uncertainty_metric_matches_queue_accounting() {
+    // The externally computed uncertain-space over the PF frontier must
+    // agree (loosely) with PF's own queue-volume accounting.
+    let p = q2_like_problem();
+    let run = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+        .solve(&p, 12)
+        .unwrap();
+    let external = uncertain_space(
+        &frontier_fs(&run.frontier),
+        &run.utopia,
+        &run.nadir,
+    );
+    let internal = run.final_uncertainty();
+    assert!(
+        (external - internal).abs() < 0.25,
+        "external {external} vs internal {internal}"
+    );
+}
+
+#[test]
+fn pf_is_consistent_where_evo_is_not() {
+    let p = q2_like_problem();
+    // PF: the 8-point frontier re-appears within the 16-point frontier.
+    let pf8 = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+        .solve(&p, 8)
+        .unwrap();
+    let pf16 = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+        .solve(&p, 16)
+        .unwrap();
+    for s in &pf8.frontier {
+        assert!(
+            pf16
+                .frontier
+                .iter()
+                .any(|l| l.f == s.f || udao_core::pareto::dominates(&l.f, &s.f)),
+            "PF contradicted itself at {:?}",
+            s.f
+        );
+    }
+    // Evo: different budgets give different answers somewhere.
+    let e300 = nsga2(&p, 300, &EvoConfig::default());
+    let e400 = nsga2(&p, 400, &EvoConfig::default());
+    let identical = e300.frontier.iter().all(|a| e400.frontier.iter().any(|b| b.f == a.f));
+    assert!(!identical, "NSGA-II runs should disagree across budgets");
+}
+
+#[test]
+fn pf_survives_a_model_that_poisons_part_of_the_space() {
+    // Failure injection: the latency model returns NaN on a slab of the
+    // input space (a crashed model-server shard, say). MOGD must treat the
+    // region as infeasible and PF must still deliver a frontier from the
+    // healthy region.
+    let lat: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(2, |x| {
+        if x[0] > 0.45 && x[0] < 0.55 {
+            f64::NAN
+        } else {
+            100.0 + 200.0 * (1.0 - x[0]) + 30.0 * x[1]
+        }
+    }));
+    let cost: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(2, |x| 8.0 + 16.0 * x[0] + 8.0 * x[1]));
+    let p = MooProblem::new(2, vec![lat, cost]);
+    let run = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+        .solve(&p, 8)
+        .expect("poisoned slab must not sink the whole run");
+    assert!(run.frontier.len() >= 3, "got {}", run.frontier.len());
+    for pt in &run.frontier {
+        assert!(pt.f.iter().all(|v| v.is_finite()), "no NaN leaks into the frontier");
+    }
+}
+
+#[test]
+fn methods_handle_a_constant_objective_gracefully() {
+    // Degenerate input: one objective is constant, so the Utopia-Nadir box
+    // is flat in that dimension. Nothing should panic or spin.
+    let lat: Arc<dyn ObjectiveModel> =
+        Arc::new(FnModel::new(2, |x| 100.0 + 50.0 * (1.0 - x[0])));
+    let flat: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(2, |_| 7.0));
+    let p = MooProblem::new(2, vec![lat, flat]);
+    let run = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default())
+        .solve(&p, 6)
+        .expect("flat dimension is fine");
+    assert!(!run.frontier.is_empty());
+    // Flat-dimension frontier collapses to the single latency optimum.
+    assert!(run.frontier.len() <= 2, "got {}", run.frontier.len());
+    let ws = weighted_sum(&p, 6, &WsConfig::default());
+    assert!(!ws.frontier.is_empty());
+    let evo = nsga2(&p, 200, &EvoConfig::default());
+    assert!(!evo.frontier.is_empty());
+}
+
+#[test]
+fn mobo_needs_more_wall_clock_per_point_than_pf() {
+    let p = q2_like_problem();
+    let t0 = std::time::Instant::now();
+    let pf = ProgressiveFrontier::new(PfVariant::ApproxParallel, PfOptions::default())
+        .solve(&p, 10)
+        .unwrap();
+    let pf_time = t0.elapsed().as_secs_f64() / pf.frontier.len().max(1) as f64;
+    let t0 = std::time::Instant::now();
+    let bo = ehvi::run(&p, 20, &MoboConfig::default());
+    let bo_time = t0.elapsed().as_secs_f64() / bo.frontier.len().max(1) as f64;
+    assert!(
+        bo_time > pf_time,
+        "MOBO per-point cost {bo_time} should exceed PF {pf_time}"
+    );
+}

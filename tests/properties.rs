@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) of the core invariants: Pareto
+//! dominance, hyperrectangle geometry, parameter-space codecs, and the
+//! uncertain-space metric.
+
+use proptest::prelude::*;
+use udao_core::hyperrect::Rect;
+use udao_core::pareto::{dominates, pareto_filter, uncertain_space, ParetoPoint};
+use udao_core::space::{Configuration, ParamSpace, ParamSpec, ParamValue};
+
+fn objective_vec(k: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, k)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_irreflexive_and_antisymmetric(f in objective_vec(3), g in objective_vec(3)) {
+        prop_assert!(!dominates(&f, &f), "no vector dominates itself");
+        prop_assert!(!(dominates(&f, &g) && dominates(&g, &f)), "antisymmetry");
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in objective_vec(2), b in objective_vec(2), c in objective_vec(2)) {
+        if dominates(&a, &b) && dominates(&b, &c) {
+            prop_assert!(dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn filtered_frontiers_are_mutually_non_dominated(
+        fs in prop::collection::vec(objective_vec(2), 1..40)
+    ) {
+        let pts: Vec<ParetoPoint> =
+            fs.into_iter().map(|f| ParetoPoint::new(vec![0.0], f)).collect();
+        let front = pareto_filter(pts.clone());
+        prop_assert!(!front.is_empty());
+        for a in &front {
+            for b in &front {
+                prop_assert!(!dominates(&a.f, &b.f));
+            }
+        }
+        // Every input point is dominated by or equal to some frontier point.
+        for p in &pts {
+            prop_assert!(front.iter().any(|q| q.f == p.f || dominates(&q.f, &p.f)));
+        }
+    }
+
+    #[test]
+    fn subdivision_never_gains_volume(
+        fm in prop::collection::vec(0.0f64..1.0, 2..4usize)
+    ) {
+        let k = fm.len();
+        let rect = Rect::new(vec![0.0; k], vec![1.0; k]);
+        let cells = rect.subdivide(&fm);
+        let total: f64 = cells.iter().map(Rect::volume).sum();
+        prop_assert!(total <= rect.volume() + 1e-9);
+        // The two discarded cells (dominated + empty) account for the gap.
+        let discarded: f64 = fm.iter().product::<f64>()
+            + fm.iter().map(|v| 1.0 - v).product::<f64>();
+        prop_assert!((total + discarded - rect.volume()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uncertain_space_is_a_fraction_and_shrinks_with_points(
+        fs in prop::collection::vec(objective_vec(2), 1..20)
+    ) {
+        let u = [0.0, 0.0];
+        let n = [100.0, 100.0];
+        // Monotonicity is only guaranteed for accumulating *Pareto* sets:
+        // a later point dominating an earlier one would invalidate the
+        // earlier point's certainty claims. Use the filtered frontier.
+        let nd: Vec<Vec<f64>> = udao_core::pareto::non_dominated_indices(&fs)
+            .into_iter()
+            .map(|i| fs[i].clone())
+            .collect();
+        let u1 = uncertain_space(&nd[..1], &u, &n);
+        let u_all = uncertain_space(&nd, &u, &n);
+        prop_assert!((0.0..=1.0).contains(&u_all), "fraction: {u_all}");
+        prop_assert!(u_all <= u1 + 1e-9, "more points cannot increase uncertainty");
+    }
+
+    #[test]
+    fn space_encode_decode_is_stable(
+        execs in 2i64..=20,
+        frac in 0.2f64..0.9,
+        flag in any::<bool>(),
+        cat in 0usize..3
+    ) {
+        let space = ParamSpace::new(vec![
+            ParamSpec::integer("executors", 2, 20),
+            ParamSpec::continuous("fraction", 0.2, 0.9),
+            ParamSpec::boolean("compress"),
+            ParamSpec::categorical("serializer", &["java", "kryo", "arrow"]),
+        ]).unwrap();
+        let c = Configuration::new(vec![
+            ParamValue::Int(execs),
+            ParamValue::Float(frac),
+            ParamValue::Bool(flag),
+            ParamValue::Cat(cat),
+        ]);
+        let x = space.encode(&c).unwrap();
+        prop_assert!(x.iter().all(|v| (0.0..=1.0).contains(v)));
+        let back = space.decode(&x).unwrap();
+        // Integers, booleans and categoricals round-trip exactly; floats up
+        // to codec precision.
+        prop_assert_eq!(&back.values[0], &c.values[0]);
+        prop_assert_eq!(&back.values[2], &c.values[2]);
+        prop_assert_eq!(&back.values[3], &c.values[3]);
+        match (&back.values[1], &c.values[1]) {
+            (ParamValue::Float(a), ParamValue::Float(b)) => prop_assert!((a - b).abs() < 1e-9),
+            _ => prop_assert!(false, "float knob changed kind"),
+        }
+    }
+
+    #[test]
+    fn snap_is_idempotent_for_any_point(x in prop::collection::vec(0.0f64..=1.0, 6)) {
+        let space = ParamSpace::new(vec![
+            ParamSpec::integer("a", 0, 7),
+            ParamSpec::continuous("b", -1.0, 1.0),
+            ParamSpec::boolean("c"),
+            ParamSpec::categorical("d", &["x", "y", "z"]),
+        ]).unwrap();
+        let s1 = space.snap(&x).unwrap();
+        let s2 = space.snap(&s1).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn simulator_latency_is_positive_and_cost_monotone(
+        execs in 2i64..=29,
+        cores in 1i64..=5,
+        mem in 1i64..=32,
+        parts in 8i64..=1000
+    ) {
+        use udao_sparksim::{simulate_batch, BatchConf, ClusterSpec, DataflowProgram};
+        let conf = BatchConf {
+            executor_instances: execs,
+            executor_cores: cores,
+            executor_memory_gb: mem,
+            shuffle_partitions: parts,
+            ..BatchConf::spark_default()
+        };
+        let m = simulate_batch(
+            &DataflowProgram::tpcxbb_q2(2_000.0),
+            &conf,
+            &ClusterSpec::paper_cluster(),
+            1,
+        );
+        prop_assert!(m.latency_s > 0.0);
+        prop_assert!(m.cores <= (execs * cores) as f64 + 1e-9);
+        prop_assert!(m.cpu_hours > 0.0);
+        prop_assert!((0.0..=1.0).contains(&m.cpu_util));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mogd_solutions_satisfy_their_constraints(
+        cost_cap in 10.0f64..22.0
+    ) {
+        use std::sync::Arc;
+        use udao_core::mogd::{Mogd, MogdConfig};
+        use udao_core::objective::{FnModel, ObjectiveModel};
+        use udao_core::solver::{Bound, CoProblem, CoSolver, MooProblem};
+        let lat: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 100.0 + 200.0 * (1.0 - x[0]) + 30.0 * x[1]));
+        let cost: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 8.0 + 16.0 * x[0] + 8.0 * x[1]));
+        let p = MooProblem::new(2, vec![lat, cost]);
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem::constrained(0, vec![Bound::FREE, Bound::new(8.0, cost_cap)]);
+        if let Some(sol) = mogd.solve(&p, &co).unwrap() {
+            prop_assert!(sol.f[1] <= cost_cap + 0.05, "cost {} cap {}", sol.f[1], cost_cap);
+            prop_assert!(sol.x.iter().all(|v| (0.0..=1.0).contains(v)));
+        }
+    }
+}
