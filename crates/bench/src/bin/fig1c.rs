@@ -33,7 +33,7 @@ fn main() {
             .points(12);
         let rec = udao.recommend_batch(&req).expect("udao recommendation");
         let u_conf = rec.batch_conf.unwrap();
-        let u_meas = udao.measure_batch(q2, &u_conf, 1);
+        let u_meas = udao.measure_batch(q2, &u_conf, 1).expect("simulatable workload");
 
         // OtterTune: GP models + weighted-sum EI search.
         let udao_gp = train(ModelFamily::Gp);
@@ -64,7 +64,7 @@ fn main() {
             tune(problem.dim, &objective, &OtterTuneConfig { seed: q2.seed, ..Default::default() });
         let snapped = BatchConf::space().snap(&ot.x).unwrap();
         let o_conf = BatchConf::from_configuration(&BatchConf::space().decode(&snapped).unwrap());
-        let o_meas = udao_gp.measure_batch(q2, &o_conf, 1);
+        let o_meas = udao_gp.measure_batch(q2, &o_conf, 1).expect("simulatable workload");
 
         let reduction = (1.0 - u_meas.latency_s / o_meas.latency_s.max(1e-9)) * 100.0;
         println!(

@@ -211,7 +211,7 @@ fn fig6ef() {
     let udao0 = experiment_udao();
     let mut ranked: Vec<(f64, &Workload)> = tests
         .iter()
-        .map(|w| (udao0.measure_batch(w, &BatchConf::spark_default(), 0).latency_s, w))
+        .map(|w| (udao0.measure_batch(w, &BatchConf::spark_default(), 0).expect("simulatable workload").latency_s, w))
         .collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     let top12: Vec<&Workload> = ranked.iter().take(12).map(|(_, w)| *w).collect();
@@ -234,7 +234,7 @@ fn fig6ef() {
                 .points(12);
             let Ok(rec) = udao.recommend_batch(&req) else { continue };
             let u_conf = rec.batch_conf.unwrap();
-            let u_meas = udao.measure_batch(w, &u_conf, 7);
+            let u_meas = udao.measure_batch(w, &u_conf, 7).expect("simulatable workload");
             // OtterTune with GP models.
             let udao_gp = batch_udao(ModelFamily::Gp, w);
             let problem = udao_gp.batch_problem(&req).unwrap();
@@ -242,7 +242,7 @@ fn fig6ef() {
             let o_conf = BatchConf::from_configuration(
                 &BatchConf::space().decode(&problem_space_snap(&ot_x)).unwrap(),
             );
-            let o_meas = udao_gp.measure_batch(w, &o_conf, 7);
+            let o_meas = udao_gp.measure_batch(w, &o_conf, 7).expect("simulatable workload");
             total_u += u_meas.latency_s;
             total_o += o_meas.latency_s;
             cost_u += u_meas.cores;
@@ -286,7 +286,7 @@ fn fig6gh() {
     let (mut neg_u, mut neg_o, mut n_u, mut n_o) = (0usize, 0usize, 0usize, 0usize);
     let cost_objs = [BatchObjective::CostCores, BatchObjective::cost2()];
     for w in &tests {
-        let manual_lat = experiment_udao().measure_batch(w, &manual, 3).latency_s;
+        let manual_lat = experiment_udao().measure_batch(w, &manual, 3).expect("simulatable workload").latency_s;
         // Train each system once per job, covering both cost objectives.
         let udao_dnn = experiment_udao();
         udao_dnn.train_batch(
@@ -311,7 +311,7 @@ fn fig6gh() {
                     .points(10);
                 // UDAO / DNN.
                 if let Ok(rec) = udao_dnn.recommend_batch(&req) {
-                    let meas = udao_dnn.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 5);
+                    let meas = udao_dnn.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 5).expect("simulatable workload");
                     let ape = (rec.predicted[0] - meas.latency_s).abs() / meas.latency_s;
                     let pir = (manual_lat - meas.latency_s) / manual_lat * 100.0;
                     if pir < 0.0 {
@@ -327,7 +327,7 @@ fn fig6gh() {
                 let pred = problem.evaluate(&snapped).unwrap();
                 let conf =
                     BatchConf::from_configuration(&BatchConf::space().decode(&snapped).unwrap());
-                let meas = udao_gp.measure_batch(w, &conf, 5);
+                let meas = udao_gp.measure_batch(w, &conf, 5).expect("simulatable workload");
                 let ape = (pred[0] - meas.latency_s).abs() / meas.latency_s;
                 let pir = (manual_lat - meas.latency_s) / manual_lat * 100.0;
                 if pir < 0.0 {

@@ -52,7 +52,7 @@ fn main() {
     let udao0 = experiment_udao();
     let mut ranked: Vec<(f64, &Workload)> = tests
         .iter()
-        .map(|w| (udao0.measure_batch(w, &BatchConf::spark_default(), 0).latency_s, w))
+        .map(|w| (udao0.measure_batch(w, &BatchConf::spark_default(), 0).expect("simulatable workload").latency_s, w))
         .collect();
     ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
     let top12: Vec<&Workload> = ranked.iter().take(12).map(|(_, w)| *w).collect();
@@ -85,7 +85,7 @@ fn main() {
                 .points(10);
             // UDAO (DNN).
             let Ok(rec) = udao_dnn.recommend_batch(&req) else { continue };
-            let u_meas = udao_dnn.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 11);
+            let u_meas = udao_dnn.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 11).expect("simulatable workload");
             let u_cost_meas = cost2.extract(&u_meas);
             // OtterTune (GP).
             let problem = udao_gp.batch_problem(&req).unwrap();
@@ -94,7 +94,7 @@ fn main() {
             let o_pred = problem.evaluate(&snapped).unwrap();
             let o_conf =
                 BatchConf::from_configuration(&BatchConf::space().decode(&snapped).unwrap());
-            let o_meas = udao_gp.measure_batch(w, &o_conf, 11);
+            let o_meas = udao_gp.measure_batch(w, &o_conf, 11).expect("simulatable workload");
             let o_cost_meas = cost2.extract(&o_meas);
             tu += u_meas.latency_s;
             to += o_meas.latency_s;

@@ -1,0 +1,124 @@
+//! Cooperative time budgets for solves.
+//!
+//! The paper's value proposition (§VI) is returning a recommendation
+//! *within a time budget* (1–2 s targets for PF-AP). A [`Budget`] carries
+//! that deadline through every layer — `pf`, `mogd`, and the system
+//! orchestrator — so long-running loops can check it cheaply and return
+//! their best-so-far answer flagged as degraded instead of overrunning.
+//!
+//! Checks are cooperative: nothing is interrupted preemptively. Each loop
+//! polls [`Budget::expired`] at its natural granularity (per Adam
+//! iteration, per probe, per fallback stage).
+
+use crate::error::Error;
+use std::time::{Duration, Instant};
+
+/// A wall-clock budget for a solve, started at construction time.
+///
+/// `Budget` is `Copy`: pass it down by value and every layer measures
+/// against the same start instant and deadline.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    started: Instant,
+    limit: Option<Duration>,
+}
+
+impl Budget {
+    /// A budget with no deadline: `expired()` is always false.
+    pub fn unlimited() -> Self {
+        Budget { started: Instant::now(), limit: None }
+    }
+
+    /// A budget of `limit` starting now.
+    pub fn new(limit: Duration) -> Self {
+        Budget { started: Instant::now(), limit: Some(limit) }
+    }
+
+    /// A budget of `ms` milliseconds starting now.
+    pub fn from_millis(ms: u64) -> Self {
+        Self::new(Duration::from_millis(ms))
+    }
+
+    /// Whether a deadline is configured at all.
+    pub fn is_limited(&self) -> bool {
+        self.limit.is_some()
+    }
+
+    /// Wall-clock time since the budget started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        match self.limit {
+            Some(limit) => self.started.elapsed() >= limit,
+            None => false,
+        }
+    }
+
+    /// Time left before the deadline (`None` when unlimited; zero once
+    /// expired).
+    pub fn remaining(&self) -> Option<Duration> {
+        self.limit.map(|limit| limit.saturating_sub(self.started.elapsed()))
+    }
+
+    /// The [`Error::Timeout`] describing this budget's current state, for
+    /// callers that hold no partial result to degrade to.
+    pub fn timeout_error(&self) -> Error {
+        Error::Timeout {
+            elapsed_ms: self.elapsed().as_millis() as u64,
+            budget_ms: self.limit.map(|l| l.as_millis() as u64).unwrap_or(u64::MAX),
+        }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.expired());
+        assert!(!b.is_limited());
+        assert_eq!(b.remaining(), None);
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately() {
+        let b = Budget::from_millis(0);
+        assert!(b.expired());
+        assert_eq!(b.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn generous_budget_is_not_expired_yet() {
+        let b = Budget::from_millis(60_000);
+        assert!(!b.expired());
+        assert!(b.remaining().unwrap() > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn timeout_error_reports_the_budget() {
+        let b = Budget::from_millis(120);
+        match b.timeout_error() {
+            Error::Timeout { budget_ms, .. } => assert_eq!(budget_ms, 120),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_budget_expires_after_sleeping_past_it() {
+        let b = Budget::from_millis(5);
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.expired());
+        assert!(b.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -30,6 +30,21 @@ pub enum Error {
     /// The requested objective/constraint refers to an index that does not
     /// exist in the problem.
     NoSuchObjective(usize),
+    /// A solve exceeded its time budget before producing any usable result.
+    /// Solvers that hold partial results return them flagged as degraded
+    /// instead of raising this.
+    Timeout {
+        /// Wall-clock milliseconds elapsed when the deadline fired.
+        elapsed_ms: u64,
+        /// The configured budget in milliseconds.
+        budget_ms: u64,
+    },
+    /// No trained model (and no fallback) exists for the requested
+    /// (workload, objective) key, or the model server dropped the lookup.
+    ModelUnavailable(String),
+    /// A worker thread (or an isolated solve) panicked; the payload carries
+    /// the panic message.
+    WorkerPanicked(String),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +60,11 @@ impl fmt::Display for Error {
                 write!(f, "objective {objective} returned non-finite value {value}")
             }
             Error::NoSuchObjective(i) => write!(f, "no such objective: {i}"),
+            Error::Timeout { elapsed_ms, budget_ms } => {
+                write!(f, "solve timed out after {elapsed_ms}ms (budget {budget_ms}ms)")
+            }
+            Error::ModelUnavailable(key) => write!(f, "no trained model available: {key}"),
+            Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
         }
     }
 }
@@ -66,11 +86,36 @@ mod tests {
         assert!(e.to_string().contains("empty box"));
         let e = Error::NonFiniteObjective { objective: 1, value: f64::NAN };
         assert!(e.to_string().contains("objective 1"));
+        let e = Error::Timeout { elapsed_ms: 1500, budget_ms: 1000 };
+        assert!(e.to_string().contains("1500ms"));
+        assert!(e.to_string().contains("budget 1000ms"));
+        let e = Error::ModelUnavailable("q7/latency".into());
+        assert!(e.to_string().contains("no trained model"));
+        assert!(e.to_string().contains("q7/latency"));
+        let e = Error::WorkerPanicked("index out of bounds".into());
+        assert!(e.to_string().contains("panicked"));
+        assert!(e.to_string().contains("index out of bounds"));
     }
 
     #[test]
     fn errors_are_comparable() {
         assert_eq!(Error::NoSuchObjective(2), Error::NoSuchObjective(2));
         assert_ne!(Error::NoSuchObjective(2), Error::NoSuchObjective(3));
+        assert_eq!(
+            Error::Timeout { elapsed_ms: 10, budget_ms: 5 },
+            Error::Timeout { elapsed_ms: 10, budget_ms: 5 }
+        );
+        assert_ne!(
+            Error::Timeout { elapsed_ms: 10, budget_ms: 5 },
+            Error::Timeout { elapsed_ms: 11, budget_ms: 5 }
+        );
+        assert_eq!(
+            Error::ModelUnavailable("a".into()),
+            Error::ModelUnavailable("a".into())
+        );
+        assert_ne!(
+            Error::WorkerPanicked("a".into()),
+            Error::WorkerPanicked("b".into())
+        );
     }
 }

@@ -18,6 +18,7 @@
 //! | module | paper section | contents |
 //! |--------|---------------|----------|
 //! | [`space`] | §IV-B step 1 | mixed categorical/integer/continuous parameter spaces, one-hot encoding, normalization to `[0,1]^D` |
+//! | [`budget`] | §VI | cooperative solve deadlines threaded through every solver |
 //! | [`objective`] | §II-B | objective descriptors and the [`ObjectiveModel`] trait |
 //! | [`pareto`] | §III | dominance, frontier filtering, hypervolume, uncertain-space volume |
 //! | [`hyperrect`] | §III | Utopia/Nadir hyperrectangles, middle points, subdivision |
@@ -47,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod error;
 pub mod hyperrect;
 pub mod mogd;
@@ -57,6 +59,7 @@ pub mod recommend;
 pub mod solver;
 pub mod space;
 
+pub use budget::Budget;
 pub use error::{Error, Result};
 pub use objective::{Direction, FnModel, ObjectiveModel, ObjectiveSpec};
 pub use pareto::ParetoPoint;

@@ -11,6 +11,7 @@
 //! iterates into the `[0,1]^D` box. Under model uncertainty each objective
 //! is replaced by the conservative estimate `E[F] + α·std[F]`.
 
+use crate::budget::Budget;
 use crate::error::{Error, Result};
 use crate::objective::ObjectiveModel;
 use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, MooProblem};
@@ -194,11 +195,14 @@ impl Mogd {
     }
 
     /// One Adam run from `x0`; returns the best feasible iterate, if any.
+    /// The budget is polled once per iteration: on expiry the run stops and
+    /// whatever feasible point it has found stands.
     fn descend(
         &self,
         problem: &MooProblem,
         co: &CoProblem,
         x0: &[f64],
+        budget: &Budget,
     ) -> Option<CoSolution> {
         let d = x0.len();
         let mut x = x0.to_vec();
@@ -210,6 +214,9 @@ impl Mogd {
         let mut best_loss = f64::INFINITY;
         let mut stale = 0usize;
         for t in 1..=self.cfg.max_iters {
+            if t > 1 && budget.expired() {
+                break;
+            }
             let loss = self.loss_and_grad(problem, co, &x, &mut g);
             if loss.is_finite() && loss < best_loss - 1e-12 {
                 best_loss = loss;
@@ -284,6 +291,15 @@ fn effective_bound(co: &CoProblem, problem: &MooProblem, j: usize) -> Bound {
 
 impl CoSolver for Mogd {
     fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>> {
+        self.solve_within(problem, co, &Budget::unlimited())
+    }
+
+    fn solve_within(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        budget: &Budget,
+    ) -> Result<Option<CoSolution>> {
         if co.target >= problem.num_objectives() {
             return Err(Error::NoSuchObjective(co.target));
         }
@@ -304,16 +320,22 @@ impl CoSolver for Mogd {
         let d = problem.dim;
         let mut best: Option<CoSolution> = None;
         let try_start = |x0: &[f64], best: &mut Option<CoSolution>| {
-            if let Some(sol) = self.descend(problem, co, x0) {
+            if let Some(sol) = self.descend(problem, co, x0, budget) {
                 match best {
                     Some(b) if b.f[co.target] <= sol.f[co.target] => {}
                     _ => *best = Some(sol),
                 }
             }
         };
-        // Center start plus random restarts.
+        // Center start plus random restarts. The center start always runs
+        // (its first iteration is deadline-exempt), so even an expired
+        // budget yields an answer when the center is feasible; further
+        // restarts are skipped once the deadline passes.
         try_start(&vec![0.5; d], &mut best);
         for _ in 0..self.cfg.multistarts {
+            if budget.expired() {
+                break;
+            }
             let x0: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
             try_start(&x0, &mut best);
         }

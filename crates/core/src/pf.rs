@@ -20,12 +20,24 @@
 //! are *incremental and consistent*: the frontier after `n` probes is a
 //! subset (up to dominance) of the frontier after `n' > n` probes — the
 //! property NSGA-II lacks (Fig. 4(e)).
+//!
+//! ## Resilience
+//!
+//! Every variant accepts a [`Budget`] ([`ProgressiveFrontier::solve_within`]):
+//! the probe loop polls the deadline cooperatively and, once it passes,
+//! returns the best-so-far frontier with [`PfRun::degraded`] set instead of
+//! overrunning. In PF-AP each per-cell CO solve additionally runs under
+//! `catch_unwind`, so one poisoned subproblem (a model panicking on some
+//! input region) is logged, counted in [`PfRun::skipped_probes`], and
+//! skipped — not fatal to the run.
 
+use crate::budget::Budget;
 use crate::error::{Error, Result};
 use crate::hyperrect::{Rect, RectQueue};
 use crate::mogd::{Mogd, MogdConfig};
 use crate::pareto::{pareto_filter, ParetoPoint};
 use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, ExactGridSolver, MooProblem};
+use std::panic::AssertUnwindSafe;
 use std::time::Instant;
 
 /// Which Progressive Frontier algorithm to run.
@@ -100,6 +112,12 @@ pub struct PfRun {
     pub probes: usize,
     /// Per-probe history.
     pub history: Vec<PfSnapshot>,
+    /// Whether the run was cut short (expired [`Budget`]) or lost probes to
+    /// isolated worker panics — the frontier is valid but may be coarser
+    /// than requested.
+    pub degraded: bool,
+    /// Probes abandoned because the CO solve panicked (PF-AP isolation).
+    pub skipped_probes: usize,
 }
 
 impl PfRun {
@@ -127,18 +145,33 @@ impl ProgressiveFrontier {
     }
 
     /// Compute (at least) `n_points` Pareto points, or run until the
-    /// uncertain space is exhausted, whichever comes first.
+    /// uncertain space is exhausted, whichever comes first. Unlimited
+    /// budget; see [`ProgressiveFrontier::solve_within`].
     pub fn solve(&self, problem: &MooProblem, n_points: usize) -> Result<PfRun> {
+        self.solve_within(problem, n_points, &Budget::unlimited())
+    }
+
+    /// Like [`ProgressiveFrontier::solve`], but cooperatively checks
+    /// `budget` throughout: when the deadline passes mid-run, the
+    /// best-so-far frontier is returned with [`PfRun::degraded`] set. Only
+    /// when the deadline fires before any Pareto point exists does this
+    /// return [`Error::Timeout`].
+    pub fn solve_within(
+        &self,
+        problem: &MooProblem,
+        n_points: usize,
+        budget: &Budget,
+    ) -> Result<PfRun> {
         match self.variant {
             PfVariant::Sequential => {
                 let solver = ExactGridSolver::new(self.opts.exact_resolution);
-                self.run_sequential(problem, n_points, &solver)
+                self.run_sequential(problem, n_points, &solver, budget)
             }
             PfVariant::ApproxSequential => {
                 let solver = Mogd::new(self.opts.mogd.clone());
-                self.run_sequential(problem, n_points, &solver)
+                self.run_sequential(problem, n_points, &solver, budget)
             }
-            PfVariant::ApproxParallel => self.run_parallel(problem, n_points),
+            PfVariant::ApproxParallel => self.run_parallel(problem, n_points, budget),
         }
     }
 
@@ -148,13 +181,15 @@ impl ProgressiveFrontier {
         &self,
         problem: &MooProblem,
         solver: &dyn CoSolver,
+        budget: &Budget,
     ) -> Result<(Vec<CoSolution>, Vec<f64>, Vec<f64>)> {
         let k = problem.num_objectives();
         let mut plans = Vec::with_capacity(k);
         for i in 0..k {
             let co = CoProblem::unconstrained(i, k);
-            match solver.solve(problem, &co)? {
+            match solver.solve_within(problem, &co, budget)? {
                 Some(sol) => plans.push(sol),
+                None if budget.expired() => return Err(budget.timeout_error()),
                 None => {
                     return Err(Error::Infeasible(format!(
                         "no feasible configuration minimizes objective {i}"
@@ -178,10 +213,11 @@ impl ProgressiveFrontier {
         problem: &MooProblem,
         n_points: usize,
         solver: &dyn CoSolver,
+        budget: &Budget,
     ) -> Result<PfRun> {
         let start = Instant::now();
         let k = problem.num_objectives();
-        let (plans, utopia, nadir) = self.anchors(problem, solver)?;
+        let (plans, utopia, nadir) = self.anchors(problem, solver, budget)?;
         let mut frontier: Vec<ParetoPoint> =
             plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
         let mut history = Vec::new();
@@ -207,10 +243,15 @@ impl ProgressiveFrontier {
             }
         };
         history.push(snapshot(&queue, probes, frontier.len(), &start));
+        let mut degraded = false;
 
         while frontier.len() < n_points
             && (self.opts.max_probes == 0 || probes < self.opts.max_probes)
         {
+            if budget.expired() {
+                degraded = true;
+                break;
+            }
             let Some(rect) = queue.pop() else { break };
             let middle = rect.middle();
             // Middle point probe (Eq. 2): minimize objective 0 inside
@@ -223,7 +264,7 @@ impl ProgressiveFrontier {
                 .collect();
             let co = CoProblem::constrained(0, bounds);
             probes += 1;
-            match solver.solve(problem, &co)? {
+            match solver.solve_within(problem, &co, budget)? {
                 Some(sol) => {
                     for cell in rect.subdivide(&sol.f) {
                         if cell.volume() > min_volume {
@@ -250,10 +291,17 @@ impl ProgressiveFrontier {
             nadir,
             probes,
             history,
+            degraded,
+            skipped_probes: 0,
         })
     }
 
-    fn run_parallel(&self, problem: &MooProblem, n_points: usize) -> Result<PfRun> {
+    fn run_parallel(
+        &self,
+        problem: &MooProblem,
+        n_points: usize,
+        budget: &Budget,
+    ) -> Result<PfRun> {
         let start = Instant::now();
         let k = problem.num_objectives();
         let solver = Mogd::new(self.opts.mogd.clone());
@@ -263,15 +311,17 @@ impl ProgressiveFrontier {
             self.opts.threads
         };
 
-        // Anchor COs in parallel.
+        // Anchor COs in parallel; each solve is panic-isolated so a
+        // poisoned model turns into a typed error, not a dead scope.
         let anchor_results: Vec<Result<Option<CoSolution>>> =
             parallel_map(threads, (0..k).collect(), |i| {
-                solver.solve(problem, &CoProblem::unconstrained(i, k))
-            });
+                isolated_solve(&solver, problem, &CoProblem::unconstrained(i, k), budget)
+            })?;
         let mut plans = Vec::with_capacity(k);
         for (i, r) in anchor_results.into_iter().enumerate() {
             match r? {
                 Some(sol) => plans.push(sol),
+                None if budget.expired() => return Err(budget.timeout_error()),
                 None => {
                     return Err(Error::Infeasible(format!(
                         "no feasible configuration minimizes objective {i}"
@@ -306,13 +356,22 @@ impl ProgressiveFrontier {
             frontier_len: frontier.len(),
         });
 
+        let mut degraded = false;
+        let mut skipped_probes = 0usize;
+
         while frontier.len() < n_points
             && (self.opts.max_probes == 0 || probes < self.opts.max_probes)
         {
+            if budget.expired() {
+                degraded = true;
+                break;
+            }
             let Some(rect) = queue.pop() else { break };
             // Partition the rectangle into an l^k grid of cells (§IV-C).
             let cells = grid_cells(&rect, self.opts.grid_l, k);
-            // Solve all cell probes simultaneously.
+            // Solve all cell probes simultaneously. Each solve runs under
+            // catch_unwind: a panicking subproblem must not poison the
+            // sibling probes of this round.
             let results: Vec<(Rect, Result<Option<CoSolution>>)> =
                 parallel_map(threads, cells, |cell| {
                     let middle = cell.middle();
@@ -322,13 +381,23 @@ impl ProgressiveFrontier {
                         .zip(&middle)
                         .map(|(l, m)| Bound::new(*l, *m))
                         .collect();
-                    let r = solver.solve(problem, &CoProblem::constrained(0, bounds));
+                    let r =
+                        isolated_solve(&solver, problem, &CoProblem::constrained(0, bounds), budget);
                     (cell, r)
-                });
+                })?;
             for (cell, result) in results {
                 probes += 1;
-                match result? {
-                    Some(sol) => {
+                match result {
+                    Err(Error::WorkerPanicked(msg)) => {
+                        // Poisoned subrectangle: log, drop the cell (its
+                        // solve is deterministic — retrying would panic
+                        // again), and mark the run degraded.
+                        eprintln!("pf-ap: skipping cell after solver panic: {msg}");
+                        skipped_probes += 1;
+                        degraded = true;
+                    }
+                    Err(e) => return Err(e),
+                    Ok(Some(sol)) => {
                         for sub in cell.subdivide(&sol.f) {
                             if sub.volume() > min_volume {
                                 queue.push(sub);
@@ -336,7 +405,7 @@ impl ProgressiveFrontier {
                         }
                         insert_nondominated(&mut frontier, ParetoPoint::new(sol.x, sol.f));
                     }
-                    None => {
+                    Ok(None) => {
                         let middle = cell.middle();
                         for sub in subdivide_after_empty_probe(&cell, &middle) {
                             if sub.volume() > min_volume {
@@ -364,8 +433,33 @@ impl ProgressiveFrontier {
             nadir,
             probes,
             history,
+            degraded,
+            skipped_probes,
         })
     }
+}
+
+/// Render a `catch_unwind` payload as a readable message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one CO solve under `catch_unwind`, converting a panic into
+/// [`Error::WorkerPanicked`] so the caller can skip the poisoned subproblem.
+fn isolated_solve(
+    solver: &dyn CoSolver,
+    problem: &MooProblem,
+    co: &CoProblem,
+    budget: &Budget,
+) -> Result<Option<CoSolution>> {
+    std::panic::catch_unwind(AssertUnwindSafe(|| solver.solve_within(problem, co, budget)))
+        .unwrap_or_else(|payload| Err(Error::WorkerPanicked(panic_message(payload.as_ref()))))
 }
 
 /// Partition `rect` into an `l^k` grid of equal cells.
@@ -438,22 +532,25 @@ fn insert_nondominated(frontier: &mut Vec<ParetoPoint>, p: ParetoPoint) {
 }
 
 /// Map `f` over `items` using up to `threads` scoped worker threads,
-/// preserving input order.
-fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+/// preserving input order. Worker panics surface as
+/// [`Error::WorkerPanicked`] instead of unwinding through the scope —
+/// callers isolate panics *inside* `f` (see [`isolated_solve`]), so this is
+/// the second line of defense.
+fn parallel_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Result<Vec<U>>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
     if threads <= 1 || items.len() <= 1 {
-        return items.into_iter().map(f).collect();
+        return Ok(items.into_iter().map(f).collect());
     }
     let n = items.len();
     let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = parking_lot::Mutex::new(work);
     let slots_mutex = parking_lot::Mutex::new(&mut slots);
-    crossbeam::thread::scope(|scope| {
+    let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
             scope.spawn(|_| loop {
                 let item = queue.lock().pop();
@@ -466,9 +563,16 @@ where
                 }
             });
         }
-    })
-    .expect("pf worker thread panicked");
-    slots.into_iter().map(|s| s.expect("worker filled slot")).collect()
+    });
+    if let Err(payload) = scope_result {
+        return Err(Error::WorkerPanicked(panic_message(payload.as_ref())));
+    }
+    slots
+        .into_iter()
+        .map(|s| {
+            s.ok_or_else(|| Error::WorkerPanicked("worker died before filling its slot".into()))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -622,6 +726,106 @@ mod tests {
             .unwrap();
         assert!(run.frontier.len() >= 3, "got {}", run.frontier.len());
         assert_eq!(run.utopia.len(), 3);
+    }
+
+    #[test]
+    fn expired_budget_returns_degraded_nondominated_frontier() {
+        // A budget that is already expired when the solve starts: the
+        // anchors still run (first-iteration exemption) but the probe loop
+        // exits immediately, so we get the anchor frontier flagged degraded.
+        for variant in [PfVariant::Sequential, PfVariant::ApproxSequential] {
+            let pf = ProgressiveFrontier::new(variant, PfOptions::default());
+            let run = pf
+                .solve_within(&convex_problem(), 10, &Budget::from_millis(0))
+                .unwrap();
+            assert!(run.degraded, "{variant:?} run not flagged degraded");
+            assert!(!run.frontier.is_empty(), "{variant:?} returned no points");
+            for a in &run.frontier {
+                for b in &run.frontier {
+                    assert!(
+                        !dominates(&a.f, &b.f) || a.f == b.f,
+                        "{variant:?} degraded frontier is not mutually non-dominated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_runs_are_not_degraded() {
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default());
+        let run = pf.solve(&convex_problem(), 8).unwrap();
+        assert!(!run.degraded);
+        assert_eq!(run.skipped_probes, 0);
+    }
+
+    /// Model that counts predictions and panics on every call once the
+    /// shared counter passes `panic_after` — simulates a poisoned model that
+    /// goes bad mid-run, after the anchors have been computed.
+    struct PanicAfterModel {
+        calls: Arc<std::sync::atomic::AtomicUsize>,
+        panic_after: usize,
+        f: fn(&[f64]) -> f64,
+    }
+
+    impl ObjectiveModel for PanicAfterModel {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn predict(&self, x: &[f64]) -> f64 {
+            let n = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            if n >= self.panic_after {
+                panic!("injected model fault at call {n}");
+            }
+            (self.f)(x)
+        }
+    }
+
+    #[test]
+    fn pf_ap_isolates_panicking_cells_and_still_returns_a_frontier() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let lat_fn: fn(&[f64]) -> f64 = |x| 100.0 + 200.0 * (1.0 - x[0]) + 30.0 * x[1];
+        let cost_fn: fn(&[f64]) -> f64 = |x| 8.0 + 16.0 * x[0] + 8.0 * x[1];
+
+        // Phase 1: measure how many model evaluations the anchor solves
+        // use, by running exactly the anchor CO problems the way PF-AP does
+        // (the MOGD solver is deterministic per problem).
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mk = |calls: &Arc<AtomicUsize>, f| -> Arc<dyn ObjectiveModel> {
+            Arc::new(PanicAfterModel { calls: calls.clone(), panic_after: usize::MAX, f })
+        };
+        let p = MooProblem::new(2, vec![mk(&calls, lat_fn), mk(&calls, cost_fn)]);
+        let solver = Mogd::new(MogdConfig::default());
+        for i in 0..2 {
+            solver.solve(&p, &CoProblem::unconstrained(i, 2)).unwrap();
+        }
+        let anchor_evals = calls.load(Ordering::SeqCst);
+
+        // Phase 2: the model goes bad shortly after the anchors complete,
+        // so main-loop cell solves panic. PF-AP must skip those cells,
+        // flag the run degraded, and still return the anchor frontier.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let mk_bad = |calls: &Arc<AtomicUsize>, f| -> Arc<dyn ObjectiveModel> {
+            Arc::new(PanicAfterModel {
+                calls: calls.clone(),
+                panic_after: anchor_evals + 50,
+                f,
+            })
+        };
+        let p = MooProblem::new(2, vec![mk_bad(&calls, lat_fn), mk_bad(&calls, cost_fn)]);
+        let pf = ProgressiveFrontier::new(
+            PfVariant::ApproxParallel,
+            PfOptions { threads: 2, grid_l: 2, ..Default::default() },
+        );
+        let run = pf.solve(&p, 12).expect("panics must be isolated, not fatal");
+        assert!(run.skipped_probes >= 1, "no cell was skipped");
+        assert!(run.degraded);
+        assert!(!run.frontier.is_empty());
+        for a in &run.frontier {
+            for b in &run.frontier {
+                assert!(!dominates(&a.f, &b.f) || a.f == b.f);
+            }
+        }
     }
 
     #[test]

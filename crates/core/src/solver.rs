@@ -153,6 +153,19 @@ pub trait CoSolver: Send + Sync {
     /// Solve the CO problem; `None` means no feasible point was found.
     fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>>;
 
+    /// Budget-aware solve: cut the search short when `budget` expires and
+    /// return the best answer found so far (possibly `None`). The default
+    /// delegates to [`CoSolver::solve`], honoring the deadline only between
+    /// calls — solvers with inner loops should override it.
+    fn solve_within(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        _budget: &crate::budget::Budget,
+    ) -> Result<Option<CoSolution>> {
+        self.solve(problem, co)
+    }
+
     /// Number of underlying model evaluations the last `solve` used, if the
     /// solver tracks it (used by probe-count experiments). Default: unknown.
     fn last_evals(&self) -> Option<usize> {
@@ -188,6 +201,15 @@ impl ExactGridSolver {
 
 impl CoSolver for ExactGridSolver {
     fn solve(&self, problem: &MooProblem, co: &CoProblem) -> Result<Option<CoSolution>> {
+        self.solve_within(problem, co, &crate::budget::Budget::unlimited())
+    }
+
+    fn solve_within(
+        &self,
+        problem: &MooProblem,
+        co: &CoProblem,
+        budget: &crate::budget::Budget,
+    ) -> Result<Option<CoSolution>> {
         if co.target >= problem.num_objectives() {
             return Err(Error::NoSuchObjective(co.target));
         }
@@ -202,6 +224,13 @@ impl CoSolver for ExactGridSolver {
         let mut best: Option<CoSolution> = None;
         let mut x = vec![0.0; d];
         for idx in 0..total {
+            // Deadline check amortized over lattice rows; on expiry the best
+            // point enumerated so far stands in for the exact optimum. The
+            // first block is exempt so even an expired budget produces a
+            // best-effort candidate instead of nothing.
+            if idx > 0 && idx % 256 == 0 && budget.expired() {
+                break;
+            }
             let mut rem = idx;
             for xd in x.iter_mut() {
                 *xd = (rem % r) as f64 / (r - 1) as f64;

@@ -212,7 +212,7 @@ impl ModelServer {
     /// persisting the data rather than the weights reproduces identical
     /// models on [`ModelServer::load_json`] while staying robust to model
     /// format changes.
-    pub fn save_json(&self) -> String {
+    pub fn save_json(&self) -> udao_core::Result<String> {
         let entries = self.entries.read();
         let mut dump: Vec<PersistedEntry> = entries
             .iter()
@@ -233,7 +233,8 @@ impl ModelServer {
         dump.sort_by(|a, b| {
             (&a.key.workload, &a.key.objective).cmp(&(&b.key.workload, &b.key.objective))
         });
-        serde_json::to_string(&dump).expect("server state serializes")
+        serde_json::to_string(&dump)
+            .map_err(|e| udao_core::Error::InvalidConfig(format!("checkpoint serialization: {e}")))
     }
 
     /// Restore a server from a [`ModelServer::save_json`] checkpoint,
@@ -351,7 +352,7 @@ mod tests {
         server.ingest(&key, &line_data(20, 6.0));
         let original = server.get(&key).unwrap();
 
-        let json = server.save_json();
+        let json = server.save_json().expect("serializes");
         let restored = ModelServer::load_json(&json).expect("loads");
         let model = restored.get(&key).expect("model retrained");
         for i in 0..10 {

@@ -1,0 +1,246 @@
+//! Deterministic fault injection for resilience testing.
+//!
+//! The optimizer's failure-handling paths (budget expiry, panic isolation,
+//! the fallback chain) are only trustworthy if they are *exercised*. This
+//! module provides a seeded, deterministic [`FaultInjector`] that wraps
+//! [`ObjectiveModel`]s and model-server lookups with configurable fault
+//! rates:
+//!
+//! * **Poisoned predictions** — `predict` returns `NaN` or `∞`.
+//! * **Prediction latency** — `predict` sleeps, burning the caller's
+//!   [`Budget`](udao_core::Budget).
+//! * **Dropped lookups** — a model-server fetch fails transiently.
+//! * **Worker panics** — `predict` panics inside the CO solve, exercising
+//!   the PF-AP `catch_unwind` isolation.
+//!
+//! Determinism: each fault decision hashes `(seed, event-counter)` with a
+//! splitmix64 finalizer, so a given seed reproduces the same fault
+//! *sequence* regardless of wall-clock timing. (Under a multi-threaded
+//! solver the assignment of sequence slots to call sites still depends on
+//! scheduling; rates and replayability are what is guaranteed.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use udao_core::ObjectiveModel;
+
+/// Fault rates and parameters for a [`FaultInjector`]. All rates are
+/// probabilities in `[0, 1]` and default to `0.0` (no faults).
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability that a `predict` call returns a non-finite value.
+    pub nan_rate: f64,
+    /// Probability that a `predict` call sleeps for [`latency`](Self::latency).
+    pub slow_rate: f64,
+    /// Sleep injected by slow predictions.
+    pub latency: Duration,
+    /// Probability that a model-server lookup fails transiently.
+    pub drop_rate: f64,
+    /// Probability that a `predict` call panics.
+    pub panic_rate: f64,
+    /// Seed for the deterministic fault sequence.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            nan_rate: 0.0,
+            slow_rate: 0.0,
+            latency: Duration::from_millis(5),
+            drop_rate: 0.0,
+            panic_rate: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Counts of faults actually injected, for test assertions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Non-finite predictions returned.
+    pub nans: usize,
+    /// Predictions that slept.
+    pub delays: usize,
+    /// Lookups dropped.
+    pub drops: usize,
+    /// Predictions that panicked.
+    pub panics: usize,
+}
+
+/// A seeded source of deterministic faults. Cheap to share (`Arc`) between
+/// the wrapped models of a problem and the model-lookup path.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    events: AtomicU64,
+    nans: AtomicU64,
+    delays: AtomicU64,
+    drops: AtomicU64,
+    panics: AtomicU64,
+}
+
+/// splitmix64 finalizer: uncorrelated 53-bit uniform from a counter.
+fn unit_hash(seed: u64, n: u64) -> f64 {
+    let mut h = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl FaultInjector {
+    /// Create an injector with the given fault plan.
+    pub fn new(cfg: FaultConfig) -> Arc<Self> {
+        Arc::new(Self {
+            cfg,
+            events: AtomicU64::new(0),
+            nans: AtomicU64::new(0),
+            delays: AtomicU64::new(0),
+            drops: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+        })
+    }
+
+    /// The configured fault plan.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// Next uniform draw of the deterministic fault sequence.
+    fn draw(&self) -> f64 {
+        let n = self.events.fetch_add(1, Ordering::Relaxed);
+        unit_hash(self.cfg.seed, n)
+    }
+
+    /// Faults actually injected so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            nans: self.nans.load(Ordering::Relaxed) as usize,
+            delays: self.delays.load(Ordering::Relaxed) as usize,
+            drops: self.drops.load(Ordering::Relaxed) as usize,
+            panics: self.panics.load(Ordering::Relaxed) as usize,
+        }
+    }
+
+    /// Decide whether a model-server lookup is dropped this time; returns
+    /// the injected failure message when it is.
+    pub fn lookup_fault(&self) -> Option<String> {
+        if self.draw() < self.cfg.drop_rate {
+            self.drops.fetch_add(1, Ordering::Relaxed);
+            Some("injected transient model-server failure".to_string())
+        } else {
+            None
+        }
+    }
+
+    /// Wrap a model so its predictions are subject to this injector's
+    /// fault plan. Gradients and uncertainty pass through unfaulted — the
+    /// interesting failure surface is the prediction path the solvers use
+    /// for feasibility and objective values.
+    pub fn wrap(self: &Arc<Self>, inner: Arc<dyn ObjectiveModel>) -> Arc<dyn ObjectiveModel> {
+        Arc::new(FaultyModel { injector: Arc::clone(self), inner })
+    }
+}
+
+/// An [`ObjectiveModel`] whose `predict` is subject to injected faults.
+struct FaultyModel {
+    injector: Arc<FaultInjector>,
+    inner: Arc<dyn ObjectiveModel>,
+}
+
+impl ObjectiveModel for FaultyModel {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        let inj = &self.injector;
+        let cfg = &inj.cfg;
+        if cfg.panic_rate > 0.0 && inj.draw() < cfg.panic_rate {
+            inj.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("injected model panic");
+        }
+        if cfg.slow_rate > 0.0 && inj.draw() < cfg.slow_rate {
+            inj.delays.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(cfg.latency);
+        }
+        if cfg.nan_rate > 0.0 && inj.draw() < cfg.nan_rate {
+            inj.nans.fetch_add(1, Ordering::Relaxed);
+            // Alternate between the two non-finite poisons.
+            return if inj.draw() < 0.5 { f64::NAN } else { f64::INFINITY };
+        }
+        self.inner.predict(x)
+    }
+
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        self.inner.predict_std(x)
+    }
+
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.gradient(x, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_core::FnModel;
+
+    fn constant_model() -> Arc<dyn ObjectiveModel> {
+        Arc::new(FnModel::new(1, |_| 1.0))
+    }
+
+    #[test]
+    fn zero_rates_are_transparent() {
+        let inj = FaultInjector::new(FaultConfig::default());
+        let m = inj.wrap(constant_model());
+        for i in 0..100 {
+            assert_eq!(m.predict(&[i as f64 / 100.0]), 1.0);
+        }
+        assert!(inj.lookup_fault().is_none());
+        assert_eq!(inj.counts(), FaultCounts::default());
+    }
+
+    #[test]
+    fn nan_rate_poisons_about_the_requested_fraction() {
+        let inj = FaultInjector::new(FaultConfig { nan_rate: 0.3, ..Default::default() });
+        let m = inj.wrap(constant_model());
+        let bad = (0..1000).filter(|_| !m.predict(&[0.5]).is_finite()).count();
+        assert!((200..400).contains(&bad), "poisoned {bad}/1000 at rate 0.3");
+        assert_eq!(inj.counts().nans, bad);
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_fault_sequence() {
+        let run = |seed| {
+            let inj = FaultInjector::new(FaultConfig { drop_rate: 0.5, seed, ..Default::default() });
+            (0..64).map(|_| inj.lookup_fault().is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn panic_rate_panics_inside_predict() {
+        let inj = FaultInjector::new(FaultConfig { panic_rate: 1.0, ..Default::default() });
+        let m = inj.wrap(constant_model());
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.predict(&[0.5])));
+        assert!(r.is_err());
+        assert_eq!(inj.counts().panics, 1);
+    }
+
+    #[test]
+    fn slow_rate_injects_latency() {
+        let inj = FaultInjector::new(FaultConfig {
+            slow_rate: 1.0,
+            latency: Duration::from_millis(3),
+            ..Default::default()
+        });
+        let m = inj.wrap(constant_model());
+        let t = std::time::Instant::now();
+        let _ = m.predict(&[0.5]);
+        assert!(t.elapsed() >= Duration::from_millis(3));
+        assert_eq!(inj.counts().delays, 1);
+    }
+}

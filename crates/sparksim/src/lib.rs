@@ -36,6 +36,7 @@
 pub mod cluster;
 pub mod dataflow;
 pub mod exec;
+pub mod fault;
 pub mod objectives;
 pub mod params;
 pub mod streaming;
@@ -57,6 +58,7 @@ pub(crate) fn exec_noise(seed: u64, spread: f64) -> f64 {
 
 pub use dataflow::{DataflowProgram, Operator, Stage};
 pub use exec::{simulate_batch, JobMetrics};
+pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use params::{BatchConf, StreamConf};
 pub use streaming::{simulate_streaming, StreamMetrics};
 pub use workloads::{batch_workloads, streaming_workloads, Workload, WorkloadKind};

@@ -132,7 +132,10 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
     }
     match udao.recommend_batch(&req) {
         Ok(rec) => {
-            let conf = rec.batch_conf.as_ref().expect("batch conf");
+            let Some(conf) = rec.batch_conf.as_ref() else {
+                eprintln!("internal error: batch request produced no batch configuration");
+                return ExitCode::FAILURE;
+            };
             if flags.contains_key("json") {
                 println!(
                     "{}",
@@ -143,6 +146,8 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
                         "frontier_size": rec.frontier.len(),
                         "probes": rec.probes,
                         "moo_seconds": rec.moo_seconds,
+                        "degraded": rec.degraded,
+                        "stage": rec.stage.to_string(),
                     })
                 );
             } else {
@@ -158,11 +163,16 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
                     rec.probes,
                     rec.moo_seconds
                 );
-                let m = udao.measure_batch(w, conf, 0);
-                println!(
-                    "measured on the simulated cluster: latency {:.1}s, {:.0} cores, {:.4} CPU-h",
-                    m.latency_s, m.cores, m.cost_cpu_hour()
-                );
+                if rec.degraded {
+                    println!("note: degraded answer (stage: {})", rec.stage);
+                }
+                match udao.measure_batch(w, conf, 0) {
+                    Ok(m) => println!(
+                        "measured on the simulated cluster: latency {:.1}s, {:.0} cores, {:.4} CPU-h",
+                        m.latency_s, m.cores, m.cost_cpu_hour()
+                    ),
+                    Err(e) => eprintln!("measurement failed: {e}"),
+                }
             }
             ExitCode::SUCCESS
         }
@@ -185,9 +195,21 @@ fn cmd_measure(flags: &HashMap<String, String>) -> ExitCode {
     };
     let udao = Udao::new(ClusterSpec::paper_cluster());
     let conf = BatchConf::spark_default();
-    let m = udao.measure_batch(w, &conf, 0);
+    let m = match udao.measure_batch(w, &conf, 0) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("measurement failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if flags.contains_key("json") {
-        println!("{}", serde_json::to_string_pretty(&m).expect("metrics serialize"));
+        match serde_json::to_string_pretty(&m) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("failed to serialize metrics: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         println!(
             "{id} under the Spark default configuration: latency {:.1}s, {:.0} cores, \

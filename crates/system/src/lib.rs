@@ -35,8 +35,10 @@ pub mod analytic;
 pub mod optimizer;
 pub mod pipeline;
 pub mod request;
+pub mod resilience;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
 pub use optimizer::{ModelFamily, Recommendation, Udao};
 pub use pipeline::{PipelineRecommendation, PipelineRequest};
 pub use request::{BatchRequest, StreamRequest};
+pub use resilience::{FallbackStage, ModelProvider, ResilienceOptions, RetryPolicy};

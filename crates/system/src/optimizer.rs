@@ -1,15 +1,28 @@
 //! The UDAO optimizer façade: model retrieval → Progressive Frontier →
 //! configuration recommendation (Fig. 1(a), modules 1–3).
+//!
+//! The serving path runs under the resilience policy of
+//! [`crate::resilience`]: model lookups are retried with backoff, every
+//! solve honors the request [`Budget`], each fallback stage runs under
+//! `catch_unwind`, and a request only fails outright on *semantic* errors
+//! (malformed request, infeasible constraints) — runtime faults walk down
+//! the degradation ladder instead.
 
-use crate::analytic::{BatchCostCoresModel, StreamCostCoresModel};
+use crate::analytic::{
+    BatchCostCoresModel, BatchHeuristicModel, StreamCostCoresModel, StreamHeuristicModel,
+};
 use crate::request::{BatchRequest, StreamRequest};
+use crate::resilience::{absorbable, FallbackStage, ModelProvider, ResilienceOptions};
+use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
+use udao_core::budget::Budget;
+use udao_core::mogd::Mogd;
 use udao_core::objective::ObjectiveModel;
 use udao_core::pareto::ParetoPoint;
 use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
 use udao_core::recommend::{recommend, Strategy};
-use udao_core::solver::Bound;
+use udao_core::solver::{Bound, CoProblem, CoSolver};
 use udao_core::space::Configuration;
 use udao_core::{Error, MooProblem, Result};
 use udao_model::dataset::Dataset;
@@ -71,16 +84,53 @@ pub struct Recommendation {
     pub probes: usize,
     /// Wall-clock seconds of the MOO phase.
     pub moo_seconds: f64,
+    /// Whether any resilience mechanism weakened this answer: an expired
+    /// budget, skipped (panicked) probes, heuristic cold-start models, or a
+    /// fallback stage below the primary solver.
+    pub degraded: bool,
+    /// Which rung of the degradation ladder produced the answer.
+    pub stage: FallbackStage,
 }
 
-/// The MOO phase output: the selected point, the frontier it came from,
-/// the Utopia/Nadir corners, the probe count, and the elapsed seconds.
-type MooSelection = (Vec<f64>, Vec<ParetoPoint>, Vec<f64>, Vec<f64>, usize, f64);
+/// The MOO phase output.
+struct MooSelection {
+    /// The selected configuration point.
+    x: Vec<f64>,
+    /// Model-predicted objectives at the selected point.
+    f: Vec<f64>,
+    /// The frontier the choice was made from.
+    frontier: Vec<ParetoPoint>,
+    utopia: Vec<f64>,
+    nadir: Vec<f64>,
+    probes: usize,
+    moo_seconds: f64,
+    stage: FallbackStage,
+    degraded: bool,
+}
+
+/// Run `f` isolating panics into [`Error::WorkerPanicked`], so a poisoned
+/// model cannot unwind through the serving path.
+fn guard<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+    std::panic::catch_unwind(AssertUnwindSafe(f))
+        .unwrap_or_else(|payload| Err(Error::WorkerPanicked(panic_message(payload.as_ref()))))
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// The UDAO system: a cluster, a model server, and the MOO engine.
 pub struct Udao {
     cluster: ClusterSpec,
-    server: ModelServer,
+    server: Arc<ModelServer>,
+    provider: Arc<dyn ModelProvider>,
+    resilience: ResilienceOptions,
     pf_options: PfOptions,
     pf_variant: PfVariant,
     seed: u64,
@@ -100,9 +150,12 @@ impl Udao {
     pub fn new(cluster: ClusterSpec) -> Self {
         let mut pf_options = PfOptions::default();
         pf_options.mogd.alpha = 1.0;
+        let server = Arc::new(ModelServer::new());
         Self {
             cluster,
-            server: ModelServer::new(),
+            provider: server.clone(),
+            server,
+            resilience: ResilienceOptions::default(),
             pf_options,
             pf_variant: PfVariant::ApproxParallel,
             seed: 0xDA0,
@@ -117,9 +170,31 @@ impl Udao {
         self
     }
 
+    /// Override the resilience policy (request budget, retry, cold-start
+    /// degradation).
+    pub fn with_resilience(mut self, resilience: ResilienceOptions) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Route model lookups through `provider` instead of the in-process
+    /// model server — the seam for remote servers and fault injection.
+    /// Training still writes to [`Udao::model_server`]; wrap
+    /// [`Udao::shared_model_server`] to intercept its reads.
+    pub fn with_model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
+        self.provider = provider;
+        self
+    }
+
     /// The underlying model server.
     pub fn model_server(&self) -> &ModelServer {
         &self.server
+    }
+
+    /// A shareable handle to the model server, for building custom
+    /// [`ModelProvider`]s over it.
+    pub fn shared_model_server(&self) -> Arc<ModelServer> {
+        self.server.clone()
     }
 
     /// The cluster this optimizer targets.
@@ -248,24 +323,79 @@ impl Udao {
         }
     }
 
+    /// Fetch a trained model with bounded retry + exponential backoff on
+    /// transient provider failures. Backoff sleeps never outlive `budget`.
+    fn fetch_model(
+        &self,
+        key: &ModelKey,
+        budget: &Budget,
+    ) -> Result<Option<Arc<dyn ObjectiveModel>>> {
+        let retry = &self.resilience.retry;
+        let mut last: Option<Error> = None;
+        for attempt in 0..retry.attempts.max(1) {
+            if attempt > 0 {
+                if budget.expired() {
+                    break;
+                }
+                let mut pause = retry.backoff(attempt - 1);
+                if let Some(remaining) = budget.remaining() {
+                    pause = pause.min(remaining);
+                }
+                std::thread::sleep(pause);
+            }
+            match self.provider.fetch(key) {
+                Ok(found) => return Ok(found),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| budget.timeout_error()))
+    }
+
+    /// Resolve the model for one learned objective: retried lookup, then —
+    /// when cold-start degradation is enabled — the analytic heuristic
+    /// prior. `Ok(None)` means "degrade to the heuristic".
+    fn resolve_model(
+        &self,
+        key: &ModelKey,
+        budget: &Budget,
+    ) -> Result<Option<Arc<dyn ObjectiveModel>>> {
+        match self.fetch_model(key, budget) {
+            Ok(Some(model)) => Ok(Some(model)),
+            Ok(None) if self.resilience.cold_start_analytic => Ok(None),
+            Ok(None) => Err(Error::ModelUnavailable(format!(
+                "workload {} objective {}",
+                key.workload, key.objective
+            ))),
+            // Retries exhausted: with cold-start degradation on, a dead
+            // provider is handled like a cold start; otherwise surface it.
+            Err(_) if self.resilience.cold_start_analytic => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
     /// Build the MOO problem for a batch request from the model server's
     /// current models (the analytic cores model serves `CostCores`).
-    pub fn batch_problem(&self, request: &BatchRequest) -> Result<MooProblem> {
+    /// The flag reports whether any objective degraded to a heuristic.
+    fn build_batch_problem(
+        &self,
+        request: &BatchRequest,
+        budget: &Budget,
+    ) -> Result<(MooProblem, bool)> {
         let space = BatchConf::space();
         let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
+        let mut degraded = false;
         for obj in &request.objectives {
             if matches!(obj, BatchObjective::CostCores) {
                 models.push(Arc::new(BatchCostCoresModel));
-            } else {
-                let key = ModelKey::new(request.workload_id.clone(), obj.name());
-                let model = self.server.get(&key).ok_or_else(|| {
-                    Error::InvalidConfig(format!(
-                        "no trained model for workload {} objective {}",
-                        request.workload_id,
-                        obj.name()
-                    ))
-                })?;
-                models.push(Arc::new(model) as Arc<dyn ObjectiveModel>);
+                continue;
+            }
+            let key = ModelKey::new(request.workload_id.clone(), obj.name());
+            match self.resolve_model(&key, budget)? {
+                Some(model) => models.push(model),
+                None => {
+                    degraded = true;
+                    models.push(Arc::new(BatchHeuristicModel::new(*obj)));
+                }
             }
         }
         let constraints = request
@@ -273,26 +403,36 @@ impl Udao {
             .iter()
             .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
             .collect();
-        Ok(MooProblem::new(space.encoded_dim(), models).with_constraints(constraints))
+        Ok((MooProblem::new(space.encoded_dim(), models).with_constraints(constraints), degraded))
     }
 
-    /// Build the MOO problem for a streaming request.
-    pub fn stream_problem(&self, request: &StreamRequest) -> Result<MooProblem> {
+    /// Build the MOO problem for a batch request (unlimited budget).
+    pub fn batch_problem(&self, request: &BatchRequest) -> Result<MooProblem> {
+        self.build_batch_problem(request, &Budget::unlimited()).map(|(p, _)| p)
+    }
+
+    /// Build the MOO problem for a streaming request; the flag reports
+    /// whether any objective degraded to a heuristic.
+    fn build_stream_problem(
+        &self,
+        request: &StreamRequest,
+        budget: &Budget,
+    ) -> Result<(MooProblem, bool)> {
         let space = StreamConf::space();
         let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
+        let mut degraded = false;
         for obj in &request.objectives {
             if matches!(obj, StreamObjective::CostCores) {
                 models.push(Arc::new(StreamCostCoresModel));
-            } else {
-                let key = ModelKey::new(request.workload_id.clone(), obj.name());
-                let model = self.server.get(&key).ok_or_else(|| {
-                    Error::InvalidConfig(format!(
-                        "no trained model for workload {} objective {}",
-                        request.workload_id,
-                        obj.name()
-                    ))
-                })?;
-                models.push(Arc::new(model) as Arc<dyn ObjectiveModel>);
+                continue;
+            }
+            let key = ModelKey::new(request.workload_id.clone(), obj.name());
+            match self.resolve_model(&key, budget)? {
+                Some(model) => models.push(model),
+                None => {
+                    degraded = true;
+                    models.push(Arc::new(StreamHeuristicModel::new(*obj)));
+                }
             }
         }
         let constraints = request
@@ -300,31 +440,140 @@ impl Udao {
             .iter()
             .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
             .collect();
-        Ok(MooProblem::new(space.encoded_dim(), models).with_constraints(constraints))
+        Ok((MooProblem::new(space.encoded_dim(), models).with_constraints(constraints), degraded))
     }
 
-    fn run_moo_and_select(
+    /// Build the MOO problem for a streaming request (unlimited budget).
+    pub fn stream_problem(&self, request: &StreamRequest) -> Result<MooProblem> {
+        self.build_stream_problem(request, &Budget::unlimited()).map(|(p, _)| p)
+    }
+
+    /// Run one Progressive Frontier `rung` — its solver variant paired with
+    /// the ladder stage it represents — to a selection.
+    fn pf_stage(
         &self,
+        rung: (PfVariant, FallbackStage),
         problem: &MooProblem,
         points: usize,
         weights: &Option<Vec<f64>>,
+        budget: &Budget,
+        start: &Instant,
     ) -> Result<MooSelection> {
-        let start = Instant::now();
-        let pf = ProgressiveFrontier::new(self.pf_variant, self.pf_options.clone());
-        let run = pf.solve(problem, points)?;
+        let (variant, stage) = rung;
+        let run = guard(|| {
+            ProgressiveFrontier::new(variant, self.pf_options.clone())
+                .solve_within(problem, points, budget)
+        })?;
         let strategy = match weights {
             Some(w) => Strategy::WeightedUtopiaNearest(w.clone()),
             None => Strategy::UtopiaNearest,
         };
         let idx = recommend(&run.frontier, &run.utopia, &run.nadir, &strategy)?;
-        Ok((
-            run.frontier[idx].x.clone(),
-            run.frontier.clone(),
-            run.utopia,
-            run.nadir,
-            run.probes,
-            start.elapsed().as_secs_f64(),
-        ))
+        Ok(MooSelection {
+            x: run.frontier[idx].x.clone(),
+            f: run.frontier[idx].f.clone(),
+            frontier: run.frontier,
+            utopia: run.utopia,
+            nadir: run.nadir,
+            probes: run.probes,
+            moo_seconds: start.elapsed().as_secs_f64(),
+            stage,
+            degraded: run.degraded || stage != FallbackStage::Primary,
+        })
+    }
+
+    /// The MOO phase under the degradation ladder: the configured PF
+    /// variant, then PF-AS, then a single-objective MOGD solve of the
+    /// primary objective. Only absorbable (runtime) faults move the request
+    /// down a rung; semantic errors fail fast. An `Err` from this function
+    /// is either semantic or means every rung failed — the caller then
+    /// falls back to the default configuration.
+    fn run_moo_and_select(
+        &self,
+        problem: &MooProblem,
+        points: usize,
+        weights: &Option<Vec<f64>>,
+        budget: &Budget,
+    ) -> Result<MooSelection> {
+        let start = Instant::now();
+        let primary = self.pf_stage(
+            (self.pf_variant, FallbackStage::Primary),
+            problem,
+            points,
+            weights,
+            budget,
+            &start,
+        );
+        let mut last_err = match primary {
+            Ok(sel) => return Ok(sel),
+            Err(e) if absorbable(&e) => e,
+            Err(e) => return Err(e),
+        };
+        if self.pf_variant != PfVariant::ApproxSequential {
+            eprintln!(
+                "udao: {} failed ({last_err}); falling back to PF-AS",
+                self.pf_variant_name()
+            );
+            match self.pf_stage(
+                (PfVariant::ApproxSequential, FallbackStage::SequentialPf),
+                problem,
+                points,
+                weights,
+                budget,
+                &start,
+            ) {
+                Ok(sel) => return Ok(sel),
+                Err(e) if absorbable(&e) => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        eprintln!(
+            "udao: sequential PF failed ({last_err}); falling back to single-objective MOGD"
+        );
+        // Single-objective rung: optimize the heaviest-weighted (or first)
+        // objective alone — one configuration instead of a frontier.
+        let primary_idx = weights
+            .as_ref()
+            .and_then(|w| {
+                w.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .map(|(i, _)| i)
+            })
+            .unwrap_or(0)
+            .min(problem.num_objectives() - 1);
+        let solo = guard(|| {
+            let solver = Mogd::new(self.pf_options.mogd.clone());
+            solver.solve_within(
+                problem,
+                &CoProblem::unconstrained(primary_idx, problem.num_objectives()),
+                budget,
+            )
+        });
+        match solo {
+            Ok(Some(sol)) => Ok(MooSelection {
+                x: sol.x.clone(),
+                f: sol.f.clone(),
+                frontier: vec![ParetoPoint::new(sol.x, sol.f.clone())],
+                utopia: sol.f.clone(),
+                nadir: sol.f,
+                probes: 1,
+                moo_seconds: start.elapsed().as_secs_f64(),
+                stage: FallbackStage::SingleObjective,
+                degraded: true,
+            }),
+            Ok(None) => Err(last_err),
+            Err(e) if absorbable(&e) => Err(e),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn pf_variant_name(&self) -> &'static str {
+        match self.pf_variant {
+            PfVariant::Sequential => "PF-S",
+            PfVariant::ApproxSequential => "PF-AS",
+            PfVariant::ApproxParallel => "PF-AP",
+        }
     }
 
     /// Snap the chosen point onto the decodable knob grid, re-checking the
@@ -364,13 +613,98 @@ impl Udao {
         Ok((snapped, predicted))
     }
 
+    /// Snap the selection onto the knob grid. The feasibility re-check
+    /// evaluates models, which under fault injection may panic or return
+    /// poison; retry a few times (each evaluation re-rolls the fault
+    /// sequence), then degrade to the raw snap with the selection's own
+    /// (finite, solver-vetted) predictions.
+    fn snap_resilient(
+        problem: &MooProblem,
+        space: &udao_core::space::ParamSpace,
+        sel: &MooSelection,
+        degraded: &mut bool,
+    ) -> Result<(Vec<f64>, Vec<f64>)> {
+        for _ in 0..3 {
+            match guard(|| Self::snap_feasible(problem, space, &sel.x, &sel.frontier)) {
+                Ok((snapped, predicted)) if predicted.iter().all(|v| v.is_finite()) => {
+                    return Ok((snapped, predicted));
+                }
+                Ok(_) => continue,
+                Err(e) if absorbable(&e) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        *degraded = true;
+        Ok((space.snap(&sel.x)?, sel.f.clone()))
+    }
+
+    /// Last rung of the ladder: recommend a snapped default/midpoint
+    /// configuration with best-effort predictions. Never consults a solver.
+    /// Panicking or poisoned evaluations are retried (each call re-rolls
+    /// injected faults); candidate points that stay unusable are skipped.
+    fn default_recommendation(
+        problem: &MooProblem,
+        space: &udao_core::space::ParamSpace,
+        default_x: Option<Vec<f64>>,
+        started: &Instant,
+    ) -> Result<(Vec<f64>, Vec<f64>, MooSelection)> {
+        let dim = space.encoded_dim();
+        let mut candidates: Vec<Vec<f64>> = Vec::new();
+        if let Some(x) = default_x {
+            candidates.push(x);
+        }
+        candidates.push(vec![0.5; dim]);
+        // Deterministic jitter around the midpoint widens the net when a
+        // model is poisoned exactly at the defaults.
+        for s in 0..6u64 {
+            candidates.push(
+                (0..dim)
+                    .map(|d| {
+                        let mut h = (s * 131 + d as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                        h ^= h >> 29;
+                        0.25 + 0.5 * ((h >> 11) as f64 / (1u64 << 53) as f64)
+                    })
+                    .collect(),
+            );
+        }
+        for x in candidates {
+            let snapped = space.snap(&x)?;
+            // Each evaluation re-rolls injected faults; retry per point.
+            for _ in 0..4 {
+                match guard(|| problem.evaluate(&snapped)) {
+                    Ok(f) if f.iter().all(|v| v.is_finite()) => {
+                        let sel = MooSelection {
+                            x: snapped.clone(),
+                            f: f.clone(),
+                            frontier: vec![ParetoPoint::new(snapped.clone(), f.clone())],
+                            utopia: f.clone(),
+                            nadir: f.clone(),
+                            probes: 0,
+                            moo_seconds: started.elapsed().as_secs_f64(),
+                            stage: FallbackStage::DefaultConfig,
+                            degraded: true,
+                        };
+                        return Ok((snapped, f, sel));
+                    }
+                    Ok(_) | Err(_) => continue,
+                }
+            }
+        }
+        Err(Error::ModelUnavailable(
+            "every model is unusable; cannot evaluate even the default configuration".into(),
+        ))
+    }
+
     /// Handle a batch request end-to-end: models → Pareto frontier →
-    /// recommendation, snapped onto a real Spark configuration.
+    /// recommendation, snapped onto a real Spark configuration. Runs under
+    /// the resilience policy: see [`crate::resilience`].
     pub fn recommend_batch(&self, request: &BatchRequest) -> Result<Recommendation> {
         if request.objectives.is_empty() {
             return Err(Error::InvalidConfig("request has no objectives".into()));
         }
-        let problem = self.batch_problem(request)?;
+        let started = Instant::now();
+        let budget = self.resilience.budget.map(Budget::new).unwrap_or_default();
+        let (problem, mut degraded) = self.build_batch_problem(request, &budget)?;
         // Workload-aware WUN: compose the class's internal expert weights
         // with the external application weights (2-objective case, §V).
         let weights = match (&request.workload_class, &request.weights) {
@@ -381,10 +715,20 @@ impl Udao {
             }
             _ => request.weights.clone(),
         };
-        let (x, frontier, utopia, nadir, probes, moo_seconds) =
-            self.run_moo_and_select(&problem, request.points, &weights)?;
         let space = BatchConf::space();
-        let (snapped, predicted) = Self::snap_feasible(&problem, &space, &x, &frontier)?;
+        let sel = match self.run_moo_and_select(&problem, request.points, &weights, &budget) {
+            Ok(sel) => sel,
+            Err(e) if absorbable(&e) => {
+                eprintln!("udao: all solver rungs failed ({e}); serving default configuration");
+                let default_x = space.encode(&BatchConf::spark_default().to_configuration()).ok();
+                let (_, _, sel) =
+                    Self::default_recommendation(&problem, &space, default_x, &started)?;
+                sel
+            }
+            Err(e) => return Err(e),
+        };
+        degraded |= sel.degraded;
+        let (snapped, predicted) = Self::snap_resilient(&problem, &space, &sel, &mut degraded)?;
         let configuration = space.decode(&snapped)?;
         Ok(Recommendation {
             batch_conf: Some(BatchConf::from_configuration(&configuration)),
@@ -392,24 +736,40 @@ impl Udao {
             x: snapped,
             configuration,
             predicted,
-            frontier,
-            utopia,
-            nadir,
-            probes,
-            moo_seconds,
+            frontier: sel.frontier,
+            utopia: sel.utopia,
+            nadir: sel.nadir,
+            probes: sel.probes,
+            moo_seconds: sel.moo_seconds,
+            degraded,
+            stage: sel.stage,
         })
     }
 
-    /// Handle a streaming request end-to-end.
+    /// Handle a streaming request end-to-end, under the same resilience
+    /// policy as [`Udao::recommend_batch`].
     pub fn recommend_streaming(&self, request: &StreamRequest) -> Result<Recommendation> {
         if request.objectives.is_empty() {
             return Err(Error::InvalidConfig("request has no objectives".into()));
         }
-        let problem = self.stream_problem(request)?;
-        let (x, frontier, utopia, nadir, probes, moo_seconds) =
-            self.run_moo_and_select(&problem, request.points, &request.weights)?;
+        let started = Instant::now();
+        let budget = self.resilience.budget.map(Budget::new).unwrap_or_default();
+        let (problem, mut degraded) = self.build_stream_problem(request, &budget)?;
         let space = StreamConf::space();
-        let (snapped, predicted) = Self::snap_feasible(&problem, &space, &x, &frontier)?;
+        let sel = match self.run_moo_and_select(&problem, request.points, &request.weights, &budget)
+        {
+            Ok(sel) => sel,
+            Err(e) if absorbable(&e) => {
+                eprintln!("udao: all solver rungs failed ({e}); serving default configuration");
+                let default_x = space.encode(&StreamConf::spark_default().to_configuration()).ok();
+                let (_, _, sel) =
+                    Self::default_recommendation(&problem, &space, default_x, &started)?;
+                sel
+            }
+            Err(e) => return Err(e),
+        };
+        degraded |= sel.degraded;
+        let (snapped, predicted) = Self::snap_resilient(&problem, &space, &sel, &mut degraded)?;
         let configuration = space.decode(&snapped)?;
         Ok(Recommendation {
             batch_conf: None,
@@ -417,19 +777,28 @@ impl Udao {
             x: snapped,
             configuration,
             predicted,
-            frontier,
-            utopia,
-            nadir,
-            probes,
-            moo_seconds,
+            frontier: sel.frontier,
+            utopia: sel.utopia,
+            nadir: sel.nadir,
+            probes: sel.probes,
+            moo_seconds: sel.moo_seconds,
+            degraded,
+            stage: sel.stage,
         })
     }
 
     /// Execute a batch workload under `conf` on the (simulated) cluster —
     /// the "measured" side of the Expt 4/5 comparisons.
-    pub fn measure_batch(&self, workload: &Workload, conf: &BatchConf, run: u64) -> JobMetrics {
-        let program = workload.batch_program().expect("batch workload");
-        simulate_batch(program, conf, &self.cluster, workload.seed ^ run << 32)
+    pub fn measure_batch(
+        &self,
+        workload: &Workload,
+        conf: &BatchConf,
+        run: u64,
+    ) -> Result<JobMetrics> {
+        let program = workload.batch_program().ok_or_else(|| {
+            Error::InvalidConfig(format!("workload {} is not a batch workload", workload.id))
+        })?;
+        Ok(simulate_batch(program, conf, &self.cluster, workload.seed ^ run << 32))
     }
 
     /// Execute a streaming workload under `conf` on the simulated cluster.
@@ -438,9 +807,11 @@ impl Udao {
         workload: &Workload,
         conf: &StreamConf,
         run: u64,
-    ) -> StreamMetrics {
-        let query = workload.stream_query().expect("streaming workload");
-        simulate_streaming(query, conf, &self.cluster, workload.seed ^ run << 32)
+    ) -> Result<StreamMetrics> {
+        let query = workload.stream_query().ok_or_else(|| {
+            Error::InvalidConfig(format!("workload {} is not a streaming workload", workload.id))
+        })?;
+        Ok(simulate_streaming(query, conf, &self.cluster, workload.seed ^ run << 32))
     }
 }
 
@@ -481,7 +852,7 @@ mod tests {
         assert!(rec.frontier.len() >= 2, "frontier {}", rec.frontier.len());
         assert_eq!(rec.predicted.len(), 2);
         // Measured run executes without issue.
-        let m = udao.measure_batch(q2, conf, 1);
+        let m = udao.measure_batch(q2, conf, 1).expect("simulatable workload");
         assert!(m.latency_s > 0.0);
     }
 
@@ -624,7 +995,7 @@ mod tests {
             .points(8);
         let rec = udao.recommend_streaming(&req).unwrap();
         let conf = rec.stream_conf.as_ref().unwrap();
-        let m = udao.measure_streaming(s1, conf, 1);
+        let m = udao.measure_streaming(s1, conf, 1).expect("simulatable workload");
         assert!(m.throughput > 0.0);
     }
 }

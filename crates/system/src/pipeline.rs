@@ -91,17 +91,18 @@ impl Udao {
         }
 
         // Start every stage at its cheapest (by CPU-hours) frontier point.
-        let mut chosen: Vec<Option2D> = frontiers
-            .iter()
-            .map(|opts| {
-                *opts
-                    .iter()
-                    .min_by(|a, b| {
-                        a.cpu_hours.partial_cmp(&b.cpu_hours).unwrap_or(std::cmp::Ordering::Equal)
-                    })
-                    .expect("non-empty frontier")
-            })
-            .collect();
+        // Emptiness was rejected above, so the min always exists; the error
+        // arm keeps the serving path free of panic sites.
+        let mut chosen: Vec<Option2D> = Vec::with_capacity(frontiers.len());
+        for opts in &frontiers {
+            let cheapest = opts
+                .iter()
+                .min_by(|a, b| {
+                    a.cpu_hours.partial_cmp(&b.cpu_hours).unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .ok_or_else(|| Error::Infeasible("pipeline stage lost its frontier".into()))?;
+            chosen.push(*cheapest);
+        }
         let mut spent: f64 = chosen.iter().map(|o| o.cpu_hours).sum();
         if spent > request.cpu_hour_budget {
             return Err(Error::Infeasible(format!(
@@ -158,6 +159,8 @@ impl Udao {
                 nadir: rec.nadir,
                 probes: rec.probes,
                 moo_seconds: rec.moo_seconds,
+                degraded: rec.degraded,
+                stage: rec.stage,
             });
         }
         Ok(PipelineRecommendation { stages: stages_out, total_latency, total_cpu_hours })

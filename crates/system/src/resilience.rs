@@ -1,0 +1,173 @@
+//! Resilience policy for the optimizer runtime: request budgets, bounded
+//! retry with exponential backoff, and the degradation ladder.
+//!
+//! The paper's availability argument (§VI: recommendations in 1–2 s) only
+//! holds if the serving path cannot hang, panic, or hard-fail on the
+//! routine misfortunes of a long-running service: a model server hiccup, a
+//! workload with no trained model yet, or a poisoned model that panics or
+//! returns `NaN` on some input region. [`ResilienceOptions`] configures how
+//! [`Udao`](crate::optimizer::Udao) degrades instead:
+//!
+//! 1. The configured Progressive Frontier variant (PF-AP by default) under
+//!    the request [`Budget`](udao_core::Budget), with per-cell panic
+//!    isolation.
+//! 2. PF-AS — sequential, no worker pool to lose.
+//! 3. A single-objective MOGD solve of the primary objective: one
+//!    configuration instead of a frontier.
+//! 4. The analytic/default configuration (Spark defaults snapped onto the
+//!    knob grid), evaluated best-effort.
+//!
+//! Every step down the ladder marks the answer degraded; none of them
+//! returns an error for a fault the ladder can absorb.
+
+use std::sync::Arc;
+use std::time::Duration;
+use udao_core::{Error, ObjectiveModel, Result};
+use udao_model::server::{ModelKey, ModelServer};
+
+/// Bounded retry with exponential backoff for transient model-server
+/// failures.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (the first try included). `1` disables retries.
+    pub attempts: u32,
+    /// Backoff before the second attempt; doubles each further attempt.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self { attempts: 3, base_backoff: Duration::from_millis(5) }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff to sleep after failed attempt `attempt` (0-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        self.base_backoff * 2u32.saturating_pow(attempt)
+    }
+}
+
+/// How far a request was forced down the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FallbackStage {
+    /// The configured Progressive Frontier variant answered.
+    Primary,
+    /// Fell back to sequential PF-AS.
+    SequentialPf,
+    /// Fell back to a single-objective MOGD solve.
+    SingleObjective,
+    /// Fell back to the analytic/default configuration.
+    DefaultConfig,
+}
+
+impl std::fmt::Display for FallbackStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FallbackStage::Primary => "primary",
+            FallbackStage::SequentialPf => "pf-as-fallback",
+            FallbackStage::SingleObjective => "single-objective-fallback",
+            FallbackStage::DefaultConfig => "default-configuration",
+        })
+    }
+}
+
+/// Resilience policy for a [`Udao`](crate::optimizer::Udao) instance.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Wall-clock budget per request (`None` = unlimited). When it expires
+    /// mid-solve the best-so-far answer is returned, flagged degraded.
+    pub budget: Option<Duration>,
+    /// Retry policy for transient model-lookup failures.
+    pub retry: RetryPolicy,
+    /// On cold start (no trained model for a `(workload, objective)` key),
+    /// substitute the analytic heuristic models of
+    /// [`crate::analytic`] instead of failing the request. Off by default:
+    /// a missing model is usually a caller bug, and the heuristics know
+    /// nothing about the workload.
+    pub cold_start_analytic: bool,
+}
+
+impl ResilienceOptions {
+    /// Set the per-request wall-clock budget.
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Enable analytic-model substitution on cold start.
+    pub fn with_cold_start_analytic(mut self) -> Self {
+        self.cold_start_analytic = true;
+        self
+    }
+}
+
+/// Source of trained models for the optimizer: the seam where fault
+/// injection and remote model servers plug in.
+///
+/// * `Ok(Some(model))` — a trained model is available.
+/// * `Ok(None)` — no model for this key yet (cold start): not retryable.
+/// * `Err(_)` — transient failure (server hiccup, dropped lookup):
+///   retried under [`RetryPolicy`].
+pub trait ModelProvider: Send + Sync {
+    /// Fetch the current model for `key`.
+    fn fetch(&self, key: &ModelKey) -> Result<Option<Arc<dyn ObjectiveModel>>>;
+}
+
+impl ModelProvider for ModelServer {
+    fn fetch(&self, key: &ModelKey) -> Result<Option<Arc<dyn ObjectiveModel>>> {
+        Ok(self.get(key))
+    }
+}
+
+/// Whether `err` is one the degradation ladder absorbs (resource/runtime
+/// faults, including a poisoned model that predicts `NaN`/`∞`) rather than
+/// a semantic error that every stage would repeat (infeasible constraints,
+/// malformed request).
+pub fn absorbable(err: &Error) -> bool {
+    matches!(
+        err,
+        Error::Timeout { .. }
+            | Error::WorkerPanicked(_)
+            | Error::ModelUnavailable(_)
+            | Error::NonFiniteObjective { .. }
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_exponentially() {
+        let r = RetryPolicy { attempts: 4, base_backoff: Duration::from_millis(10) };
+        assert_eq!(r.backoff(0), Duration::from_millis(10));
+        assert_eq!(r.backoff(1), Duration::from_millis(20));
+        assert_eq!(r.backoff(2), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn stages_order_by_severity() {
+        assert!(FallbackStage::Primary < FallbackStage::SequentialPf);
+        assert!(FallbackStage::SequentialPf < FallbackStage::SingleObjective);
+        assert!(FallbackStage::SingleObjective < FallbackStage::DefaultConfig);
+        assert_eq!(FallbackStage::DefaultConfig.to_string(), "default-configuration");
+    }
+
+    #[test]
+    fn absorbable_faults_are_runtime_faults_only() {
+        assert!(absorbable(&Error::Timeout { elapsed_ms: 10, budget_ms: 5 }));
+        assert!(absorbable(&Error::WorkerPanicked("boom".into())));
+        assert!(absorbable(&Error::ModelUnavailable("q1/latency".into())));
+        assert!(absorbable(&Error::NonFiniteObjective { objective: 0, value: f64::NAN }));
+        assert!(!absorbable(&Error::Infeasible("no".into())));
+        assert!(!absorbable(&Error::InvalidConfig("bad".into())));
+    }
+
+    #[test]
+    fn model_server_is_a_provider() {
+        let server = ModelServer::new();
+        let got = server.fetch(&ModelKey::new("w", "latency")).unwrap();
+        assert!(got.is_none());
+    }
+}

@@ -35,7 +35,7 @@ fn main() {
             match udao.recommend_batch(&req) {
                 Ok(rec) => {
                     let conf = rec.batch_conf.unwrap();
-                    let measured = udao.measure_batch(w, &conf, 0);
+                    let measured = udao.measure_batch(w, &conf, 0).expect("simulatable workload");
                     println!(
                         "{:>14} {:>12.1} {:>8} {:>10.1}",
                         format!("({wl:.1},{wc:.1})"),

@@ -63,7 +63,7 @@ fn main() {
         conf.total_cores()
     );
 
-    let measured = udao.measure_batch(q2, &conf, 0);
+    let measured = udao.measure_batch(q2, &conf, 0).expect("simulatable workload");
     println!(
         "  measured on the simulated cluster: latency {:.1}s, CPU-hours {:.3}",
         measured.latency_s, measured.cpu_hours

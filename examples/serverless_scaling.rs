@@ -50,7 +50,7 @@ fn main() {
         match udao.recommend_streaming(&req) {
             Ok(rec) => {
                 let conf = rec.stream_conf.as_ref().unwrap();
-                let measured = udao.measure_streaming(news, conf, 0);
+                let measured = udao.measure_streaming(news, conf, 0).expect("simulatable workload");
                 println!(
                     "{:<32} {:>10.2} {:>12.0} {:>8} {:>8.2}",
                     name,

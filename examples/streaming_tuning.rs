@@ -67,7 +67,7 @@ fn main() {
         rec3.probes
     );
     let conf = rec3.stream_conf.expect("configuration");
-    let m = udao.measure_streaming(job, &conf, 0);
+    let m = udao.measure_streaming(job, &conf, 0).expect("simulatable workload");
     println!(
         "chosen config: interval {:.1}s, {} cores -> measured latency {:.2}s, throughput {:.0} rec/s (stable: {})",
         conf.batch_interval_s,

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local CI gate: release build, full test suite, and clippy with warnings
+# denied. `clippy::disallowed-methods` is enabled so the unwrap() ban of
+# crates/system/clippy.toml is enforced (see that file for rationale).
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -W clippy::disallowed-methods -D warnings
+
+echo "==> all checks passed"

@@ -35,8 +35,8 @@ fn batch_pipeline_beats_the_spark_default_on_latency_preference() {
         )
         .unwrap();
 
-    let tuned = udao.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 0);
-    let default = udao.measure_batch(w, &udao_sparksim::BatchConf::spark_default(), 0);
+    let tuned = udao.measure_batch(w, rec.batch_conf.as_ref().unwrap(), 0).expect("simulatable workload");
+    let default = udao.measure_batch(w, &udao_sparksim::BatchConf::spark_default(), 0).expect("simulatable workload");
     assert!(
         tuned.latency_s < default.latency_s,
         "tuned {} vs spark default {}",
@@ -107,7 +107,7 @@ fn streaming_pipeline_keeps_the_job_stable() {
                 .points(8),
         )
         .unwrap();
-    let m = udao.measure_streaming(w, rec.stream_conf.as_ref().unwrap(), 0);
+    let m = udao.measure_streaming(w, rec.stream_conf.as_ref().unwrap(), 0).expect("simulatable workload");
     assert!(m.stable, "latency-favoring recommendation must keep up with load");
 }
 

@@ -175,4 +175,51 @@ proptest! {
             prop_assert!(sol.x.iter().all(|v| (0.0..=1.0).contains(v)));
         }
     }
+
+    // Adversarial robustness: under models that randomly return NaN/∞,
+    // MOGD and PF-AS must never panic, never report a non-finite
+    // objective, and never step outside the unit hypercube. A typed
+    // error (or an empty result) is acceptable; silent corruption is not.
+    #[test]
+    fn solvers_stay_finite_and_in_bounds_under_nan_injection(
+        nan_rate in 0.05f64..0.5,
+        seed in 0u64..u64::MAX
+    ) {
+        use std::sync::Arc;
+        use udao_core::mogd::{Mogd, MogdConfig};
+        use udao_core::objective::{FnModel, ObjectiveModel};
+        use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+        use udao_core::solver::{CoProblem, CoSolver, MooProblem};
+        use udao_sparksim::{FaultConfig, FaultInjector};
+
+        let inj = FaultInjector::new(FaultConfig { nan_rate, seed, ..Default::default() });
+        let lat: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| 1.0 / (0.1 + x[0]) + 0.3 * x[1]));
+        let cost: Arc<dyn ObjectiveModel> = Arc::new(FnModel::new(2, |x| 1.0 + 9.0 * x[0]));
+        let p = MooProblem::new(2, vec![inj.wrap(lat), inj.wrap(cost)]);
+
+        let mogd = Mogd::new(MogdConfig { multistarts: 3, max_iters: 40, ..Default::default() });
+        match mogd.solve(&p, &CoProblem::unconstrained(0, 2)) {
+            Ok(Some(sol)) => {
+                prop_assert!(sol.f.iter().all(|v| v.is_finite()), "{:?}", sol.f);
+                prop_assert!(sol.x.iter().all(|v| (0.0..=1.0).contains(v)), "{:?}", sol.x);
+            }
+            Ok(None) | Err(_) => {}
+        }
+
+        let pf = ProgressiveFrontier::new(
+            PfVariant::ApproxSequential,
+            PfOptions {
+                mogd: MogdConfig { multistarts: 3, max_iters: 40, ..Default::default() },
+                max_probes: 32,
+                ..Default::default()
+            },
+        );
+        if let Ok(run) = pf.solve(&p, 5) {
+            for pt in &run.frontier {
+                prop_assert!(pt.f.iter().all(|v| v.is_finite()), "{:?}", pt.f);
+                prop_assert!(pt.x.iter().all(|v| (0.0..=1.0).contains(v)), "{:?}", pt.x);
+            }
+        }
+    }
 }

@@ -1,0 +1,185 @@
+//! Offline vendored shim of the subset of the `criterion` 0.5 API used by
+//! the workspace benches: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it runs each benchmark a
+//! small fixed number of times and reports the best observed wall-clock
+//! iteration, which keeps `cargo bench` functional (relative comparisons,
+//! smoke-testing the hot paths) without any external dependencies.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Iterations measured per benchmark (min over these is reported).
+const MEASURE_ROUNDS: usize = 5;
+
+/// Prevent the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { text: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { text: s }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    best: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the fastest of a few rounds.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..MEASURE_ROUNDS {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if elapsed < self.best {
+                self.best = elapsed;
+            }
+        }
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        best: Duration::MAX,
+    };
+    f(&mut b);
+    let mut line = String::new();
+    let _ = write!(line, "bench {label:<40}");
+    if b.best == Duration::MAX {
+        let _ = write!(line, " (no measurement)");
+    } else {
+        let _ = write!(line, " {:>12.3?}/iter", b.best);
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's round count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.text), f);
+    }
+
+    /// Benchmark a closure that receives `input` by reference.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.text), |b| f(b, input));
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(name, f);
+        self
+    }
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(10);
+        let mut hits = 0usize;
+        g.bench_function("plain", |b| b.iter(|| hits += 1));
+        assert!(hits >= MEASURE_ROUNDS);
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        g.bench_with_input(BenchmarkId::new("f", 4), &4usize, |b, n| {
+            b.iter(|| black_box(*n * 2))
+        });
+        g.finish();
+        c.bench_function("top_level", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Offline vendored shim of the subset of the `crossbeam` 0.8 API used in
+//! this workspace: `thread::scope` with borrow-friendly scoped spawning.
+//!
+//! Built on `std::thread::scope` (Rust ≥ 1.63). The outer `scope` returns
+//! `Err` with the first child panic payload instead of propagating the
+//! panic, mirroring crossbeam's contract.
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The crossbeam closure signature takes the
+        /// scope itself as an argument; all workspace call sites ignore it
+        /// (`spawn(|_| ...)`).
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                f(&Scope { inner })
+            })
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. All spawned threads are
+    /// joined before `scope` returns. Returns `Err(payload)` if any child
+    /// panicked (first payload wins), `Ok(r)` otherwise.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let r = super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    sum.fetch_add(chunk.iter().sum::<u64>(), std::sync::atomic::Ordering::SeqCst)
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(sum.load(std::sync::atomic::Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn child_panic_surfaces_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("child down"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = std::sync::atomic::AtomicU64::new(0);
+        let r = super::thread::scope(|s| {
+            s.spawn(|s2| {
+                s2.spawn(|_| hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst));
+                hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        });
+        assert!(r.is_ok());
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Offline vendored shim of `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! for non-generic structs with named fields and enums (unit, tuple, and
+//! struct variants), with serde's externally-tagged enum representation.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the item is
+//! parsed directly from the `proc_macro::TokenStream`, and the generated
+//! impl is assembled as source text and re-parsed. Only the shapes actually
+//! used in this workspace are supported; anything else fails loudly at
+//! compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Skip leading `#[...]` attributes and `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("serde_derive shim: malformed attribute near {other:?}"),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type,` named fields from a brace-group token stream,
+/// returning the field names. Types are irrelevant to the generated code.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut toks = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after `{name}`, got {other:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+            }
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Count the top-level comma-separated types in a tuple-variant paren group.
+fn tuple_arity(body: TokenStream) -> usize {
+    let mut angle_depth = 0i32;
+    let mut commas = 0usize;
+    let mut saw_any = false;
+    let mut trailing_comma = false;
+    for tok in body {
+        saw_any = true;
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if !saw_any {
+        0
+    } else if trailing_comma {
+        commas
+    } else {
+        commas + 1
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Struct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            _ => panic!("serde_derive shim: struct `{name}` must have named fields"),
+        },
+        "enum" => {
+            let body = match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => panic!("serde_derive shim: malformed enum `{name}`"),
+            };
+            let mut vt = body.into_iter().peekable();
+            let mut variants = Vec::new();
+            loop {
+                skip_attrs_and_vis(&mut vt);
+                let vname = match vt.next() {
+                    None => break,
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    Some(other) => panic!("serde_derive shim: expected variant name, got {other}"),
+                };
+                let kind = match vt.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g.stream());
+                        vt.next();
+                        VariantKind::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vt.next();
+                        VariantKind::Struct(fields)
+                    }
+                    _ => VariantKind::Unit,
+                };
+                if let Some(TokenTree::Punct(p)) = vt.peek() {
+                    if p.as_char() == ',' {
+                        vt.next();
+                    }
+                }
+                variants.push(Variant { name: vname, kind });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("serde_derive shim: unsupported item kind `{other}`"),
+    }
+}
+
+fn struct_fields_to_value(fields: &[String], accessor: &str) -> String {
+    let mut code = String::from("{ let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        code.push_str(&format!(
+            "obj.push((\"{f}\".to_string(), ::serde::Serialize::to_value({accessor}{f})));\n"
+        ));
+    }
+    code.push_str("::serde::Value::Object(obj) }");
+    code
+}
+
+fn struct_fields_from_value(ty_label: &str, fields: &[String], obj_expr: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        inits.push_str(&format!(
+            "{f}: ::serde::Deserialize::from_value(::serde::field({obj_expr}, \"{f}\", \"{ty_label}\")?)?,\n"
+        ));
+    }
+    inits
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let body = struct_fields_to_value(&fields, "&self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({binds}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n",
+                            binds = binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let payload = struct_fields_to_value(fields, "");
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {payload})]),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ match self {{ {arms} }} }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits = struct_fields_from_value(&name, &fields, "obj");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                 }}\n}}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in &variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?))"
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            format!(
+                                "{{ let items = payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}::{vn}\"))?;\n\
+                                 if items.len() != {arity} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vn}\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vn}({elems})) }}",
+                                elems = elems.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{vn}\" => {body},\n"));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits =
+                            struct_fields_from_value(&format!("{name}::{vn}"), fields, "fobj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{ let fobj = payload.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}::{vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown unit variant `{{other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(kv) if kv.len() == 1 => {{\n\
+                 let (tag, payload) = &kv[0];\n\
+                 match tag.as_str() {{\n\
+                 {tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected variant tag for {name}\")),\n\
+                 }}\n}}\n}}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
