@@ -18,6 +18,9 @@ use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, MooProblem};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use udao_telemetry::{names, Counter, Histogram};
 
 /// Tuning parameters for the MOGD solver.
 #[derive(Debug, Clone)]
@@ -56,18 +59,42 @@ impl Default for MogdConfig {
     }
 }
 
+/// Pre-resolved telemetry handles so the Adam loop increments atomics
+/// instead of re-resolving instrument names per iteration.
+#[derive(Debug)]
+struct MogdTelemetry {
+    iterations: Arc<Counter>,
+    restarts: Arc<Counter>,
+    violations: Arc<Counter>,
+    solves: Arc<Counter>,
+    solve_seconds: Arc<Histogram>,
+}
+
+impl Default for MogdTelemetry {
+    fn default() -> Self {
+        Self {
+            iterations: udao_telemetry::counter(names::MOGD_ITERATIONS),
+            restarts: udao_telemetry::counter(names::MOGD_RESTARTS),
+            violations: udao_telemetry::counter(names::MOGD_VIOLATIONS),
+            solves: udao_telemetry::counter(names::MOGD_SOLVES),
+            solve_seconds: udao_telemetry::histogram(names::MOGD_SOLVE_SECONDS),
+        }
+    }
+}
+
 /// The MOGD solver. Thread-safe: [`crate::pf`]'s parallel algorithm shares
 /// one instance across worker threads.
 #[derive(Debug, Default)]
 pub struct Mogd {
     cfg: MogdConfig,
     evals: AtomicUsize,
+    tel: MogdTelemetry,
 }
 
 impl Mogd {
     /// Create a solver with the given configuration.
     pub fn new(cfg: MogdConfig) -> Self {
-        Self { cfg, evals: AtomicUsize::new(0) }
+        Self { cfg, evals: AtomicUsize::new(0), tel: MogdTelemetry::default() }
     }
 
     /// The solver configuration.
@@ -145,6 +172,7 @@ impl Mogd {
                     }
                 } else if !in_region {
                     // Constraint term: pull back into the region, plus penalty P.
+                    self.tel.violations.inc();
                     loss += (ft - 0.5) * (ft - 0.5) + self.cfg.penalty;
                     self.grad(problem.objectives[j].as_ref(), x, &mut gj);
                     let c = 2.0 * (ft - 0.5) / width;
@@ -169,6 +197,7 @@ impl Mogd {
                     (false, 0.0)
                 };
                 if violated {
+                    self.tel.violations.inc();
                     loss += dist * dist + self.cfg.penalty;
                     self.grad(problem.objectives[j].as_ref(), x, &mut gj);
                     let c = 2.0 * dist;
@@ -183,6 +212,7 @@ impl Mogd {
         for g_model in &problem.inequalities {
             let gv = g_model.predict(x);
             if gv > 0.0 {
+                self.tel.violations.inc();
                 loss += gv * gv + self.cfg.penalty;
                 g_model.gradient(x, &mut gj);
                 let c = 2.0 * gv;
@@ -217,6 +247,7 @@ impl Mogd {
             if t > 1 && budget.expired() {
                 break;
             }
+            self.tel.iterations.inc();
             let loss = self.loss_and_grad(problem, co, &x, &mut g);
             if loss.is_finite() && loss < best_loss - 1e-12 {
                 best_loss = loss;
@@ -317,9 +348,11 @@ impl CoSolver for Mogd {
         }
         let mut rng = StdRng::seed_from_u64(h);
 
+        let solve_started = Instant::now();
         let d = problem.dim;
         let mut best: Option<CoSolution> = None;
         let try_start = |x0: &[f64], best: &mut Option<CoSolution>| {
+            self.tel.restarts.inc();
             if let Some(sol) = self.descend(problem, co, x0, budget) {
                 match best {
                     Some(b) if b.f[co.target] <= sol.f[co.target] => {}
@@ -339,6 +372,8 @@ impl CoSolver for Mogd {
             let x0: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
             try_start(&x0, &mut best);
         }
+        self.tel.solves.inc();
+        self.tel.solve_seconds.record_duration(solve_started.elapsed());
         Ok(best)
     }
 

@@ -39,6 +39,7 @@ use crate::pareto::{pareto_filter, ParetoPoint};
 use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, ExactGridSolver, MooProblem};
 use std::panic::AssertUnwindSafe;
 use std::time::Instant;
+use udao_telemetry::names;
 
 /// Which Progressive Frontier algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -162,7 +163,8 @@ impl ProgressiveFrontier {
         n_points: usize,
         budget: &Budget,
     ) -> Result<PfRun> {
-        match self.variant {
+        udao_telemetry::counter(names::PF_RUNS).inc();
+        let run = match self.variant {
             PfVariant::Sequential => {
                 let solver = ExactGridSolver::new(self.opts.exact_resolution);
                 self.run_sequential(problem, n_points, &solver, budget)
@@ -172,7 +174,14 @@ impl ProgressiveFrontier {
                 self.run_sequential(problem, n_points, &solver, budget)
             }
             PfVariant::ApproxParallel => self.run_parallel(problem, n_points, budget),
-        }
+        }?;
+        // Per-run aggregates: how many probes this run cost, how much of
+        // the Utopia–Nadir volume it left uncertain, and what it lost to
+        // isolated panics — the quantities Fig. 4/5 plot over time.
+        udao_telemetry::counter(names::PF_PROBES).add(run.probes as u64);
+        udao_telemetry::counter(names::PF_SKIPPED_PROBES).add(run.skipped_probes as u64);
+        udao_telemetry::histogram(names::PF_UNCERTAIN_FRAC).record(run.final_uncertainty());
+        Ok(run)
     }
 
     /// Compute the per-objective reference points (`plan_i` of Algorithm 1,
@@ -230,6 +239,7 @@ impl ProgressiveFrontier {
             queue.push(root);
         }
         let min_volume = initial_volume * self.opts.min_volume_frac;
+        let cell_seconds = udao_telemetry::histogram(names::PF_CELL_SOLVE_SECONDS);
         let snapshot = |queue: &RectQueue, probes: usize, frontier_len: usize, start: &Instant| {
             PfSnapshot {
                 elapsed: start.elapsed().as_secs_f64(),
@@ -264,7 +274,10 @@ impl ProgressiveFrontier {
                 .collect();
             let co = CoProblem::constrained(0, bounds);
             probes += 1;
-            match solver.solve_within(problem, &co, budget)? {
+            let probe_started = Instant::now();
+            let probe_result = solver.solve_within(problem, &co, budget);
+            cell_seconds.record_duration(probe_started.elapsed());
+            match probe_result? {
                 Some(sol) => {
                     for cell in rect.subdivide(&sol.f) {
                         if cell.volume() > min_volume {
@@ -372,6 +385,7 @@ impl ProgressiveFrontier {
             // Solve all cell probes simultaneously. Each solve runs under
             // catch_unwind: a panicking subproblem must not poison the
             // sibling probes of this round.
+            let cell_seconds = udao_telemetry::histogram(names::PF_CELL_SOLVE_SECONDS);
             let results: Vec<(Rect, Result<Option<CoSolution>>)> =
                 parallel_map(threads, cells, |cell| {
                     let middle = cell.middle();
@@ -381,8 +395,10 @@ impl ProgressiveFrontier {
                         .zip(&middle)
                         .map(|(l, m)| Bound::new(*l, *m))
                         .collect();
+                    let cell_started = Instant::now();
                     let r =
                         isolated_solve(&solver, problem, &CoProblem::constrained(0, bounds), budget);
+                    cell_seconds.record_duration(cell_started.elapsed());
                     (cell, r)
                 })?;
             for (cell, result) in results {

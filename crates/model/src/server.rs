@@ -14,7 +14,9 @@ use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use udao_core::ObjectiveModel;
+use udao_telemetry::{names, Counter};
 
 /// Identifies one model: a workload and one of its objectives.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -79,13 +81,44 @@ struct Entry {
     fine_tunes: usize,
 }
 
+/// A served model with inference accounting: every `predict` through a
+/// model handed out by the server counts against `model.inferences`.
+/// Gradients and uncertainty delegate to the wrapped model untouched, so
+/// analytic gradients stay analytic (and finite-difference probes inside a
+/// model count as the predictions they are).
+struct Metered<M> {
+    inner: M,
+    inferences: Arc<Counter>,
+}
+
+impl<M: ObjectiveModel> ObjectiveModel for Metered<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+    fn predict(&self, x: &[f64]) -> f64 {
+        self.inferences.inc();
+        self.inner.predict(x)
+    }
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        self.inner.predict_std(x)
+    }
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.gradient(x, out)
+    }
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.std_gradient(x, out)
+    }
+}
+
 /// Wrap a trained model for serving, applying the log-space transform when
-/// the entry was registered with [`ModelServer::register_log`].
+/// the entry was registered with [`ModelServer::register_log`] and the
+/// inference-counting wrapper always.
 fn wrap_model<M: ObjectiveModel + 'static>(model: M, log: bool) -> Arc<dyn ObjectiveModel> {
+    let inferences = udao_telemetry::counter(names::MODEL_INFERENCES);
     if log {
-        Arc::new(crate::transform::LogSpace(model))
+        Arc::new(Metered { inner: crate::transform::LogSpace(model), inferences })
     } else {
-        Arc::new(model)
+        Arc::new(Metered { inner: model, inferences })
     }
 }
 
@@ -154,6 +187,7 @@ impl ModelServer {
             (Some(Trained::Dnn(ens)), false) => {
                 ens.fine_tune(&batch, FINE_TUNE_EPOCHS);
                 e.fine_tunes += 1;
+                udao_telemetry::counter(names::MODEL_FINE_TUNES).inc();
                 e.model = Some(wrap_model(ens.clone(), log));
             }
             _ => {
@@ -164,6 +198,7 @@ impl ModelServer {
                             e.model = Some(wrap_model(gp, log));
                             e.trained = Some(Trained::Gp);
                             e.retrains += 1;
+                            udao_telemetry::counter(names::MODEL_RETRAINS).inc();
                         }
                     }
                     ModelKind::Dnn { config, members } => {
@@ -171,6 +206,7 @@ impl ModelServer {
                             e.model = Some(wrap_model(ens.clone(), log));
                             e.trained = Some(Trained::Dnn(ens));
                             e.retrains += 1;
+                            udao_telemetry::counter(names::MODEL_RETRAINS).inc();
                         }
                     }
                 }
@@ -183,7 +219,11 @@ impl ModelServer {
 
     /// Retrieve the current model for `key`, if one has been trained.
     pub fn get(&self, key: &ModelKey) -> Option<Arc<dyn ObjectiveModel>> {
-        self.entries.read().get(key).and_then(|e| e.model.clone())
+        let started = Instant::now();
+        let model = self.entries.read().get(key).and_then(|e| e.model.clone());
+        udao_telemetry::counter(names::MODEL_LOOKUPS).inc();
+        udao_telemetry::histogram(names::MODEL_LOOKUP_SECONDS).record_duration(started.elapsed());
+        model
     }
 
     /// Number of traces held for `key`.

@@ -74,6 +74,7 @@ pub fn simulate_batch(
     cluster: &ClusterSpec,
     seed: u64,
 ) -> JobMetrics {
+    udao_telemetry::counter(udao_telemetry::names::SIM_BATCH_RUNS).inc();
     // --- Resource grant: the cluster caps what YARN would actually give. ---
     let req_execs = conf.executor_instances.max(1) as usize;
     let cores_per_exec = conf.executor_cores.max(1) as usize;

@@ -49,6 +49,7 @@ pub fn simulate_streaming(
     cluster: &ClusterSpec,
     seed: u64,
 ) -> StreamMetrics {
+    udao_telemetry::counter(udao_telemetry::names::SIM_STREAM_RUNS).inc();
     let horizon_batches = 50usize;
     let interval = conf.batch_interval_s.max(0.1);
     let rate = conf.input_rate.max(1) as f64;

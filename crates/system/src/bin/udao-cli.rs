@@ -5,8 +5,10 @@
 //!     list the benchmark workloads
 //! udao-cli recommend --workload <id> [--objectives latency,cost_cores]
 //!     [--weights 0.5,0.5] [--constraint cost_cores=4:58]
-//!     [--family gp|dnn] [--traces 80] [--points 12] [--json]
-//!     train models from simulator traces and recommend a configuration
+//!     [--family gp|dnn] [--traces 80] [--points 12] [--json] [--report]
+//!     train models from simulator traces and recommend a configuration;
+//!     --report also prints the per-request solve report (stage timings,
+//!     MOGD/PF/model counters)
 //! udao-cli measure --workload <id> [--json]
 //!     run the Spark default configuration on the simulated cluster
 //! ```
@@ -114,7 +116,13 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
         .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect());
     let constraint = flags.get("constraint").and_then(|s| parse_constraint(s));
 
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = match Udao::builder(ClusterSpec::paper_cluster()).build() {
+        Ok(u) => u,
+        Err(e) => {
+            eprintln!("optimizer construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     eprintln!("training {family:?} models for {id} from {traces} traces ...");
     udao.train_batch(w, traces, family, &objectives);
 
@@ -137,19 +145,22 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
                 return ExitCode::FAILURE;
             };
             if flags.contains_key("json") {
-                println!(
-                    "{}",
-                    serde_json::json!({
-                        "workload": id,
-                        "configuration": conf,
-                        "predicted": rec.predicted,
-                        "frontier_size": rec.frontier.len(),
-                        "probes": rec.probes,
-                        "moo_seconds": rec.moo_seconds,
-                        "degraded": rec.degraded,
-                        "stage": rec.stage.to_string(),
-                    })
-                );
+                let mut out = serde_json::json!({
+                    "workload": id,
+                    "configuration": conf,
+                    "predicted": rec.predicted,
+                    "frontier_size": rec.frontier.len(),
+                    "probes": rec.probes,
+                    "moo_seconds": rec.moo_seconds,
+                    "degraded": rec.degraded,
+                    "stage": rec.stage.to_string(),
+                });
+                if flags.contains_key("report") {
+                    if let serde_json::Value::Object(fields) = &mut out {
+                        fields.push(("report".to_string(), rec.report.to_value()));
+                    }
+                }
+                println!("{out}");
             } else {
                 println!("recommended configuration for {id}:");
                 println!("{}", BatchConf::space().render(&rec.configuration));
@@ -165,6 +176,9 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
                 );
                 if rec.degraded {
                     println!("note: degraded answer (stage: {})", rec.stage);
+                }
+                if flags.contains_key("report") {
+                    println!("{}", rec.report.render());
                 }
                 match udao.measure_batch(w, conf, 0) {
                     Ok(m) => println!(

@@ -8,12 +8,18 @@
 //! algorithms, and recommends the configuration that best explores the
 //! trade-offs.
 //!
+//! Every solve is instrumented through `udao-telemetry`: the returned
+//! [`Recommendation`] carries a [`SolveReport`] with per-stage wall-clock
+//! and optimizer/model counters for that request.
+//!
 //! ```no_run
 //! use udao::{ModelFamily, Udao};
 //! use udao_sparksim::objectives::BatchObjective;
 //! use udao_sparksim::{batch_workloads, ClusterSpec};
 //!
-//! let udao = Udao::new(ClusterSpec::paper_cluster());
+//! let udao = Udao::builder(ClusterSpec::paper_cluster())
+//!     .build()
+//!     .expect("default options are valid");
 //! let workloads = batch_workloads();
 //! let q2 = workloads.iter().find(|w| w.id == "q2-v0").unwrap();
 //!
@@ -27,6 +33,7 @@
 //!     .weights(vec![0.9, 0.1]);
 //! let rec = udao.recommend_batch(&request).unwrap();
 //! println!("run Q2 with {:?}", rec.batch_conf);
+//! println!("{}", rec.report.render());
 //! ```
 
 #![warn(missing_docs)]
@@ -34,11 +41,13 @@
 pub mod analytic;
 pub mod optimizer;
 pub mod pipeline;
+pub mod report;
 pub mod request;
 pub mod resilience;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
-pub use optimizer::{ModelFamily, Recommendation, Udao};
+pub use optimizer::{ModelFamily, Recommendation, Udao, UdaoBuilder};
 pub use pipeline::{PipelineRecommendation, PipelineRequest};
-pub use request::{BatchRequest, StreamRequest};
+pub use report::{SolveReport, StageTiming};
+pub use request::{BatchRequest, Objective, Request, StreamRequest};
 pub use resilience::{FallbackStage, ModelProvider, ResilienceOptions, RetryPolicy};

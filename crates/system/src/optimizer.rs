@@ -7,11 +7,13 @@
 //! `catch_unwind`, and a request only fails outright on *semantic* errors
 //! (malformed request, infeasible constraints) — runtime faults walk down
 //! the degradation ladder instead.
+//!
+//! Batch and streaming requests are served by one generic path
+//! ([`Udao::recommend`] over [`Objective`]); every solve is instrumented
+//! through `udao-telemetry` and returns its own [`SolveReport`].
 
-use crate::analytic::{
-    BatchCostCoresModel, BatchHeuristicModel, StreamCostCoresModel, StreamHeuristicModel,
-};
-use crate::request::{BatchRequest, StreamRequest};
+use crate::report::SolveReport;
+use crate::request::{BatchRequest, Objective, Request, StreamRequest};
 use crate::resilience::{absorbable, FallbackStage, ModelProvider, ResilienceOptions};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -37,6 +39,7 @@ use udao_sparksim::{
     simulate_batch, simulate_streaming, BatchConf, ClusterSpec, JobMetrics, StreamConf,
     StreamMetrics, Workload,
 };
+use udao_telemetry::names;
 
 /// Which learned model family the model server trains (§V): GPs (the
 /// OtterTune family) or deep ensembles (the UDAO DNN family [38]).
@@ -90,6 +93,9 @@ pub struct Recommendation {
     pub degraded: bool,
     /// Which rung of the degradation ladder produced the answer.
     pub stage: FallbackStage,
+    /// What the solve cost: per-stage wall-clock and optimizer/model
+    /// counters observed while serving this request.
+    pub report: SolveReport,
 }
 
 /// The MOO phase output.
@@ -108,6 +114,15 @@ struct MooSelection {
     degraded: bool,
 }
 
+/// The solve core's output, before report assembly.
+struct Solved {
+    sel: MooSelection,
+    degraded: bool,
+    snapped: Vec<f64>,
+    predicted: Vec<f64>,
+    configuration: Configuration,
+}
+
 /// Run `f` isolating panics into [`Error::WorkerPanicked`], so a poisoned
 /// model cannot unwind through the serving path.
 fn guard<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
@@ -122,6 +137,122 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
         s.clone()
     } else {
         "opaque panic payload".to_string()
+    }
+}
+
+/// Builds a [`Udao`] instance, validating option combinations once at
+/// construction time instead of failing deep inside a solve.
+///
+/// ```no_run
+/// use udao::{Udao, UdaoBuilder};
+/// use udao_sparksim::ClusterSpec;
+///
+/// let udao = Udao::builder(ClusterSpec::paper_cluster())
+///     .build()
+///     .expect("default options are valid");
+/// ```
+pub struct UdaoBuilder {
+    cluster: ClusterSpec,
+    server: Arc<ModelServer>,
+    provider: Option<Arc<dyn ModelProvider>>,
+    resilience: ResilienceOptions,
+    pf_options: PfOptions,
+    pf_variant: PfVariant,
+    seed: u64,
+}
+
+impl UdaoBuilder {
+    /// Set the Progressive Frontier variant and solver options.
+    pub fn pf(mut self, variant: PfVariant, options: PfOptions) -> Self {
+        self.pf_variant = variant;
+        self.pf_options = options;
+        self
+    }
+
+    /// Set the resilience policy (request budget, retry, cold-start
+    /// degradation).
+    pub fn resilience(mut self, resilience: ResilienceOptions) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Route model lookups through `provider` instead of the in-process
+    /// model server — the seam for remote servers and fault injection.
+    /// Training still writes to the in-process server; wrap
+    /// [`UdaoBuilder::shared_model_server`] to intercept its reads.
+    pub fn model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
+        self.provider = Some(provider);
+        self
+    }
+
+    /// Set the base sampling seed used for trace collection.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A shareable handle to the model server the built optimizer will
+    /// train into — available *before* `build`, so fault-injecting or
+    /// caching [`ModelProvider`]s can wrap it.
+    pub fn shared_model_server(&self) -> Arc<ModelServer> {
+        self.server.clone()
+    }
+
+    /// Validate the assembled options and construct the optimizer.
+    ///
+    /// Rejected combinations (all [`Error::InvalidConfig`]): zero MOGD
+    /// iterations or multistarts, a non-finite/non-positive learning rate,
+    /// negative penalty/alpha/tolerance, zero retry attempts, a PF-S
+    /// lattice finer than 2, and a PF-AP grid of zero subdivisions. A zero
+    /// time budget is *allowed* — it means "serve the fastest degraded
+    /// answer", which the resilience tests rely on.
+    pub fn build(self) -> Result<Udao> {
+        let mogd = &self.pf_options.mogd;
+        if mogd.max_iters == 0 {
+            return Err(Error::InvalidConfig("mogd.max_iters must be >= 1".into()));
+        }
+        if mogd.multistarts == 0 {
+            return Err(Error::InvalidConfig("mogd.multistarts must be >= 1".into()));
+        }
+        if !(mogd.learning_rate.is_finite() && mogd.learning_rate > 0.0) {
+            return Err(Error::InvalidConfig(format!(
+                "mogd.learning_rate must be finite and positive, got {}",
+                mogd.learning_rate
+            )));
+        }
+        if mogd.penalty < 0.0 || !mogd.penalty.is_finite() {
+            return Err(Error::InvalidConfig("mogd.penalty must be non-negative".into()));
+        }
+        if mogd.alpha < 0.0 || !mogd.alpha.is_finite() {
+            return Err(Error::InvalidConfig("mogd.alpha must be non-negative".into()));
+        }
+        if mogd.tol < 0.0 || !mogd.tol.is_finite() {
+            return Err(Error::InvalidConfig("mogd.tol must be non-negative".into()));
+        }
+        if self.resilience.retry.attempts == 0 {
+            return Err(Error::InvalidConfig("retry.attempts must be >= 1".into()));
+        }
+        if self.pf_variant == PfVariant::Sequential && self.pf_options.exact_resolution < 2 {
+            return Err(Error::InvalidConfig(
+                "PF-S needs exact_resolution >= 2".into(),
+            ));
+        }
+        if self.pf_variant == PfVariant::ApproxParallel && self.pf_options.grid_l == 0 {
+            return Err(Error::InvalidConfig("PF-AP needs grid_l >= 1".into()));
+        }
+        let provider = self
+            .provider
+            .unwrap_or_else(|| self.server.clone() as Arc<dyn ModelProvider>);
+        Ok(Udao {
+            cluster: self.cluster,
+            server: self.server,
+            provider,
+            resilience: self.resilience,
+            pf_options: self.pf_options,
+            pf_variant: self.pf_variant,
+            seed: self.seed,
+            history: Default::default(),
+        })
     }
 }
 
@@ -148,22 +279,38 @@ impl Udao {
     /// `E[F] + α·std[F]` so that the solver cannot exploit hallucinated
     /// minima far from the training data (§IV-B.3).
     pub fn new(cluster: ClusterSpec) -> Self {
-        let mut pf_options = PfOptions::default();
-        pf_options.mogd.alpha = 1.0;
-        let server = Arc::new(ModelServer::new());
-        Self {
-            cluster,
-            provider: server.clone(),
-            server,
-            resilience: ResilienceOptions::default(),
-            pf_options,
-            pf_variant: PfVariant::ApproxParallel,
-            seed: 0xDA0,
+        let builder = Self::builder(cluster);
+        let provider = builder.server.clone() as Arc<dyn ModelProvider>;
+        Udao {
+            cluster: builder.cluster,
+            server: builder.server,
+            provider,
+            resilience: builder.resilience,
+            pf_options: builder.pf_options,
+            pf_variant: builder.pf_variant,
+            seed: builder.seed,
             history: Default::default(),
         }
     }
 
+    /// Start building an optimizer for `cluster`; see [`UdaoBuilder`].
+    /// Defaults match [`Udao::new`]: PF-AP, `α = 1`, default resilience.
+    pub fn builder(cluster: ClusterSpec) -> UdaoBuilder {
+        let mut pf_options = PfOptions::default();
+        pf_options.mogd.alpha = 1.0;
+        UdaoBuilder {
+            cluster,
+            server: Arc::new(ModelServer::new()),
+            provider: None,
+            resilience: ResilienceOptions::default(),
+            pf_options,
+            pf_variant: PfVariant::ApproxParallel,
+            seed: 0xDA0,
+        }
+    }
+
     /// Override the Progressive Frontier variant/options.
+    #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).pf(...).build()`")]
     pub fn with_pf(mut self, variant: PfVariant, options: PfOptions) -> Self {
         self.pf_variant = variant;
         self.pf_options = options;
@@ -172,6 +319,7 @@ impl Udao {
 
     /// Override the resilience policy (request budget, retry, cold-start
     /// degradation).
+    #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).resilience(...).build()`")]
     pub fn with_resilience(mut self, resilience: ResilienceOptions) -> Self {
         self.resilience = resilience;
         self
@@ -181,6 +329,10 @@ impl Udao {
     /// model server — the seam for remote servers and fault injection.
     /// Training still writes to [`Udao::model_server`]; wrap
     /// [`Udao::shared_model_server`] to intercept its reads.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Udao::builder(cluster).model_provider(...).build()`"
+    )]
     pub fn with_model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
         self.provider = provider;
         self
@@ -337,6 +489,7 @@ impl Udao {
                 if budget.expired() {
                     break;
                 }
+                udao_telemetry::counter(names::MODEL_FETCH_RETRIES).inc();
                 let mut pause = retry.backoff(attempt - 1);
                 if let Some(remaining) = budget.remaining() {
                     pause = pause.min(remaining);
@@ -373,28 +526,28 @@ impl Udao {
         }
     }
 
-    /// Build the MOO problem for a batch request from the model server's
-    /// current models (the analytic cores model serves `CostCores`).
+    /// Build the MOO problem for a request from the model server's current
+    /// models (analytic objectives are served exactly, without lookup).
     /// The flag reports whether any objective degraded to a heuristic.
-    fn build_batch_problem(
+    fn build_problem<O: Objective>(
         &self,
-        request: &BatchRequest,
+        request: &Request<O>,
         budget: &Budget,
     ) -> Result<(MooProblem, bool)> {
-        let space = BatchConf::space();
+        let space = O::space();
         let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
         let mut degraded = false;
         for obj in &request.objectives {
-            if matches!(obj, BatchObjective::CostCores) {
-                models.push(Arc::new(BatchCostCoresModel));
+            if let Some(analytic) = obj.analytic_model() {
+                models.push(analytic);
                 continue;
             }
-            let key = ModelKey::new(request.workload_id.clone(), obj.name());
+            let key = ModelKey::new(request.workload_id.clone(), Objective::name(obj));
             match self.resolve_model(&key, budget)? {
                 Some(model) => models.push(model),
                 None => {
                     degraded = true;
-                    models.push(Arc::new(BatchHeuristicModel::new(*obj)));
+                    models.push(obj.heuristic_model());
                 }
             }
         }
@@ -404,48 +557,21 @@ impl Udao {
             .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
             .collect();
         Ok((MooProblem::new(space.encoded_dim(), models).with_constraints(constraints), degraded))
+    }
+
+    /// Build the MOO problem for a request (unlimited budget).
+    pub fn problem<O: Objective>(&self, request: &Request<O>) -> Result<MooProblem> {
+        self.build_problem(request, &Budget::unlimited()).map(|(p, _)| p)
     }
 
     /// Build the MOO problem for a batch request (unlimited budget).
     pub fn batch_problem(&self, request: &BatchRequest) -> Result<MooProblem> {
-        self.build_batch_problem(request, &Budget::unlimited()).map(|(p, _)| p)
-    }
-
-    /// Build the MOO problem for a streaming request; the flag reports
-    /// whether any objective degraded to a heuristic.
-    fn build_stream_problem(
-        &self,
-        request: &StreamRequest,
-        budget: &Budget,
-    ) -> Result<(MooProblem, bool)> {
-        let space = StreamConf::space();
-        let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
-        let mut degraded = false;
-        for obj in &request.objectives {
-            if matches!(obj, StreamObjective::CostCores) {
-                models.push(Arc::new(StreamCostCoresModel));
-                continue;
-            }
-            let key = ModelKey::new(request.workload_id.clone(), obj.name());
-            match self.resolve_model(&key, budget)? {
-                Some(model) => models.push(model),
-                None => {
-                    degraded = true;
-                    models.push(Arc::new(StreamHeuristicModel::new(*obj)));
-                }
-            }
-        }
-        let constraints = request
-            .constraints
-            .iter()
-            .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
-            .collect();
-        Ok((MooProblem::new(space.encoded_dim(), models).with_constraints(constraints), degraded))
+        self.problem(request)
     }
 
     /// Build the MOO problem for a streaming request (unlimited budget).
     pub fn stream_problem(&self, request: &StreamRequest) -> Result<MooProblem> {
-        self.build_stream_problem(request, &Budget::unlimited()).map(|(p, _)| p)
+        self.problem(request)
     }
 
     /// Run one Progressive Frontier `rung` — its solver variant paired with
@@ -460,6 +586,7 @@ impl Udao {
         start: &Instant,
     ) -> Result<MooSelection> {
         let (variant, stage) = rung;
+        udao_telemetry::counter(&names::fallback_stage(&stage)).inc();
         let run = guard(|| {
             ProgressiveFrontier::new(variant, self.pf_options.clone())
                 .solve_within(problem, points, budget)
@@ -514,6 +641,7 @@ impl Udao {
                 "udao: {} failed ({last_err}); falling back to PF-AS",
                 self.pf_variant_name()
             );
+            udao_telemetry::counter(names::FALLBACK_TRANSITIONS).inc();
             match self.pf_stage(
                 (PfVariant::ApproxSequential, FallbackStage::SequentialPf),
                 problem,
@@ -530,6 +658,8 @@ impl Udao {
         eprintln!(
             "udao: sequential PF failed ({last_err}); falling back to single-objective MOGD"
         );
+        udao_telemetry::counter(names::FALLBACK_TRANSITIONS).inc();
+        udao_telemetry::counter(&names::fallback_stage(&FallbackStage::SingleObjective)).inc();
         // Single-objective rung: optimize the heaviest-weighted (or first)
         // objective alone — one configuration instead of a frontier.
         let primary_idx = weights
@@ -648,6 +778,7 @@ impl Udao {
         default_x: Option<Vec<f64>>,
         started: &Instant,
     ) -> Result<(Vec<f64>, Vec<f64>, MooSelection)> {
+        udao_telemetry::counter(&names::fallback_stage(&FallbackStage::DefaultConfig)).inc();
         let dim = space.encoded_dim();
         let mut candidates: Vec<Vec<f64>> = Vec::new();
         if let Some(x) = default_x {
@@ -695,16 +826,62 @@ impl Udao {
         ))
     }
 
-    /// Handle a batch request end-to-end: models → Pareto frontier →
-    /// recommendation, snapped onto a real Spark configuration. Runs under
-    /// the resilience policy: see [`crate::resilience`].
-    pub fn recommend_batch(&self, request: &BatchRequest) -> Result<Recommendation> {
+    /// Handle a request end-to-end: models → Pareto frontier →
+    /// recommendation, snapped onto a real configuration. Runs under the
+    /// resilience policy (see [`crate::resilience`]) and instruments the
+    /// whole solve: the returned [`Recommendation::report`] carries stage
+    /// wall-clock and optimizer/model counters for *this* request.
+    pub fn recommend<O: Objective>(&self, request: &Request<O>) -> Result<Recommendation> {
         if request.objectives.is_empty() {
             return Err(Error::InvalidConfig("request has no objectives".into()));
         }
+        let before = udao_telemetry::global().snapshot();
         let started = Instant::now();
+        let solved = self.solve_request(request, &started)?;
+        let total_seconds = started.elapsed().as_secs_f64();
+        if solved.degraded {
+            udao_telemetry::counter(names::DEGRADED_RESULTS).inc();
+        }
+        let delta = udao_telemetry::global().snapshot().delta_since(&before);
+        let report = SolveReport::from_delta(
+            request.workload_id.clone(),
+            solved.sel.stage,
+            solved.degraded,
+            total_seconds,
+            delta,
+        );
+        let (batch_conf, stream_conf) = O::typed_confs(&solved.configuration);
+        Ok(Recommendation {
+            batch_conf,
+            stream_conf,
+            x: solved.snapped,
+            configuration: solved.configuration,
+            predicted: solved.predicted,
+            frontier: solved.sel.frontier,
+            utopia: solved.sel.utopia,
+            nadir: solved.sel.nadir,
+            probes: solved.sel.probes,
+            moo_seconds: solved.sel.moo_seconds,
+            degraded: solved.degraded,
+            stage: solved.sel.stage,
+            report,
+        })
+    }
+
+    /// The shared solve core behind batch and streaming recommendation.
+    /// All telemetry spans open and close inside this function, so the
+    /// caller's delta snapshot sees complete stage histograms.
+    fn solve_request<O: Objective>(
+        &self,
+        request: &Request<O>,
+        started: &Instant,
+    ) -> Result<Solved> {
+        let _request_span = udao_telemetry::span("recommend");
         let budget = self.resilience.budget.map(Budget::new).unwrap_or_default();
-        let (problem, mut degraded) = self.build_batch_problem(request, &budget)?;
+        let (problem, mut degraded) = {
+            let _models_span = udao_telemetry::span("models");
+            self.build_problem(request, &budget)?
+        };
         // Workload-aware WUN: compose the class's internal expert weights
         // with the external application weights (2-objective case, §V).
         let weights = match (&request.workload_class, &request.weights) {
@@ -715,76 +892,41 @@ impl Udao {
             }
             _ => request.weights.clone(),
         };
-        let space = BatchConf::space();
-        let sel = match self.run_moo_and_select(&problem, request.points, &weights, &budget) {
-            Ok(sel) => sel,
-            Err(e) if absorbable(&e) => {
-                eprintln!("udao: all solver rungs failed ({e}); serving default configuration");
-                let default_x = space.encode(&BatchConf::spark_default().to_configuration()).ok();
-                let (_, _, sel) =
-                    Self::default_recommendation(&problem, &space, default_x, &started)?;
-                sel
+        let space = O::space();
+        let sel = {
+            let _moo_span = udao_telemetry::span("moo");
+            match self.run_moo_and_select(&problem, request.points, &weights, &budget) {
+                Ok(sel) => sel,
+                Err(e) if absorbable(&e) => {
+                    eprintln!(
+                        "udao: all solver rungs failed ({e}); serving default configuration"
+                    );
+                    udao_telemetry::counter(names::FALLBACK_TRANSITIONS).inc();
+                    let default_x = space.encode(&O::default_configuration()).ok();
+                    let (_, _, sel) =
+                        Self::default_recommendation(&problem, &space, default_x, started)?;
+                    sel
+                }
+                Err(e) => return Err(e),
             }
-            Err(e) => return Err(e),
         };
         degraded |= sel.degraded;
-        let (snapped, predicted) = Self::snap_resilient(&problem, &space, &sel, &mut degraded)?;
+        let (snapped, predicted) = {
+            let _snap_span = udao_telemetry::span("snap");
+            Self::snap_resilient(&problem, &space, &sel, &mut degraded)?
+        };
         let configuration = space.decode(&snapped)?;
-        Ok(Recommendation {
-            batch_conf: Some(BatchConf::from_configuration(&configuration)),
-            stream_conf: None,
-            x: snapped,
-            configuration,
-            predicted,
-            frontier: sel.frontier,
-            utopia: sel.utopia,
-            nadir: sel.nadir,
-            probes: sel.probes,
-            moo_seconds: sel.moo_seconds,
-            degraded,
-            stage: sel.stage,
-        })
+        Ok(Solved { sel, degraded, snapped, predicted, configuration })
     }
 
-    /// Handle a streaming request end-to-end, under the same resilience
-    /// policy as [`Udao::recommend_batch`].
+    /// Handle a batch request end-to-end; see [`Udao::recommend`].
+    pub fn recommend_batch(&self, request: &BatchRequest) -> Result<Recommendation> {
+        self.recommend(request)
+    }
+
+    /// Handle a streaming request end-to-end; see [`Udao::recommend`].
     pub fn recommend_streaming(&self, request: &StreamRequest) -> Result<Recommendation> {
-        if request.objectives.is_empty() {
-            return Err(Error::InvalidConfig("request has no objectives".into()));
-        }
-        let started = Instant::now();
-        let budget = self.resilience.budget.map(Budget::new).unwrap_or_default();
-        let (problem, mut degraded) = self.build_stream_problem(request, &budget)?;
-        let space = StreamConf::space();
-        let sel = match self.run_moo_and_select(&problem, request.points, &request.weights, &budget)
-        {
-            Ok(sel) => sel,
-            Err(e) if absorbable(&e) => {
-                eprintln!("udao: all solver rungs failed ({e}); serving default configuration");
-                let default_x = space.encode(&StreamConf::spark_default().to_configuration()).ok();
-                let (_, _, sel) =
-                    Self::default_recommendation(&problem, &space, default_x, &started)?;
-                sel
-            }
-            Err(e) => return Err(e),
-        };
-        degraded |= sel.degraded;
-        let (snapped, predicted) = Self::snap_resilient(&problem, &space, &sel, &mut degraded)?;
-        let configuration = space.decode(&snapped)?;
-        Ok(Recommendation {
-            batch_conf: None,
-            stream_conf: Some(StreamConf::from_configuration(&configuration)),
-            x: snapped,
-            configuration,
-            predicted,
-            frontier: sel.frontier,
-            utopia: sel.utopia,
-            nadir: sel.nadir,
-            probes: sel.probes,
-            moo_seconds: sel.moo_seconds,
-            degraded,
-            stage: sel.stage,
-        })
+        self.recommend(request)
     }
 
     /// Execute a batch workload under `conf` on the (simulated) cluster —
@@ -834,10 +976,17 @@ mod tests {
         )
     }
 
+    fn quick_udao() -> Udao {
+        let (v, o) = quick_pf();
+        Udao::builder(ClusterSpec::paper_cluster())
+            .pf(v, o)
+            .build()
+            .expect("quick_pf options are valid")
+    }
+
     #[test]
     fn end_to_end_batch_recommendation() {
-        let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let udao = quick_udao();
         let workloads = batch_workloads();
         let q2 = workloads.iter().find(|w| w.id == "q2-v0").unwrap();
         udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
@@ -851,6 +1000,10 @@ mod tests {
         assert!(conf.total_cores() >= 2);
         assert!(rec.frontier.len() >= 2, "frontier {}", rec.frontier.len());
         assert_eq!(rec.predicted.len(), 2);
+        // The solve reports its own work.
+        assert!(rec.report.mogd_iterations > 0, "report: {:?}", rec.report);
+        assert!(rec.report.model_inferences > 0);
+        assert!(rec.report.total_seconds > 0.0);
         // Measured run executes without issue.
         let m = udao.measure_batch(q2, conf, 1).expect("simulatable workload");
         assert!(m.latency_s > 0.0);
@@ -871,9 +1024,56 @@ mod tests {
     }
 
     #[test]
-    fn weights_shift_the_batch_recommendation() {
+    fn builder_rejects_invalid_options() {
+        let bad_iters = {
+            let (v, mut o) = quick_pf();
+            o.mogd.max_iters = 0;
+            Udao::builder(ClusterSpec::paper_cluster()).pf(v, o).build()
+        };
+        assert!(bad_iters.is_err());
+        let bad_lr = {
+            let (v, mut o) = quick_pf();
+            o.mogd.learning_rate = f64::NAN;
+            Udao::builder(ClusterSpec::paper_cluster()).pf(v, o).build()
+        };
+        assert!(bad_lr.is_err());
+        let bad_grid = {
+            let mut o = PfOptions::default();
+            o.grid_l = 0;
+            Udao::builder(ClusterSpec::paper_cluster())
+                .pf(PfVariant::ApproxParallel, o)
+                .build()
+        };
+        assert!(bad_grid.is_err());
+        let bad_retry = {
+            let mut r = ResilienceOptions::default();
+            r.retry.attempts = 0;
+            Udao::builder(ClusterSpec::paper_cluster()).resilience(r).build()
+        };
+        assert!(bad_retry.is_err());
+        // grid_l = 0 is fine when PF-AP is not selected.
+        let seq = {
+            let mut o = PfOptions::default();
+            o.grid_l = 0;
+            Udao::builder(ClusterSpec::paper_cluster())
+                .pf(PfVariant::ApproxSequential, o)
+                .build()
+        };
+        assert!(seq.is_ok());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_still_configure_the_optimizer() {
         let (v, o) = quick_pf();
         let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        assert_eq!(udao.pf_variant, PfVariant::ApproxSequential);
+        assert_eq!(udao.pf_options.mogd.multistarts, 4);
+    }
+
+    #[test]
+    fn weights_shift_the_batch_recommendation() {
+        let udao = quick_udao();
         let workloads = batch_workloads();
         let q9 = workloads.iter().find(|w| w.id == "q9-v0").unwrap();
         udao.train_batch(q9, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
@@ -904,8 +1104,7 @@ mod tests {
     #[test]
     fn workload_aware_wun_biases_long_jobs_toward_latency() {
         use udao_core::recommend::WorkloadClass;
-        let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let udao = quick_udao();
         let workloads = batch_workloads();
         let w = workloads.iter().find(|w| w.id == "q9-v0").unwrap();
         udao.train_batch(w, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
@@ -934,8 +1133,7 @@ mod tests {
     fn workload_mapping_bootstraps_data_poor_workloads() {
         use udao_model::dataset::wmape;
         use udao_sparksim::trace::{batch_training_data, collect_batch_traces, SamplingStrategy};
-        let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let udao = quick_udao();
         let workloads = batch_workloads();
         // Offline sibling variant of the same template, profiled richly.
         let offline = workloads.iter().find(|w| w.id == "q7-v0").unwrap();
@@ -948,10 +1146,7 @@ mod tests {
             .get(&udao_model::ModelKey::new("q7-v1", "latency"))
             .expect("mapped model trained");
         // Plain 10-trace training for comparison.
-        let udao_plain = {
-            let (v, o) = quick_pf();
-            Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o)
-        };
+        let udao_plain = quick_udao();
         udao_plain.train_batch(online, 10, ModelFamily::Gp, &[BatchObjective::Latency]);
         let plain_model = udao_plain
             .model_server()
@@ -979,8 +1174,7 @@ mod tests {
 
     #[test]
     fn end_to_end_streaming_recommendation() {
-        let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let udao = quick_udao();
         let workloads = streaming_workloads();
         let s1 = &workloads[0];
         udao.train_streaming(
@@ -995,6 +1189,7 @@ mod tests {
             .points(8);
         let rec = udao.recommend_streaming(&req).unwrap();
         let conf = rec.stream_conf.as_ref().unwrap();
+        assert!(rec.report.mogd_iterations > 0);
         let m = udao.measure_streaming(s1, conf, 1).expect("simulatable workload");
         assert!(m.throughput > 0.0);
     }

@@ -161,6 +161,7 @@ impl Udao {
                 moo_seconds: rec.moo_seconds,
                 degraded: rec.degraded,
                 stage: rec.stage,
+                report: rec.report,
             });
         }
         Ok(PipelineRecommendation { stages: stages_out, total_latency, total_cpu_hours })
@@ -177,13 +178,21 @@ mod tests {
     use udao_sparksim::{batch_workloads, ClusterSpec};
 
     fn pipeline_udao() -> Udao {
-        Udao::new(ClusterSpec::paper_cluster()).with_pf(
-            PfVariant::ApproxSequential,
-            PfOptions {
-                mogd: MogdConfig { multistarts: 4, max_iters: 60, alpha: 1.0, ..Default::default() },
-                ..Default::default()
-            },
-        )
+        Udao::builder(ClusterSpec::paper_cluster())
+            .pf(
+                PfVariant::ApproxSequential,
+                PfOptions {
+                    mogd: MogdConfig {
+                        multistarts: 4,
+                        max_iters: 60,
+                        alpha: 1.0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            )
+            .build()
+            .expect("valid options")
     }
 
     fn stage_request(id: &str) -> BatchRequest {

@@ -1,0 +1,248 @@
+//! Per-request solve reports.
+//!
+//! Every recommendation carries a [`SolveReport`]: the telemetry delta
+//! observed between the start and end of the solve (stage wall-clock from
+//! span histograms, MOGD/PF/model counters) plus the outcome of the
+//! resilience ladder. The report is exact for single-request sessions and
+//! a best-effort superset when other requests run concurrently (the global
+//! registry is shared; see `udao-telemetry` docs).
+
+use crate::resilience::FallbackStage;
+use serde::Value;
+use std::fmt::Write as _;
+use udao_telemetry::{names, MetricsSnapshot};
+
+/// Wall-clock spent in one instrumented stage (a `span.` histogram).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageTiming {
+    /// Hierarchical span path, e.g. `recommend/moo`.
+    pub path: String,
+    /// Total seconds across all entries of the span during the request.
+    pub seconds: f64,
+    /// Number of times the span was entered.
+    pub count: u64,
+}
+
+/// What one solve cost: stage timings and optimizer/model counters.
+#[derive(Debug, Clone)]
+pub struct SolveReport {
+    /// Workload the request targeted.
+    pub workload_id: String,
+    /// Ladder stage that produced the result.
+    pub stage: FallbackStage,
+    /// Whether any degradation (heuristic models, raw snap, fallback
+    /// rungs) was involved.
+    pub degraded: bool,
+    /// End-to-end wall-clock of the request, seconds.
+    pub total_seconds: f64,
+    /// MOGD inner-loop iterations across all solves of the request.
+    pub mogd_iterations: u64,
+    /// MOGD multistart restarts.
+    pub mogd_restarts: u64,
+    /// MOGD constraint-violation penalty activations.
+    pub mogd_violations: u64,
+    /// Progressive Frontier probes (cell solves attempted).
+    pub pf_probes: u64,
+    /// Model forward passes (learned + analytic + heuristic).
+    pub model_inferences: u64,
+    /// Model-server lookups.
+    pub model_lookups: u64,
+    /// Resilience-ladder descents taken while serving the request.
+    pub fallback_transitions: u64,
+    /// Stage wall-clock extracted from span histograms, sorted by path.
+    pub stages: Vec<StageTiming>,
+    /// The full telemetry delta, for anything not surfaced above.
+    pub metrics: MetricsSnapshot,
+}
+
+impl SolveReport {
+    /// Build a report from the telemetry delta of one request.
+    pub fn from_delta(
+        workload_id: impl Into<String>,
+        stage: FallbackStage,
+        degraded: bool,
+        total_seconds: f64,
+        delta: MetricsSnapshot,
+    ) -> Self {
+        let stages = delta
+            .histograms
+            .iter()
+            .filter(|(name, _)| name.starts_with(names::SPAN_PREFIX))
+            .map(|(name, h)| StageTiming {
+                path: name[names::SPAN_PREFIX.len()..].to_string(),
+                seconds: h.sum,
+                count: h.count,
+            })
+            .collect();
+        Self {
+            workload_id: workload_id.into(),
+            stage,
+            degraded,
+            total_seconds,
+            mogd_iterations: delta.counter(names::MOGD_ITERATIONS),
+            mogd_restarts: delta.counter(names::MOGD_RESTARTS),
+            mogd_violations: delta.counter(names::MOGD_VIOLATIONS),
+            pf_probes: delta.counter(names::PF_PROBES),
+            model_inferences: delta.counter(names::MODEL_INFERENCES),
+            model_lookups: delta.counter(names::MODEL_LOOKUPS),
+            fallback_transitions: delta.counter(names::FALLBACK_TRANSITIONS),
+            stages,
+            metrics: delta,
+        }
+    }
+
+    /// An empty report (used where a recommendation is synthesized outside
+    /// the solve path, e.g. re-materialized pipeline stages).
+    pub fn empty(workload_id: impl Into<String>) -> Self {
+        Self::from_delta(
+            workload_id,
+            FallbackStage::Primary,
+            false,
+            0.0,
+            MetricsSnapshot::default(),
+        )
+    }
+
+    /// JSON value of the report (counters + stage timings + full delta).
+    pub fn to_value(&self) -> Value {
+        let stages = self
+            .stages
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("path".to_string(), Value::String(s.path.clone())),
+                    ("seconds".to_string(), Value::Float(s.seconds)),
+                    ("count".to_string(), Value::UInt(s.count)),
+                ])
+            })
+            .collect();
+        Value::Object(vec![
+            ("workload".to_string(), Value::String(self.workload_id.clone())),
+            ("stage".to_string(), Value::String(self.stage.to_string())),
+            ("degraded".to_string(), Value::Bool(self.degraded)),
+            ("total_seconds".to_string(), Value::Float(self.total_seconds)),
+            ("mogd_iterations".to_string(), Value::UInt(self.mogd_iterations)),
+            ("mogd_restarts".to_string(), Value::UInt(self.mogd_restarts)),
+            ("mogd_violations".to_string(), Value::UInt(self.mogd_violations)),
+            ("pf_probes".to_string(), Value::UInt(self.pf_probes)),
+            ("model_inferences".to_string(), Value::UInt(self.model_inferences)),
+            ("model_lookups".to_string(), Value::UInt(self.model_lookups)),
+            (
+                "fallback_transitions".to_string(),
+                Value::UInt(self.fallback_transitions),
+            ),
+            ("stages".to_string(), Value::Array(stages)),
+            ("metrics".to_string(), self.metrics.to_value()),
+        ])
+    }
+
+    /// Human-readable multi-line rendering (what `udao-cli --report`
+    /// prints).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "solve report: {} (stage: {}, degraded: {})",
+            self.workload_id, self.stage, self.degraded
+        );
+        let _ = writeln!(out, "  total wall-clock  {:>9.3} ms", self.total_seconds * 1e3);
+        if !self.stages.is_empty() {
+            let _ = writeln!(out, "  stages:");
+            for s in &self.stages {
+                let _ = writeln!(
+                    out,
+                    "    {:<20} {:>9.3} ms  x{}",
+                    s.path,
+                    s.seconds * 1e3,
+                    s.count
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "  mogd:   {} iterations, {} restarts, {} solves, {} constraint violations",
+            self.mogd_iterations,
+            self.mogd_restarts,
+            self.metrics.counter(names::MOGD_SOLVES),
+            self.mogd_violations
+        );
+        let _ = writeln!(
+            out,
+            "  pf:     {} probes ({} skipped as dominated)",
+            self.pf_probes,
+            self.metrics.counter(names::PF_SKIPPED_PROBES)
+        );
+        let _ = writeln!(
+            out,
+            "  model:  {} inferences, {} lookups",
+            self.model_inferences, self.model_lookups
+        );
+        let _ = write!(
+            out,
+            "  ladder: {} transitions",
+            self.fallback_transitions
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_telemetry::MetricsRegistry;
+
+    fn sample_delta() -> MetricsSnapshot {
+        let reg = MetricsRegistry::new();
+        reg.counter(names::MOGD_ITERATIONS).add(420);
+        reg.counter(names::PF_PROBES).add(17);
+        reg.counter(names::MODEL_INFERENCES).add(9001);
+        reg.histogram("span.recommend").record(0.25);
+        reg.histogram("span.recommend/moo").record(0.2);
+        reg.histogram(names::MOGD_SOLVE_SECONDS).record(0.01);
+        reg.snapshot()
+    }
+
+    #[test]
+    fn from_delta_extracts_counters_and_stage_timings() {
+        let report =
+            SolveReport::from_delta("q2-v0", FallbackStage::Primary, false, 0.3, sample_delta());
+        assert_eq!(report.mogd_iterations, 420);
+        assert_eq!(report.pf_probes, 17);
+        assert_eq!(report.model_inferences, 9001);
+        // Only span.* histograms become stage timings, prefix stripped.
+        assert_eq!(report.stages.len(), 2);
+        assert_eq!(report.stages[0].path, "recommend");
+        assert_eq!(report.stages[1].path, "recommend/moo");
+        assert!((report.stages[1].seconds - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_and_render_carry_the_headline_fields() {
+        let report = SolveReport::from_delta(
+            "q2-v0",
+            FallbackStage::SingleObjective,
+            true,
+            0.3,
+            sample_delta(),
+        );
+        let v = report.to_value();
+        assert_eq!(
+            v.get("stage").and_then(Value::as_str),
+            Some("single-objective-fallback")
+        );
+        assert_eq!(v.get("mogd_iterations").and_then(Value::as_u64), Some(420));
+        assert!(v.get("metrics").is_some());
+        let text = report.render();
+        assert!(text.contains("degraded: true"));
+        assert!(text.contains("420 iterations"));
+        assert!(text.contains("recommend/moo"));
+    }
+
+    #[test]
+    fn empty_report_is_all_zero() {
+        let report = SolveReport::empty("w");
+        assert_eq!(report.mogd_iterations, 0);
+        assert!(report.stages.is_empty());
+        assert!(!report.degraded);
+    }
+}

@@ -1,15 +1,110 @@
 //! Optimization requests (Fig. 1(a) inputs): an analytic task, a set of
 //! objectives, and optional value constraints / preference weights.
+//!
+//! Batch and streaming requests share one generic [`Request`] parameterized
+//! by the objective catalog; [`BatchRequest`] and [`StreamRequest`] are the
+//! domain-specific aliases. The [`Objective`] trait ties an objective
+//! catalog to its knob space, its analytic/heuristic models, and its typed
+//! configuration — everything the optimizer needs to serve both domains
+//! through a single code path.
 
+use crate::analytic::{
+    BatchCostCoresModel, BatchHeuristicModel, StreamCostCoresModel, StreamHeuristicModel,
+};
+use std::sync::Arc;
+use udao_core::recommend::WorkloadClass;
+use udao_core::space::{Configuration, ParamSpace};
+use udao_core::ObjectiveModel;
 use udao_sparksim::objectives::{BatchObjective, StreamObjective};
+use udao_sparksim::{BatchConf, StreamConf};
 
-/// A batch optimization request.
+/// An objective catalog the optimizer can serve: names for model-server
+/// keys, analytic/heuristic models, and the knob space of its domain.
+pub trait Objective: Copy + std::fmt::Debug + Send + Sync + 'static {
+    /// Canonical objective name — the model-server key component.
+    fn name(&self) -> &'static str;
+
+    /// The exact analytic model for objectives that need no learning
+    /// (certain given the configuration, e.g. `cost1` in #cores); `None`
+    /// for learned objectives.
+    fn analytic_model(&self) -> Option<Arc<dyn ObjectiveModel>>;
+
+    /// The workload-agnostic heuristic prior — the cold-start rung of the
+    /// degradation ladder.
+    fn heuristic_model(&self) -> Arc<dyn ObjectiveModel>;
+
+    /// The knob space this objective family optimizes over.
+    fn space() -> ParamSpace;
+
+    /// The domain's default (Spark default) configuration.
+    fn default_configuration() -> Configuration;
+
+    /// Decode a configuration into the domain's typed form:
+    /// `(batch, stream)` with exactly one side populated.
+    fn typed_confs(configuration: &Configuration) -> (Option<BatchConf>, Option<StreamConf>);
+}
+
+impl Objective for BatchObjective {
+    fn name(&self) -> &'static str {
+        BatchObjective::name(self)
+    }
+
+    fn analytic_model(&self) -> Option<Arc<dyn ObjectiveModel>> {
+        matches!(self, BatchObjective::CostCores)
+            .then(|| Arc::new(BatchCostCoresModel) as Arc<dyn ObjectiveModel>)
+    }
+
+    fn heuristic_model(&self) -> Arc<dyn ObjectiveModel> {
+        Arc::new(BatchHeuristicModel::new(*self))
+    }
+
+    fn space() -> ParamSpace {
+        BatchConf::space()
+    }
+
+    fn default_configuration() -> Configuration {
+        BatchConf::spark_default().to_configuration()
+    }
+
+    fn typed_confs(configuration: &Configuration) -> (Option<BatchConf>, Option<StreamConf>) {
+        (Some(BatchConf::from_configuration(configuration)), None)
+    }
+}
+
+impl Objective for StreamObjective {
+    fn name(&self) -> &'static str {
+        StreamObjective::name(self)
+    }
+
+    fn analytic_model(&self) -> Option<Arc<dyn ObjectiveModel>> {
+        matches!(self, StreamObjective::CostCores)
+            .then(|| Arc::new(StreamCostCoresModel) as Arc<dyn ObjectiveModel>)
+    }
+
+    fn heuristic_model(&self) -> Arc<dyn ObjectiveModel> {
+        Arc::new(StreamHeuristicModel::new(*self))
+    }
+
+    fn space() -> ParamSpace {
+        StreamConf::space()
+    }
+
+    fn default_configuration() -> Configuration {
+        StreamConf::spark_default().to_configuration()
+    }
+
+    fn typed_confs(configuration: &Configuration) -> (Option<BatchConf>, Option<StreamConf>) {
+        (None, Some(StreamConf::from_configuration(configuration)))
+    }
+}
+
+/// An optimization request over objective catalog `O`.
 #[derive(Debug, Clone)]
-pub struct BatchRequest {
+pub struct Request<O: Objective> {
     /// Workload identifier (must be known to the model server).
     pub workload_id: String,
     /// Objectives to optimize, in order.
-    pub objectives: Vec<BatchObjective>,
+    pub objectives: Vec<O>,
     /// Optional per-objective value constraints `F_i ∈ [lo, hi]`
     /// (positionally aligned with `objectives`).
     pub constraints: Vec<Option<(f64, f64)>>,
@@ -18,13 +113,13 @@ pub struct BatchRequest {
     pub weights: Option<Vec<f64>>,
     /// Optional workload size class for workload-aware WUN (§V): expert
     /// internal weights for the class are composed with the external
-    /// application weights (2-objective latency/cost requests only).
-    pub workload_class: Option<udao_core::recommend::WorkloadClass>,
+    /// application weights (2-objective requests only).
+    pub workload_class: Option<WorkloadClass>,
     /// Number of Pareto points to request from the Progressive Frontier.
     pub points: usize,
 }
 
-impl BatchRequest {
+impl<O: Objective> Request<O> {
     /// Start a request for `workload_id`.
     pub fn new(workload_id: impl Into<String>) -> Self {
         Self {
@@ -37,76 +132,17 @@ impl BatchRequest {
         }
     }
 
-    /// Enable workload-aware WUN with the given size class.
-    pub fn workload_aware(mut self, class: udao_core::recommend::WorkloadClass) -> Self {
-        self.workload_class = Some(class);
-        self
-    }
-
     /// Add an unconstrained objective.
-    pub fn objective(mut self, o: BatchObjective) -> Self {
-        self.objectives.push(o);
-        self.constraints.push(None);
-        self
-    }
-
-    /// Add an objective with a value constraint.
-    pub fn objective_bounded(mut self, o: BatchObjective, lo: f64, hi: f64) -> Self {
-        self.objectives.push(o);
-        self.constraints.push(Some((lo, hi)));
-        self
-    }
-
-    /// Set preference weights.
-    pub fn weights(mut self, w: Vec<f64>) -> Self {
-        self.weights = Some(w);
-        self
-    }
-
-    /// Set the Pareto point budget.
-    pub fn points(mut self, n: usize) -> Self {
-        self.points = n;
-        self
-    }
-}
-
-/// A streaming optimization request.
-#[derive(Debug, Clone)]
-pub struct StreamRequest {
-    /// Workload identifier.
-    pub workload_id: String,
-    /// Objectives to optimize.
-    pub objectives: Vec<StreamObjective>,
-    /// Optional per-objective constraints.
-    pub constraints: Vec<Option<(f64, f64)>>,
-    /// Optional preference weights.
-    pub weights: Option<Vec<f64>>,
-    /// Pareto point budget.
-    pub points: usize,
-}
-
-impl StreamRequest {
-    /// Start a request for `workload_id`.
-    pub fn new(workload_id: impl Into<String>) -> Self {
-        Self {
-            workload_id: workload_id.into(),
-            objectives: Vec::new(),
-            constraints: Vec::new(),
-            weights: None,
-            points: 12,
-        }
-    }
-
-    /// Add an unconstrained objective.
-    pub fn objective(mut self, o: StreamObjective) -> Self {
+    pub fn objective(mut self, o: O) -> Self {
         self.objectives.push(o);
         self.constraints.push(None);
         self
     }
 
     /// Add an objective with a value constraint (in minimization space:
-    /// throughput bounds must be negated by the caller).
-    pub fn objective_bounded(mut self, o: StreamObjective, lo: f64, hi: f64) -> Self {
+    /// maximized objectives such as throughput must be negated by the
+    /// caller).
+    pub fn objective_bounded(mut self, o: O, lo: f64, hi: f64) -> Self {
         self.objectives.push(o);
         self.constraints.push(Some((lo, hi)));
         self
@@ -118,12 +154,24 @@ impl StreamRequest {
         self
     }
 
+    /// Enable workload-aware WUN with the given size class.
+    pub fn workload_aware(mut self, class: WorkloadClass) -> Self {
+        self.workload_class = Some(class);
+        self
+    }
+
     /// Set the Pareto point budget.
     pub fn points(mut self, n: usize) -> Self {
         self.points = n;
         self
     }
 }
+
+/// A batch optimization request.
+pub type BatchRequest = Request<BatchObjective>;
+
+/// A streaming optimization request.
+pub type StreamRequest = Request<StreamObjective>;
 
 #[cfg(test)]
 mod tests {
@@ -149,5 +197,28 @@ mod tests {
             .objective(StreamObjective::Throughput);
         assert_eq!(r.objectives.len(), 2);
         assert!(r.weights.is_none());
+        assert!(r.workload_class.is_none());
+    }
+
+    #[test]
+    fn objective_trait_routes_analytic_vs_learned() {
+        assert!(Objective::analytic_model(&BatchObjective::CostCores).is_some());
+        assert!(Objective::analytic_model(&BatchObjective::Latency).is_none());
+        assert!(Objective::analytic_model(&StreamObjective::CostCores).is_some());
+        assert!(Objective::analytic_model(&StreamObjective::Throughput).is_none());
+        assert_eq!(Objective::name(&BatchObjective::Latency), "latency");
+    }
+
+    #[test]
+    fn domains_expose_their_own_spaces() {
+        assert_eq!(
+            <BatchObjective as Objective>::space().encoded_dim(),
+            BatchConf::space().encoded_dim()
+        );
+        let (b, s) = <StreamObjective as Objective>::typed_confs(
+            &StreamObjective::default_configuration(),
+        );
+        assert!(b.is_none());
+        assert!(s.is_some());
     }
 }

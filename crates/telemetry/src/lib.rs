@@ -1,0 +1,71 @@
+//! # udao-telemetry — always-on instrumentation for the optimizer runtime
+//!
+//! The paper's evaluation (§VII) is an accounting of where solver time goes:
+//! MOGD iterations per CO solve, Middle-Point probes per Progressive
+//! Frontier run, per-cell solve latency in PF-AP, and model-inference cost.
+//! This crate provides the lightweight substrate the rest of the workspace
+//! uses to keep that accounting *in production*, not just in benchmarks:
+//!
+//! * [`Counter`] — a lock-free monotonic `u64` counter.
+//! * [`Histogram`] — fixed log₂-scale buckets, lock-free recording, with
+//!   mergeable [`HistogramSnapshot`]s.
+//! * [`Span`] — hierarchical RAII wall-clock timers; nested spans record
+//!   under `parent/child` paths.
+//! * [`MetricsRegistry`] — a name → instrument registry with a consistent
+//!   [`MetricsSnapshot`] view and JSON export.
+//!
+//! The hot path is an atomic increment on a pre-resolved handle: name
+//! resolution takes a sharded read lock once per handle acquisition, and the
+//! instruments themselves are wait-free. There are no external dependencies
+//! beyond the vendored workspace shims.
+//!
+//! ## Per-request accounting
+//!
+//! Instruments are process-global and cumulative. Per-request views (the
+//! `SolveReport` the `udao` crate attaches to every recommendation) are
+//! built by snapshotting the [`global`] registry before and after the
+//! request and taking [`MetricsSnapshot::delta_since`]. Deltas are exact for
+//! a single in-flight request and a best-effort superset under concurrency.
+//!
+//! ```
+//! use udao_telemetry as telemetry;
+//!
+//! let before = telemetry::global().snapshot();
+//! {
+//!     let _outer = telemetry::span("doc_request");
+//!     let _inner = telemetry::span("solve"); // records span.doc_request/solve
+//!     telemetry::counter("doc.probes").add(3);
+//! }
+//! let delta = telemetry::global().snapshot().delta_since(&before);
+//! assert_eq!(delta.counter("doc.probes"), 3);
+//! assert!(delta.histogram("span.doc_request/solve").is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+mod histogram;
+mod names_mod;
+mod registry;
+mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{global, Counter, MetricsRegistry, MetricsSnapshot};
+pub use span::{span, span_in, Span};
+
+/// Canonical instrument names recorded across the workspace.
+pub mod names {
+    pub use crate::names_mod::*;
+}
+
+/// Resolve (or create) a counter in the [`global`] registry.
+///
+/// Convenience for call sites that increment rarely; hot loops should hold
+/// the returned handle instead of re-resolving per increment.
+pub fn counter(name: &str) -> std::sync::Arc<Counter> {
+    global().counter(name)
+}
+
+/// Resolve (or create) a histogram in the [`global`] registry.
+pub fn histogram(name: &str) -> std::sync::Arc<Histogram> {
+    global().histogram(name)
+}

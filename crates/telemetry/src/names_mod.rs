@@ -1,0 +1,79 @@
+//! Canonical instrument names recorded across the workspace.
+//!
+//! Keeping the names in one place lets report extraction (`SolveReport` in
+//! the `udao` crate, the bench smoke validator) match recording sites by
+//! constant instead of by string literal.
+
+pub use crate::span::SPAN_PREFIX;
+
+// ------------------------------------------------------------------- MOGD
+
+/// Gradient-descent iterations executed (across all multistarts).
+pub const MOGD_ITERATIONS: &str = "mogd.iterations";
+/// Multistart restarts attempted (includes the center start).
+pub const MOGD_RESTARTS: &str = "mogd.restarts";
+/// Iterations whose candidate violated an objective constraint (Eq. 3
+/// penalty branch taken).
+pub const MOGD_VIOLATIONS: &str = "mogd.constraint_violations";
+/// Constrained-optimization solves completed.
+pub const MOGD_SOLVES: &str = "mogd.solves";
+/// Wall-clock seconds per CO solve.
+pub const MOGD_SOLVE_SECONDS: &str = "mogd.solve_seconds";
+
+// ------------------------------------------------- Progressive Frontier
+
+/// Middle-Point probes issued across PF runs.
+pub const PF_PROBES: &str = "pf.probes";
+/// Probes skipped because the probe budget or deadline was exhausted.
+pub const PF_SKIPPED_PROBES: &str = "pf.skipped_probes";
+/// PF runs started (any variant).
+pub const PF_RUNS: &str = "pf.runs";
+/// Wall-clock seconds per PF-AP cell solve (recorded on worker threads).
+pub const PF_CELL_SOLVE_SECONDS: &str = "pf.cell_solve_seconds";
+/// Final uncertain-space volume fraction per PF run (dimensionless, in
+/// `[0, 1]`; shrinkage below `min_volume_frac` ends the run).
+pub const PF_UNCERTAIN_FRAC: &str = "pf.uncertain_volume_frac";
+
+// ---------------------------------------------------------- model server
+
+/// Model lookups served by the in-memory model server.
+pub const MODEL_LOOKUPS: &str = "model.lookups";
+/// Wall-clock seconds per model lookup.
+pub const MODEL_LOOKUP_SECONDS: &str = "model.lookup_seconds";
+/// Objective-model inference calls (predictions through a served model).
+pub const MODEL_INFERENCES: &str = "model.inferences";
+/// Full retrains triggered by trace-count thresholds.
+pub const MODEL_RETRAINS: &str = "model.retrains";
+/// Fine-tune passes on incremental trace ingest.
+pub const MODEL_FINE_TUNES: &str = "model.fine_tunes";
+
+// -------------------------------------------------------------- simulator
+
+/// Batch (Spark SQL) simulator runs.
+pub const SIM_BATCH_RUNS: &str = "sim.batch_runs";
+/// Streaming simulator runs.
+pub const SIM_STREAM_RUNS: &str = "sim.stream_runs";
+
+// ----------------------------------------------------- resilience ladder
+
+/// Fallback-stage transitions taken by the resilience ladder (each descent
+/// below the primary path counts once).
+pub const FALLBACK_TRANSITIONS: &str = "fallback.transitions";
+/// Model-fetch retries performed under the retry policy.
+pub const MODEL_FETCH_RETRIES: &str = "fallback.model_fetch_retries";
+/// Requests that returned a degraded (non-primary) recommendation.
+pub const DEGRADED_RESULTS: &str = "fallback.degraded_results";
+
+/// Per-stage entry counter name: `fallback.stage.<stage>` where `<stage>`
+/// is the stage's `Display` form (e.g. `pf-as-fallback`).
+pub fn fallback_stage(stage: &impl std::fmt::Display) -> String {
+    format!("fallback.stage.{stage}")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fallback_stage_names_compose() {
+        assert_eq!(super::fallback_stage(&"primary"), "fallback.stage.primary");
+    }
+}

@@ -1,0 +1,180 @@
+//! Hierarchical RAII wall-clock timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and drop and
+//! records it into a histogram named `span.<path>`, where `<path>` reflects
+//! the nesting of live spans *on the current thread*: a span opened while
+//! `recommend` is live records as `span.recommend/moo`. Nesting is tracked
+//! per thread, so spans opened on PF-AP worker threads start a fresh path
+//! rather than attaching to the requesting thread's span.
+
+use crate::registry::{global, MetricsRegistry};
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    /// Stack of live span names on this thread, joined with '/' into paths.
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Prefix under which span timings appear in the registry.
+pub const SPAN_PREFIX: &str = "span.";
+
+/// An RAII timer that records its elapsed wall-clock time on drop.
+///
+/// Spans are `!Send` by construction (they capture the thread-local nesting
+/// path at creation); hold them in a local binding for the scope they time.
+pub struct Span {
+    registry: &'static MetricsRegistry,
+    path: String,
+    start: Instant,
+    // Ties the span to its creating thread so the stack pop on drop is
+    // guaranteed to hit the stack the push went to.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a span named `name` in the [`global`] registry.
+///
+/// The recorded histogram is `span.<parent-path>/<name>` where
+/// `<parent-path>` is the chain of spans currently live on this thread.
+pub fn span(name: &str) -> Span {
+    span_in(global(), name)
+}
+
+/// Open a span recording into a specific registry (tests use this for
+/// isolation; production code uses [`span`]).
+pub fn span_in(registry: &'static MetricsRegistry, name: &str) -> Span {
+    let path = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let path = match stack.last() {
+            Some(parent) => format!("{parent}/{name}"),
+            None => name.to_string(),
+        };
+        stack.push(path.clone());
+        path
+    });
+    Span {
+        registry,
+        path,
+        start: Instant::now(),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Span {
+    /// The full nesting path this span records under (without the
+    /// `span.` prefix).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Wall-clock time elapsed since the span opened.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.registry
+            .histogram(&format!("{SPAN_PREFIX}{}", self.path))
+            .record_duration(elapsed);
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop back to (and including) this span's frame. Out-of-order
+            // drops can only come from mem::forget-style misuse; truncating
+            // keeps the stack consistent rather than panicking in a Drop.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.truncate(pos);
+            }
+        });
+    }
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Span").field("path", &self.path).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::MetricsRegistry;
+
+    fn leaked_registry() -> &'static MetricsRegistry {
+        Box::leak(Box::new(MetricsRegistry::new()))
+    }
+
+    #[test]
+    fn nested_spans_record_slash_joined_paths() {
+        let reg = leaked_registry();
+        {
+            let outer = span_in(reg, "request");
+            assert_eq!(outer.path(), "request");
+            {
+                let mid = span_in(reg, "moo");
+                assert_eq!(mid.path(), "request/moo");
+                let inner = span_in(reg, "solve");
+                assert_eq!(inner.path(), "request/moo/solve");
+            }
+            // Siblings after a closed child attach to the outer span again.
+            let sibling = span_in(reg, "snap");
+            assert_eq!(sibling.path(), "request/snap");
+        }
+        let s = reg.snapshot();
+        for path in ["request", "request/moo", "request/moo/solve", "request/snap"] {
+            assert_eq!(
+                s.histogram(&format!("span.{path}")).map(|h| h.count),
+                Some(1),
+                "missing span histogram for {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_top_level_spans_do_not_nest() {
+        let reg = leaked_registry();
+        {
+            let _a = span_in(reg, "first");
+        }
+        {
+            let b = span_in(reg, "second");
+            assert_eq!(b.path(), "second");
+        }
+    }
+
+    #[test]
+    fn spans_on_other_threads_start_fresh_paths() {
+        let reg = leaked_registry();
+        let _outer = span_in(reg, "request_thread_test");
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let worker = span_in(reg, "cell");
+                    assert_eq!(worker.path(), "cell");
+                })
+                .join()
+                .expect("worker thread");
+        });
+        let s = reg.snapshot();
+        assert_eq!(s.histogram("span.cell").map(|h| h.count), Some(1));
+        assert!(s.histogram("span.request_thread_test/cell").is_none());
+    }
+
+    #[test]
+    fn elapsed_is_monotonic_and_recorded() {
+        let reg = leaked_registry();
+        {
+            let sp = span_in(reg, "timed");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            assert!(sp.elapsed_seconds() >= 0.002);
+        }
+        let s = reg.snapshot();
+        let h = match s.histogram("span.timed") {
+            Some(h) => h,
+            None => panic!("span.timed not recorded"),
+        };
+        assert!(h.sum >= 0.002);
+    }
+}

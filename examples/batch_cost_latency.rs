@@ -11,7 +11,9 @@ use udao_sparksim::objectives::BatchObjective;
 use udao_sparksim::{batch_workloads, ClusterSpec, WorkloadKind};
 
 fn main() {
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .build()
+        .expect("default optimizer options are valid");
     let workloads = batch_workloads();
 
     // One representative job per task class.

@@ -10,7 +10,9 @@ use udao_sparksim::objectives::BatchObjective;
 use udao_sparksim::{batch_workloads, ClusterSpec, WorkloadKind};
 
 fn main() {
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .build()
+        .expect("default optimizer options are valid");
     let workloads = batch_workloads();
     // ETL-ish SQL stage, a UDF stage, and an ML training stage.
     let stages: Vec<_> = [WorkloadKind::Sql, WorkloadKind::SqlUdf, WorkloadKind::Ml]

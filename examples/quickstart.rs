@@ -11,7 +11,9 @@ use udao_sparksim::objectives::BatchObjective;
 use udao_sparksim::{batch_workloads, ClusterSpec};
 
 fn main() {
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .build()
+        .expect("default optimizer options are valid");
     let workloads = batch_workloads();
     let q2 = workloads.iter().find(|w| w.id == "q2-v0").expect("Q2 exists");
 
@@ -68,4 +70,7 @@ fn main() {
         "  measured on the simulated cluster: latency {:.1}s, CPU-hours {:.3}",
         measured.latency_s, measured.cpu_hours
     );
+
+    println!("\n== what the solve cost ==");
+    println!("{}", rec.report.render());
 }

@@ -15,7 +15,9 @@ use udao_sparksim::objectives::StreamObjective;
 use udao_sparksim::{streaming_workloads, ClusterSpec};
 
 fn main() {
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .build()
+        .expect("default optimizer options are valid");
     let workloads = streaming_workloads();
     let news = workloads.iter().find(|w| w.offline).expect("offline streaming workload");
 

@@ -11,7 +11,9 @@ use udao_sparksim::objectives::StreamObjective;
 use udao_sparksim::{streaming_workloads, ClusterSpec};
 
 fn main() {
-    let udao = Udao::new(ClusterSpec::paper_cluster());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .build()
+        .expect("default optimizer options are valid");
     let workloads = streaming_workloads();
     let job = workloads.iter().find(|w| w.id == "s2-v1").expect("job exists");
 

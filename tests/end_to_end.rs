@@ -8,14 +8,22 @@ use udao_sparksim::objectives::{BatchObjective, StreamObjective};
 use udao_sparksim::{batch_workloads, streaming_workloads, ClusterSpec};
 
 fn quick_udao() -> Udao {
-    Udao::new(ClusterSpec::paper_cluster()).with_pf(
-        PfVariant::ApproxSequential,
-        PfOptions {
-            // alpha = 1: conservative optimization under model uncertainty.
-            mogd: MogdConfig { multistarts: 4, max_iters: 60, alpha: 1.0, ..Default::default() },
-            ..Default::default()
-        },
-    )
+    Udao::builder(ClusterSpec::paper_cluster())
+        .pf(
+            PfVariant::ApproxSequential,
+            PfOptions {
+                // alpha = 1: conservative optimization under model uncertainty.
+                mogd: MogdConfig {
+                    multistarts: 4,
+                    max_iters: 60,
+                    alpha: 1.0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .build()
+        .expect("valid options")
 }
 
 #[test]

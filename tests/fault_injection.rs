@@ -50,7 +50,7 @@ fn faulty_udao(
     faults: FaultConfig,
     resilience: ResilienceOptions,
 ) -> (Udao, Arc<FaultInjector>) {
-    let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(
+    let builder = Udao::builder(ClusterSpec::paper_cluster()).pf(
         variant,
         PfOptions {
             mogd: MogdConfig { multistarts: 4, max_iters: 60, alpha: 1.0, ..Default::default() },
@@ -58,13 +58,20 @@ fn faulty_udao(
             ..Default::default()
         },
     );
+    let injector = FaultInjector::new(faults);
+    // The builder exposes the model server before `build`, so the faulty
+    // provider can wrap the very server training will write into.
+    let provider =
+        FaultyProvider { server: builder.shared_model_server(), injector: Arc::clone(&injector) };
+    let udao = builder
+        .model_provider(Arc::new(provider))
+        .resilience(resilience)
+        .build()
+        .expect("valid fault-injection options");
     let workloads = batch_workloads();
     let w = workloads.iter().find(|w| w.id == workload_id).unwrap();
     udao.train_batch(w, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
-    let injector = FaultInjector::new(faults);
-    let provider =
-        FaultyProvider { server: udao.shared_model_server(), injector: Arc::clone(&injector) };
-    (udao.with_model_provider(Arc::new(provider)).with_resilience(resilience), injector)
+    (udao, injector)
 }
 
 fn latency_cost_request(id: &str) -> BatchRequest {
@@ -132,8 +139,10 @@ fn dropped_lookups_are_retried_and_absorbed() {
 #[test]
 fn cold_start_degrades_to_heuristics_when_enabled() {
     // No training at all: every learned objective is a cold start.
-    let udao = Udao::new(ClusterSpec::paper_cluster())
-        .with_resilience(ResilienceOptions::default().with_cold_start_analytic());
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .resilience(ResilienceOptions::default().with_cold_start_analytic())
+        .build()
+        .expect("valid options");
     let rec = udao
         .recommend_batch(&latency_cost_request("q5-v0"))
         .expect("cold start must fall back to heuristic priors");
@@ -237,16 +246,13 @@ fn all_faults_at_once_cannot_break_the_serving_path() {
 
 #[test]
 fn streaming_requests_survive_fault_injection() {
-    let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(
+    let builder = Udao::builder(ClusterSpec::paper_cluster()).pf(
         PfVariant::ApproxSequential,
         PfOptions {
             mogd: MogdConfig { multistarts: 4, max_iters: 60, alpha: 1.0, ..Default::default() },
             ..Default::default()
         },
     );
-    let workloads = streaming_workloads();
-    let w = &workloads[0];
-    udao.train_streaming(w, 40, ModelFamily::Gp, &[StreamObjective::Latency]);
     let injector = FaultInjector::new(FaultConfig {
         nan_rate: 0.15,
         panic_rate: 0.1,
@@ -254,10 +260,15 @@ fn streaming_requests_survive_fault_injection() {
         ..Default::default()
     });
     let provider =
-        FaultyProvider { server: udao.shared_model_server(), injector: Arc::clone(&injector) };
-    let udao = udao
-        .with_model_provider(Arc::new(provider))
-        .with_resilience(ResilienceOptions::default().with_cold_start_analytic());
+        FaultyProvider { server: builder.shared_model_server(), injector: Arc::clone(&injector) };
+    let udao = builder
+        .model_provider(Arc::new(provider))
+        .resilience(ResilienceOptions::default().with_cold_start_analytic())
+        .build()
+        .expect("valid options");
+    let workloads = streaming_workloads();
+    let w = &workloads[0];
+    udao.train_streaming(w, 40, ModelFamily::Gp, &[StreamObjective::Latency]);
     let rec = udao
         .recommend_streaming(
             &StreamRequest::new(w.id.clone())
