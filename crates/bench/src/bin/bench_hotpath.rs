@@ -1,0 +1,174 @@
+//! Hot-path bench: scalar vs. batched model inference at MOGD restart-count
+//! batch sizes, emitting `BENCH_hotpath.json`.
+//!
+//! Run: `cargo run --release -p udao-bench --bin bench_hotpath`
+//!
+//! MOGD steps all multi-start restarts of one CO problem in lockstep, so
+//! the model sees one `predict_batch` of `multistarts + 1` points per Adam
+//! iteration instead of that many scalar `predict` calls. This bench
+//! measures exactly that shape: a fig4-scale MLP (and a GP for reference)
+//! evaluated point-by-point vs. in one batch, on identical inputs.
+//!
+//! The binary validates its own output: batched results must be bitwise
+//! identical to scalar ones, and the batched path must not be slower. CI
+//! additionally requires the recorded MLP speedup to stay >= 1.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use udao_core::ObjectiveModel;
+use udao_model::dataset::Dataset;
+use udao_model::mlp::{Mlp, MlpConfig};
+use udao_model::{Gp, GpConfig};
+
+const OUT_PATH: &str = "BENCH_hotpath.json";
+/// Default MOGD restarts (8) plus the center start.
+const BATCH_SIZE: usize = 9;
+/// Timed repetitions per path (each covers one full batch).
+const REPS: usize = 3000;
+
+/// fig4-scale training set: the 2-D (cores, memory) knob surface the batch
+/// experiments sweep, with a smooth latency-like response.
+fn fig4_data() -> Dataset {
+    let mut x = Vec::new();
+    let mut y = Vec::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            let a = i as f64 / 11.0;
+            let b = j as f64 / 11.0;
+            x.push(vec![a, b]);
+            y.push(30.0 + 80.0 / (1.0 + 6.0 * a) + 15.0 * (b - 0.4) * (b - 0.4));
+        }
+    }
+    Dataset::new(x, y)
+}
+
+fn probe_points() -> Vec<Vec<f64>> {
+    (0..BATCH_SIZE)
+        .map(|i| {
+            let t = i as f64 / (BATCH_SIZE - 1) as f64;
+            vec![t, 1.0 - 0.5 * t]
+        })
+        .collect()
+}
+
+struct Timing {
+    scalar_us_per_point: f64,
+    batched_us_per_point: f64,
+    speedup: f64,
+}
+
+/// Time `REPS` scalar sweeps vs. `REPS` batched calls over the same points
+/// and confirm the two paths agree bitwise.
+fn time_model(model: &dyn ObjectiveModel, xs: &[Vec<f64>]) -> Result<Timing, String> {
+    let n = xs.len();
+    let mut out = vec![0.0; n];
+    // Warm-up + bitwise agreement check.
+    model.predict_batch(xs, &mut out);
+    for (x, b) in xs.iter().zip(&out) {
+        let s = model.predict(x);
+        if s.to_bits() != b.to_bits() {
+            return Err(format!("batched {b} != scalar {s} at {x:?}"));
+        }
+    }
+
+    let started = Instant::now();
+    let mut sink = 0.0;
+    for _ in 0..REPS {
+        for x in xs {
+            sink += model.predict(black_box(x));
+        }
+    }
+    let scalar_us = started.elapsed().as_secs_f64() * 1e6 / (REPS * n) as f64;
+    black_box(sink);
+
+    let started = Instant::now();
+    for _ in 0..REPS {
+        model.predict_batch(black_box(xs), &mut out);
+        black_box(&out);
+    }
+    let batched_us = started.elapsed().as_secs_f64() * 1e6 / (REPS * n) as f64;
+
+    Ok(Timing {
+        scalar_us_per_point: scalar_us,
+        batched_us_per_point: batched_us,
+        speedup: scalar_us / batched_us,
+    })
+}
+
+fn run() -> Result<(), String> {
+    let data = fig4_data();
+    let xs = probe_points();
+
+    // The paper's largest latency model: 4 hidden layers of 128 units.
+    let mlp_cfg =
+        MlpConfig { hidden: vec![128, 128, 128, 128], epochs: 120, ..Default::default() };
+    let mlp = Mlp::fit(&data, &mlp_cfg).ok_or("MLP training failed")?;
+    let mlp_t = time_model(&mlp, &xs).map_err(|e| format!("mlp: {e}"))?;
+    println!(
+        "[bench] mlp: scalar {:.3} us/pt, batched {:.3} us/pt, speedup {:.2}x",
+        mlp_t.scalar_us_per_point, mlp_t.batched_us_per_point, mlp_t.speedup
+    );
+
+    let gp = Gp::fit(&data, &GpConfig::default()).ok_or("GP training failed")?;
+    let gp_t = time_model(&gp, &xs).map_err(|e| format!("gp: {e}"))?;
+    println!(
+        "[bench] gp:  scalar {:.3} us/pt, batched {:.3} us/pt, speedup {:.2}x",
+        gp_t.scalar_us_per_point, gp_t.batched_us_per_point, gp_t.speedup
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"batch_size\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"mlp_scalar_us_per_point\": {:.4},\n",
+            "  \"mlp_batched_us_per_point\": {:.4},\n",
+            "  \"mlp_speedup\": {:.4},\n",
+            "  \"gp_scalar_us_per_point\": {:.4},\n",
+            "  \"gp_batched_us_per_point\": {:.4},\n",
+            "  \"gp_speedup\": {:.4},\n",
+            "  \"batched_not_slower\": {}\n",
+            "}}\n"
+        ),
+        BATCH_SIZE,
+        REPS,
+        mlp_t.scalar_us_per_point,
+        mlp_t.batched_us_per_point,
+        mlp_t.speedup,
+        gp_t.scalar_us_per_point,
+        gp_t.batched_us_per_point,
+        gp_t.speedup,
+        mlp_t.speedup >= 1.0 && gp_t.speedup >= 1.0,
+    );
+    let mut f = std::fs::File::create(OUT_PATH).map_err(|e| format!("create {OUT_PATH}: {e}"))?;
+    f.write_all(json.as_bytes()).map_err(|e| format!("write {OUT_PATH}: {e}"))?;
+    println!("[bench] wrote {OUT_PATH}");
+
+    // Self-validate: re-parse, batched must not be slower than scalar.
+    let raw = std::fs::read_to_string(OUT_PATH).map_err(|e| format!("read back: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("re-parse: {e}"))?;
+    let mlp_speedup = parsed
+        .get("mlp_speedup")
+        .and_then(serde_json::Value::as_f64)
+        .ok_or("mlp_speedup missing")?;
+    if mlp_speedup < 1.0 {
+        return Err(format!("batched MLP path is slower than scalar ({mlp_speedup:.2}x)"));
+    }
+    if mlp_speedup < 2.0 {
+        eprintln!("[bench] warning: MLP speedup {mlp_speedup:.2}x below the 2x target");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_hotpath failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -15,8 +15,10 @@ use crate::budget::Budget;
 use crate::error::{Error, Result};
 use crate::objective::ObjectiveModel;
 use crate::solver::{Bound, CoProblem, CoSolution, CoSolver, MooProblem};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,6 +70,8 @@ struct MogdTelemetry {
     violations: Arc<Counter>,
     solves: Arc<Counter>,
     solve_seconds: Arc<Histogram>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
 }
 
 impl Default for MogdTelemetry {
@@ -78,23 +82,120 @@ impl Default for MogdTelemetry {
             violations: udao_telemetry::counter(names::MOGD_VIOLATIONS),
             solves: udao_telemetry::counter(names::MOGD_SOLVES),
             solve_seconds: udao_telemetry::histogram(names::MOGD_SOLVE_SECONDS),
+            cache_hits: udao_telemetry::counter(names::MODEL_CACHE_HITS),
+            cache_misses: udao_telemetry::counter(names::MODEL_CACHE_MISSES),
         }
     }
 }
 
+/// Shard count for the memoization cache: enough to keep PF-AP workers off
+/// each other's locks, small enough that clearing stays cheap.
+const CACHE_SHARDS: usize = 8;
+/// Per-shard entry cap. On overflow the shard is cleared wholesale
+/// (generational eviction) — no LRU bookkeeping on the hot path, and the
+/// total footprint stays bounded at `CACHE_SHARDS * CACHE_SHARD_CAP`
+/// entries.
+const CACHE_SHARD_CAP: usize = 8192;
+/// Input quantization scale for cache keys: positions are rounded to
+/// `2^-30`, far below the solver's `1e-3` feasibility tolerance, so two
+/// points sharing a key are numerically indistinguishable to the models.
+const CACHE_QUANT: f64 = (1u64 << 30) as f64;
+
+/// Per-solver memoization of conservative objective values, keyed by the
+/// quantized configuration point. PF probes the same configurations over
+/// and over (anchor points, cell middles, feasibility re-checks across
+/// neighboring cells); memoizing the `k` conservative values per point
+/// turns those repeats into lock-then-clone lookups.
+struct MemoCache {
+    shards: Vec<Mutex<HashMap<Vec<i64>, Vec<f64>>>>,
+    /// Identity of the problem the cached values belong to: the data
+    /// pointers of its objective models plus its dimension. Values never
+    /// depend on the CO sub-problem, only on the models and α, so one
+    /// fingerprint per [`MooProblem`] suffices.
+    fingerprint: Mutex<Vec<usize>>,
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            fingerprint: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for MemoCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let len: usize = self.shards.iter().map(|s| s.lock().len()).sum();
+        f.debug_struct("MemoCache").field("entries", &len).finish()
+    }
+}
+
+fn quantize_key(x: &[f64]) -> Vec<i64> {
+    x.iter().map(|v| (v * CACHE_QUANT).round() as i64).collect()
+}
+
+impl MemoCache {
+    fn shard_of(key: &[i64]) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in key {
+            h ^= *v as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        (h as usize) % CACHE_SHARDS
+    }
+
+    /// Clear the cache if `problem` is not the one the cached values were
+    /// computed for.
+    fn sync_problem(&self, problem: &MooProblem) {
+        let fp: Vec<usize> = problem
+            .objectives
+            .iter()
+            .map(|m| Arc::as_ptr(m) as *const () as usize)
+            .chain(std::iter::once(problem.dim))
+            .collect();
+        let mut cur = self.fingerprint.lock();
+        if *cur != fp {
+            *cur = fp;
+            for s in &self.shards {
+                s.lock().clear();
+            }
+        }
+    }
+
+    fn get(&self, key: &[i64]) -> Option<Vec<f64>> {
+        self.shards[Self::shard_of(key)].lock().get(key).cloned()
+    }
+
+    fn insert(&self, key: Vec<i64>, values: Vec<f64>) {
+        let mut s = self.shards[Self::shard_of(&key)].lock();
+        if s.len() >= CACHE_SHARD_CAP {
+            s.clear();
+        }
+        s.insert(key, values);
+    }
+}
+
 /// The MOGD solver. Thread-safe: [`crate::pf`]'s parallel algorithm shares
-/// one instance across worker threads.
+/// one instance across worker threads — and with it the memoization cache,
+/// so cells of one PF run reuse each other's model evaluations.
 #[derive(Debug, Default)]
 pub struct Mogd {
     cfg: MogdConfig,
     evals: AtomicUsize,
     tel: MogdTelemetry,
+    cache: MemoCache,
 }
 
 impl Mogd {
     /// Create a solver with the given configuration.
     pub fn new(cfg: MogdConfig) -> Self {
-        Self { cfg, evals: AtomicUsize::new(0), tel: MogdTelemetry::default() }
+        Self {
+            cfg,
+            evals: AtomicUsize::new(0),
+            tel: MogdTelemetry::default(),
+            cache: MemoCache::default(),
+        }
     }
 
     /// The solver configuration.
@@ -103,20 +204,82 @@ impl Mogd {
     }
 
     /// Evaluate the Eq. 3 loss at `x` for a CO problem — exposed so the
-    /// loss surfaces of Fig. 3(c–f) can be regenerated.
+    /// loss surfaces of Fig. 3(c–f) can be regenerated. Value-only: no
+    /// gradient is allocated or computed.
     pub fn loss(&self, problem: &MooProblem, co: &CoProblem, x: &[f64]) -> f64 {
-        let mut g = vec![0.0; x.len()];
-        self.loss_and_grad(problem, co, x, &mut g)
+        let xs = [x.to_vec()];
+        let values = self.batch_values(problem, &xs);
+        self.loss_with_values(problem, co, x, &values[0], None)
     }
 
-    /// Conservative objective value `E[F] + α·std[F]`.
-    fn value(&self, m: &dyn ObjectiveModel, x: &[f64]) -> f64 {
-        self.evals.fetch_add(1, Ordering::Relaxed);
-        let mut v = m.predict(x);
-        if self.cfg.alpha != 0.0 {
-            v += self.cfg.alpha * m.predict_std(x);
+    /// Conservative objective values `E[F_j] + α·std[F_j]` for every
+    /// objective at every point of `xs`, served through the memoization
+    /// cache. Misses are deduplicated within the batch and evaluated with
+    /// one `predict_batch` call per objective; only all-finite results are
+    /// memoized, so transiently poisoned regions are re-probed.
+    fn batch_values(&self, problem: &MooProblem, xs: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let k = problem.num_objectives();
+        let n = xs.len();
+        self.cache.sync_problem(problem);
+        let keys: Vec<Vec<i64>> = xs.iter().map(|x| quantize_key(x)).collect();
+        let mut out: Vec<Vec<f64>> = Vec::with_capacity(n);
+        // point index -> slot among the unique misses (usize::MAX = hit).
+        let mut slot_of: Vec<usize> = vec![usize::MAX; n];
+        let mut pending: HashMap<&[i64], usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            if let Some(v) = self.cache.get(key) {
+                self.tel.cache_hits.inc();
+                out.push(v);
+                continue;
+            }
+            out.push(Vec::new());
+            match pending.get(key.as_slice()) {
+                Some(&slot) => {
+                    // In-batch duplicate: evaluation avoided, count a hit.
+                    self.tel.cache_hits.inc();
+                    slot_of[i] = slot;
+                }
+                None => {
+                    self.tel.cache_misses.inc();
+                    pending.insert(key.as_slice(), unique.len());
+                    slot_of[i] = unique.len();
+                    unique.push(i);
+                }
+            }
         }
-        v
+        if unique.is_empty() {
+            return out;
+        }
+        let miss_xs: Vec<Vec<f64>> = unique.iter().map(|&i| xs[i].clone()).collect();
+        let mut miss_values: Vec<Vec<f64>> = vec![vec![0.0; k]; unique.len()];
+        let mut buf = vec![0.0; unique.len()];
+        let mut std_buf = vec![0.0; unique.len()];
+        for j in 0..k {
+            let m = problem.objectives[j].as_ref();
+            m.predict_batch(&miss_xs, &mut buf);
+            if self.cfg.alpha != 0.0 {
+                m.predict_std_batch(&miss_xs, &mut std_buf);
+                for (b, s) in buf.iter_mut().zip(&std_buf) {
+                    *b += self.cfg.alpha * *s;
+                }
+            }
+            for (vals, v) in miss_values.iter_mut().zip(&buf) {
+                vals[j] = *v;
+            }
+        }
+        self.evals.fetch_add(unique.len() * k, Ordering::Relaxed);
+        for (slot, &i) in unique.iter().enumerate() {
+            if miss_values[slot].iter().all(|v| v.is_finite()) {
+                self.cache.insert(keys[i].clone(), miss_values[slot].clone());
+            }
+        }
+        for i in 0..n {
+            if slot_of[i] != usize::MAX {
+                out[i] = miss_values[slot_of[i]].clone();
+            }
+        }
+        out
     }
 
     /// Gradient of the conservative objective.
@@ -131,29 +294,54 @@ impl Mogd {
         }
     }
 
-    /// Eq. 3 loss and its gradient with respect to `x`.
+    /// Accumulate `c · ∇F̃_j(x)` into `out`.
+    fn accum_grad(
+        &self,
+        problem: &MooProblem,
+        j: usize,
+        x: &[f64],
+        c: f64,
+        gj: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
+        if gj.len() != x.len() {
+            gj.resize(x.len(), 0.0);
+        }
+        self.grad(problem.objectives[j].as_ref(), x, gj);
+        for (go, g) in out.iter_mut().zip(gj.iter()) {
+            *go += c * g;
+        }
+    }
+
+    /// Eq. 3 loss at `x` given precomputed conservative objective `values`,
+    /// optionally with its gradient with respect to `x`.
     ///
     /// Bounded objectives are normalized to `F̃_j ∈ [0,1]`; the target
     /// contributes `F̃_i²` inside its region, and any objective outside its
     /// region contributes `(F̃_j − ½)² + P`. Unbounded (`Bound::FREE`)
     /// objectives contribute the raw value for the target and nothing as
     /// constraints, recovering plain single-objective optimization.
-    fn loss_and_grad(
+    ///
+    /// Passing `grad_out: None` is the value-only path: no gradient buffer
+    /// is touched and no gradient model calls are made.
+    fn loss_with_values(
         &self,
         problem: &MooProblem,
         co: &CoProblem,
         x: &[f64],
-        grad_out: &mut [f64],
+        values: &[f64],
+        mut grad_out: Option<&mut [f64]>,
     ) -> f64 {
         let k = problem.num_objectives();
-        for g in grad_out.iter_mut() {
-            *g = 0.0;
+        if let Some(g) = grad_out.as_deref_mut() {
+            for gi in g.iter_mut() {
+                *gi = 0.0;
+            }
         }
         let mut loss = 0.0;
-        let mut gj = vec![0.0; x.len()];
-        for j in 0..k {
+        let mut gj: Vec<f64> = Vec::new();
+        for (j, &fj) in values.iter().enumerate().take(k) {
             let b = effective_bound(co, problem, j);
-            let fj = self.value(problem.objectives[j].as_ref(), x);
             if !fj.is_finite() {
                 // Poisoned region: huge loss, no usable gradient.
                 return f64::INFINITY;
@@ -165,27 +353,22 @@ impl Mogd {
                 if j == co.target && in_region {
                     // Target term: F̃_i² pushes the target down inside the box.
                     loss += ft * ft;
-                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
-                    let c = 2.0 * ft / width;
-                    for (go, g) in grad_out.iter_mut().zip(&gj) {
-                        *go += c * g;
+                    if let Some(gout) = grad_out.as_deref_mut() {
+                        self.accum_grad(problem, j, x, 2.0 * ft / width, &mut gj, gout);
                     }
                 } else if !in_region {
                     // Constraint term: pull back into the region, plus penalty P.
                     self.tel.violations.inc();
                     loss += (ft - 0.5) * (ft - 0.5) + self.cfg.penalty;
-                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
-                    let c = 2.0 * (ft - 0.5) / width;
-                    for (go, g) in grad_out.iter_mut().zip(&gj) {
-                        *go += c * g;
+                    if let Some(gout) = grad_out.as_deref_mut() {
+                        self.accum_grad(problem, j, x, 2.0 * (ft - 0.5) / width, &mut gj, gout);
                     }
                 }
             } else if j == co.target {
                 // Unbounded target: minimize the raw objective.
                 loss += fj;
-                self.grad(problem.objectives[j].as_ref(), x, &mut gj);
-                for (go, g) in grad_out.iter_mut().zip(&gj) {
-                    *go += g;
+                if let Some(gout) = grad_out.as_deref_mut() {
+                    self.accum_grad(problem, j, x, 1.0, &mut gj, gout);
                 }
             } else if b.lo.is_finite() || b.hi.is_finite() {
                 // Half-open constraint: penalize only the violated side.
@@ -199,10 +382,8 @@ impl Mogd {
                 if violated {
                     self.tel.violations.inc();
                     loss += dist * dist + self.cfg.penalty;
-                    self.grad(problem.objectives[j].as_ref(), x, &mut gj);
-                    let c = 2.0 * dist;
-                    for (go, g) in grad_out.iter_mut().zip(&gj) {
-                        *go += c * g;
+                    if let Some(gout) = grad_out.as_deref_mut() {
+                        self.accum_grad(problem, j, x, 2.0 * dist, &mut gj, gout);
                     }
                 }
             }
@@ -214,79 +395,142 @@ impl Mogd {
             if gv > 0.0 {
                 self.tel.violations.inc();
                 loss += gv * gv + self.cfg.penalty;
-                g_model.gradient(x, &mut gj);
-                let c = 2.0 * gv;
-                for (go, g) in grad_out.iter_mut().zip(&gj) {
-                    *go += c * g;
+                if let Some(gout) = grad_out.as_deref_mut() {
+                    if gj.len() != x.len() {
+                        gj.resize(x.len(), 0.0);
+                    }
+                    g_model.gradient(x, &mut gj);
+                    let c = 2.0 * gv;
+                    for (go, g) in gout.iter_mut().zip(&gj) {
+                        *go += c * g;
+                    }
                 }
             }
         }
         loss
     }
 
-    /// One Adam run from `x0`; returns the best feasible iterate, if any.
-    /// The budget is polled once per iteration: on expiry the run stops and
-    /// whatever feasible point it has found stands.
-    fn descend(
+    /// Run every multistart of one CO problem in lockstep: per Adam
+    /// iteration, one [`Mogd::batch_values`] call covers the loss
+    /// evaluation of all still-active restarts, so batch-capable models see
+    /// restart-count batches instead of single points. Each restart keeps
+    /// its own Adam state and deactivates independently (patience,
+    /// non-finite loss); the shared iteration index `t` equals each
+    /// restart's own iteration count, so the per-restart trajectories are
+    /// identical to running them sequentially.
+    ///
+    /// The budget is polled once per batched iteration (the first is
+    /// exempt); on expiry the best feasible point found so far stands.
+    fn descend_batch(
         &self,
         problem: &MooProblem,
         co: &CoProblem,
-        x0: &[f64],
+        starts: &[Vec<f64>],
         budget: &Budget,
     ) -> Option<CoSolution> {
-        let d = x0.len();
-        let mut x = x0.to_vec();
-        let mut m = vec![0.0; d];
-        let mut v = vec![0.0; d];
-        let mut g = vec![0.0; d];
+        struct Restart {
+            x: Vec<f64>,
+            m: Vec<f64>,
+            v: Vec<f64>,
+            best: Option<CoSolution>,
+            best_loss: f64,
+            stale: usize,
+            active: bool,
+        }
+        let d = problem.dim;
         let (b1, b2, eps) = (0.9, 0.999, 1e-8);
-        let mut best: Option<CoSolution> = None;
-        let mut best_loss = f64::INFINITY;
-        let mut stale = 0usize;
+        let mut restarts: Vec<Restart> = starts
+            .iter()
+            .map(|x0| Restart {
+                x: x0.clone(),
+                m: vec![0.0; d],
+                v: vec![0.0; d],
+                best: None,
+                best_loss: f64::INFINITY,
+                stale: 0,
+                active: true,
+            })
+            .collect();
+        let mut g = vec![0.0; d];
         for t in 1..=self.cfg.max_iters {
             if t > 1 && budget.expired() {
                 break;
             }
-            self.tel.iterations.inc();
-            let loss = self.loss_and_grad(problem, co, &x, &mut g);
-            if loss.is_finite() && loss < best_loss - 1e-12 {
-                best_loss = loss;
-                stale = 0;
-                if let Some(sol) = self.feasible_solution(problem, co, &x) {
-                    match &best {
-                        Some(b) if b.f[co.target] <= sol.f[co.target] => {}
-                        _ => best = Some(sol),
-                    }
-                }
-            } else {
-                stale += 1;
-                if stale > self.cfg.patience {
-                    break;
-                }
-            }
-            if !loss.is_finite() {
+            let active: Vec<usize> =
+                (0..restarts.len()).filter(|&i| restarts[i].active).collect();
+            if active.is_empty() {
                 break;
             }
-            // Adam update, projected onto the [0,1] box.
-            for i in 0..d {
-                m[i] = b1 * m[i] + (1.0 - b1) * g[i];
-                v[i] = b2 * v[i] + (1.0 - b2) * g[i] * g[i];
-                let mh = m[i] / (1.0 - b1.powi(t as i32));
-                let vh = v[i] / (1.0 - b2.powi(t as i32));
-                x[i] = (x[i] - self.cfg.learning_rate * mh / (vh.sqrt() + eps)).clamp(0.0, 1.0);
+            self.tel.iterations.add(active.len() as u64);
+            let xs: Vec<Vec<f64>> = active.iter().map(|&i| restarts[i].x.clone()).collect();
+            let values = self.batch_values(problem, &xs);
+            for (slot, &i) in active.iter().enumerate() {
+                let loss = self.loss_with_values(
+                    problem,
+                    co,
+                    &restarts[i].x,
+                    &values[slot],
+                    Some(&mut g),
+                );
+                let improved = loss.is_finite() && loss < restarts[i].best_loss - 1e-12;
+                if improved {
+                    restarts[i].best_loss = loss;
+                    restarts[i].stale = 0;
+                    if let Some(sol) = self.feasible_solution(problem, co, &restarts[i].x) {
+                        match &restarts[i].best {
+                            Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                            _ => restarts[i].best = Some(sol),
+                        }
+                    }
+                } else {
+                    restarts[i].stale += 1;
+                    if restarts[i].stale > self.cfg.patience {
+                        restarts[i].active = false;
+                        continue;
+                    }
+                }
+                if !loss.is_finite() {
+                    restarts[i].active = false;
+                    continue;
+                }
+                // Adam update, projected onto the [0,1] box. `t` is this
+                // restart's own iteration count (active since t = 1).
+                let st = &mut restarts[i];
+                for (q, &gq) in g.iter().enumerate().take(d) {
+                    st.m[q] = b1 * st.m[q] + (1.0 - b1) * gq;
+                    st.v[q] = b2 * st.v[q] + (1.0 - b2) * gq * gq;
+                    let mh = st.m[q] / (1.0 - b1.powi(t as i32));
+                    let vh = st.v[q] / (1.0 - b2.powi(t as i32));
+                    st.x[q] =
+                        (st.x[q] - self.cfg.learning_rate * mh / (vh.sqrt() + eps)).clamp(0.0, 1.0);
+                }
             }
         }
-        // Final iterate may be the best feasible point.
-        if let Some(sol) = self.feasible_solution(problem, co, &x) {
-            match &best {
-                Some(b) if b.f[co.target] <= sol.f[co.target] => {}
-                _ => best = Some(sol),
+        // Final iterates may be the best feasible points; merge per restart,
+        // then across restarts in start order (center first) so ties keep
+        // the sequential solver's winner.
+        let mut best: Option<CoSolution> = None;
+        for st in &restarts {
+            let mut candidate = st.best.clone();
+            if let Some(sol) = self.feasible_solution(problem, co, &st.x) {
+                match &candidate {
+                    Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                    _ => candidate = Some(sol),
+                }
+            }
+            if let Some(sol) = candidate {
+                match &best {
+                    Some(b) if b.f[co.target] <= sol.f[co.target] => {}
+                    _ => best = Some(sol),
+                }
             }
         }
         best
     }
 
-    /// Evaluate `x`; return it as a solution iff all constraints hold.
+    /// Evaluate `x` (through the memoization cache — right after a loss
+    /// evaluation this is a guaranteed hit); return it as a solution iff
+    /// all constraints hold.
     fn feasible_solution(
         &self,
         problem: &MooProblem,
@@ -296,19 +540,19 @@ impl Mogd {
         if !problem.inequalities_satisfied(x, self.cfg.tol) {
             return None;
         }
-        let mut f = Vec::with_capacity(problem.num_objectives());
-        for j in 0..problem.num_objectives() {
-            let fj = self.value(problem.objectives[j].as_ref(), x);
+        let xs = [x.to_vec()];
+        let values = self.batch_values(problem, &xs);
+        let f = &values[0];
+        for (j, fj) in f.iter().enumerate() {
             if !fj.is_finite() {
                 return None;
             }
             let b = effective_bound(co, problem, j);
-            if !b.satisfied(fj, self.cfg.tol) {
+            if !b.satisfied(*fj, self.cfg.tol) {
                 return None;
             }
-            f.push(fj);
         }
-        Some(CoSolution { x: x.to_vec(), f })
+        Some(CoSolution { x: x.to_vec(), f: f.clone() })
     }
 }
 
@@ -350,28 +594,20 @@ impl CoSolver for Mogd {
 
         let solve_started = Instant::now();
         let d = problem.dim;
-        let mut best: Option<CoSolution> = None;
-        let try_start = |x0: &[f64], best: &mut Option<CoSolution>| {
-            self.tel.restarts.inc();
-            if let Some(sol) = self.descend(problem, co, x0, budget) {
-                match best {
-                    Some(b) if b.f[co.target] <= sol.f[co.target] => {}
-                    _ => *best = Some(sol),
-                }
+        // Center start plus random restarts, all descending in lockstep
+        // (one batched model evaluation per Adam iteration). The first
+        // iteration is deadline-exempt, so even an expired budget yields an
+        // answer when the center is feasible; the random restarts are
+        // dropped up front in that case to keep the degraded path minimal.
+        let mut starts: Vec<Vec<f64>> = Vec::with_capacity(self.cfg.multistarts + 1);
+        starts.push(vec![0.5; d]);
+        if !budget.expired() {
+            for _ in 0..self.cfg.multistarts {
+                starts.push((0..d).map(|_| rng.gen::<f64>()).collect());
             }
-        };
-        // Center start plus random restarts. The center start always runs
-        // (its first iteration is deadline-exempt), so even an expired
-        // budget yields an answer when the center is feasible; further
-        // restarts are skipped once the deadline passes.
-        try_start(&vec![0.5; d], &mut best);
-        for _ in 0..self.cfg.multistarts {
-            if budget.expired() {
-                break;
-            }
-            let x0: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
-            try_start(&x0, &mut best);
         }
+        self.tel.restarts.add(starts.len() as u64);
+        let best = self.descend_batch(problem, co, &starts, budget);
         self.tel.solves.inc();
         self.tel.solve_seconds.record_duration(solve_started.elapsed());
         Ok(best)
@@ -515,5 +751,94 @@ mod tests {
         let mogd = Mogd::new(MogdConfig::default());
         let co = CoProblem { target: 0, bounds: vec![Bound::FREE] };
         assert!(mogd.solve(&p, &co).is_err());
+    }
+
+    /// A model with an analytic gradient that counts how many scalar
+    /// predictions it serves (finite-difference models probe `predict`
+    /// from the gradient path, which is deliberately not memoized).
+    struct CountingModel(std::sync::atomic::AtomicUsize);
+
+    impl ObjectiveModel for CountingModel {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn predict(&self, x: &[f64]) -> f64 {
+            self.0.fetch_add(1, Ordering::Relaxed);
+            (x[0] - 0.3) * (x[0] - 0.3) + (x[1] - 0.6) * (x[1] - 0.6)
+        }
+        fn gradient(&self, x: &[f64], out: &mut [f64]) {
+            out[0] = 2.0 * (x[0] - 0.3);
+            out[1] = 2.0 * (x[1] - 0.6);
+        }
+    }
+
+    #[test]
+    fn memo_cache_eliminates_repeat_evaluations() {
+        let counter: Arc<CountingModel> = Arc::new(CountingModel(AtomicUsize::new(0)));
+        let p = MooProblem::new(2, vec![counter.clone() as Arc<dyn ObjectiveModel>]);
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem::unconstrained(0, 1);
+        let a = mogd.solve(&p, &co).unwrap();
+        let after_first = counter.0.load(Ordering::Relaxed);
+        assert!(after_first > 0);
+        // The repeated solve probes exactly the same points (deterministic
+        // seed): every evaluation is a cache hit.
+        let b = mogd.solve(&p, &co).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), after_first, "second solve hit the model");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn memo_cache_resets_when_the_problem_changes() {
+        let mogd = Mogd::new(MogdConfig::default());
+        let p1 = MooProblem::new(1, vec![
+            Arc::new(FnModel::new(1, |x: &[f64]| x[0])) as Arc<dyn ObjectiveModel>,
+        ]);
+        let p2 = MooProblem::new(1, vec![
+            Arc::new(FnModel::new(1, |x: &[f64]| 1.0 - x[0])) as Arc<dyn ObjectiveModel>,
+        ]);
+        let co = CoProblem::unconstrained(0, 1);
+        let s1 = mogd.solve(&p1, &co).unwrap().expect("p1 feasible");
+        assert!(s1.x[0] < 0.1, "p1 minimizes at 0, got {}", s1.x[0]);
+        // Stale p1 values under the same keys would drag p2's solution
+        // toward 0; the fingerprint reset must prevent that.
+        let s2 = mogd.solve(&p2, &co).unwrap().expect("p2 feasible");
+        assert!(s2.x[0] > 0.9, "p2 minimizes at 1, got {}", s2.x[0]);
+        assert!(s2.f[0] < 0.1, "p2 value is fresh, got {}", s2.f[0]);
+    }
+
+    #[test]
+    fn value_only_loss_matches_the_descent_loss() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem::constrained(0, vec![Bound::new(100.0, 260.0), Bound::new(8.0, 16.0)]);
+        for x in [[0.1, 0.2], [0.5, 0.5], [0.9, 0.9]] {
+            let loss = mogd.loss(&p, &co, &x);
+            // Recompute through the gradient path; values must agree.
+            let values = mogd.batch_values(&p, &[x.to_vec()]);
+            let mut g = vec![0.0; 2];
+            let with_grad = mogd.loss_with_values(&p, &co, &x, &values[0], Some(&mut g));
+            assert_eq!(loss, with_grad);
+            assert!(g.iter().any(|v| *v != 0.0), "gradient at {x:?} is all-zero");
+        }
+    }
+
+    #[test]
+    fn batched_values_match_scalar_predictions() {
+        let p = toy_problem();
+        let mogd = Mogd::new(MogdConfig { alpha: 0.0, ..Default::default() });
+        let xs: Vec<Vec<f64>> = vec![
+            vec![0.1, 0.9],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5], // in-batch duplicate
+            vec![0.99, 0.01],
+        ];
+        let values = mogd.batch_values(&p, &xs);
+        for (x, vals) in xs.iter().zip(&values) {
+            for (j, v) in vals.iter().enumerate() {
+                assert_eq!(*v, p.objectives[j].predict(x));
+            }
+        }
+        assert_eq!(values[1], values[2]);
     }
 }

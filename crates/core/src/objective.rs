@@ -124,6 +124,30 @@ pub trait ObjectiveModel: Send + Sync {
             out[d] = if hi > lo { (s_hi - s_lo) / (hi - lo) } else { 0.0 };
         }
     }
+
+    /// Predicted objective values for a batch of points, written into `out`
+    /// (`out.len() == xs.len()`).
+    ///
+    /// The default loops over [`predict`](Self::predict); vectorizable
+    /// models (MLPs, GPs, closed-form regressions) override it with a
+    /// genuinely batched forward pass — the MOGD lockstep descent and the
+    /// memoization cache feed all multistart restarts through one call per
+    /// Adam iteration.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.predict(x);
+        }
+    }
+
+    /// Predictive standard deviations for a batch of points, written into
+    /// `out`. Defaults to looping over [`predict_std`](Self::predict_std).
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.predict_std(x);
+        }
+    }
 }
 
 /// Blanket implementation so `Arc<dyn ObjectiveModel>` (and `Box`) are
@@ -144,6 +168,12 @@ impl<M: ObjectiveModel + ?Sized> ObjectiveModel for Arc<M> {
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         (**self).std_gradient(x, out)
     }
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        (**self).predict_batch(xs, out)
+    }
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        (**self).predict_std_batch(xs, out)
+    }
 }
 
 impl<M: ObjectiveModel + ?Sized> ObjectiveModel for Box<M> {
@@ -161,6 +191,12 @@ impl<M: ObjectiveModel + ?Sized> ObjectiveModel for Box<M> {
     }
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         (**self).std_gradient(x, out)
+    }
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        (**self).predict_batch(xs, out)
+    }
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        (**self).predict_std_batch(xs, out)
     }
 }
 
@@ -210,6 +246,15 @@ impl<M: ObjectiveModel> ObjectiveModel for Negated<M> {
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         self.0.std_gradient(x, out)
     }
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.0.predict_batch(xs, out);
+        for o in out.iter_mut() {
+            *o = -*o;
+        }
+    }
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.0.predict_std_batch(xs, out)
+    }
 }
 
 /// Conservative wrapper `F̃(x) = E[F(x)] + α·std[F(x)]` used under model
@@ -250,6 +295,19 @@ impl<M: ObjectiveModel> ObjectiveModel for Conservative<M> {
                 *o += self.alpha * g;
             }
         }
+    }
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.inner.predict_batch(xs, out);
+        if self.alpha != 0.0 {
+            let mut stds = vec![0.0; xs.len()];
+            self.inner.predict_std_batch(xs, &mut stds);
+            for (o, s) in out.iter_mut().zip(stds.iter()) {
+                *o += self.alpha * s;
+            }
+        }
+    }
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.inner.predict_std_batch(xs, out)
     }
 }
 
@@ -315,6 +373,45 @@ mod tests {
         let c = Conservative::new(Noisy, 2.0);
         assert!((c.predict(&[0.3]) - (0.3 + 1.0)).abs() < 1e-12);
         assert_eq!(c.predict_std(&[0.3]), 0.5);
+    }
+
+    #[test]
+    fn default_batch_matches_scalar_predictions() {
+        let m = FnModel::new(2, |x| 3.0 * x[0] + x[1] * x[1]);
+        let xs: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 0.25]];
+        let mut out = vec![0.0; xs.len()];
+        m.predict_batch(&xs, &mut out);
+        for (x, o) in xs.iter().zip(&out) {
+            assert_eq!(*o, m.predict(x));
+        }
+        let mut stds = vec![1.0; xs.len()];
+        m.predict_std_batch(&xs, &mut stds);
+        assert!(stds.iter().all(|s| *s == 0.0));
+    }
+
+    #[test]
+    fn wrappers_forward_batched_predictions() {
+        struct Noisy;
+        impl ObjectiveModel for Noisy {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                x[0]
+            }
+            fn predict_std(&self, _x: &[f64]) -> f64 {
+                0.5
+            }
+        }
+        let xs: Vec<Vec<f64>> = vec![vec![0.25], vec![0.75]];
+        let mut out = vec![0.0; 2];
+        Negated(FnModel::new(1, |x| x[0])).predict_batch(&xs, &mut out);
+        assert_eq!(out, vec![-0.25, -0.75]);
+        Conservative::new(Noisy, 2.0).predict_batch(&xs, &mut out);
+        assert!((out[0] - 1.25).abs() < 1e-12 && (out[1] - 1.75).abs() < 1e-12);
+        let arc: Arc<dyn ObjectiveModel> = Arc::new(Noisy);
+        arc.predict_std_batch(&xs, &mut out);
+        assert_eq!(out, vec![0.5, 0.5]);
     }
 
     #[test]

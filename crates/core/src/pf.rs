@@ -479,6 +479,13 @@ fn isolated_solve(
 }
 
 /// Partition `rect` into an `l^k` grid of equal cells.
+///
+/// Boundary cells are snapped exactly onto the parent rect's edges:
+/// computing the top edge as `lo + l·step` can land strictly below
+/// `rect.hi[d]` in floating point, leaving an uncovered sliver of
+/// uncertain space that would violate the PF coverage invariant. Interior
+/// edges are shared verbatim between neighbors (same expression on both
+/// sides), so the cells tile the rectangle exactly.
 fn grid_cells(rect: &Rect, l: usize, k: usize) -> Vec<Rect> {
     let l = l.max(1);
     let total = l.pow(k as u32);
@@ -491,8 +498,16 @@ fn grid_cells(rect: &Rect, l: usize, k: usize) -> Vec<Rect> {
             let cell = rem % l;
             rem /= l;
             let step = (rect.hi[d] - rect.lo[d]) / l as f64;
-            lo.push(rect.lo[d] + cell as f64 * step);
-            hi.push(rect.lo[d] + (cell + 1) as f64 * step);
+            lo.push(if cell == 0 {
+                rect.lo[d]
+            } else {
+                rect.lo[d] + cell as f64 * step
+            });
+            hi.push(if cell == l - 1 {
+                rect.hi[d]
+            } else {
+                rect.lo[d] + (cell + 1) as f64 * step
+            });
         }
         let cell = Rect { lo, hi };
         if cell.volume() > 0.0 {
@@ -566,16 +581,26 @@ where
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
     let queue = parking_lot::Mutex::new(work);
     let slots_mutex = parking_lot::Mutex::new(&mut slots);
+    // Telemetry scopes are thread-local; re-enter the caller's scope on
+    // each worker so per-request accounting survives the fan-out.
+    let telemetry_scope = udao_telemetry::current_scope();
     let scope_result = crossbeam::thread::scope(|scope| {
         for _ in 0..threads.min(n) {
-            scope.spawn(|_| loop {
-                let item = queue.lock().pop();
-                match item {
-                    Some((i, t)) => {
-                        let u = f(t);
-                        slots_mutex.lock()[i] = Some(u);
+            let telemetry_scope = telemetry_scope.clone();
+            let queue = &queue;
+            let slots_mutex = &slots_mutex;
+            let f = &f;
+            scope.spawn(move |_| {
+                let _scope_guard = telemetry_scope.map(udao_telemetry::enter_scope);
+                loop {
+                    let item = queue.lock().pop();
+                    match item {
+                        Some((i, t)) => {
+                            let u = f(t);
+                            slots_mutex.lock()[i] = Some(u);
+                        }
+                        None => break,
                     }
-                    None => break,
                 }
             });
         }
@@ -860,5 +885,49 @@ mod tests {
         assert_eq!(cells.len(), 3);
         let vol: f64 = cells.iter().map(Rect::volume).sum();
         assert!((vol - 0.75).abs() < 1e-9);
+    }
+
+    mod grid_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The `l^k` grid must tile the parent rectangle *exactly*: the
+            /// outermost cell edges land bitwise on the parent's edges (no
+            /// floating-point slivers of uncovered uncertain space), and any
+            /// interior point belongs to exactly one half-open cell.
+            #[test]
+            fn grid_cells_tile_exactly(
+                lo in prop::collection::vec(-1e6f64..1e6, 1..=3),
+                widths in prop::collection::vec(1e-6f64..1e6, 3),
+                l in 1usize..=5,
+                frac in prop::collection::vec(0.0f64..1.0, 3),
+            ) {
+                let k = lo.len();
+                let hi: Vec<f64> = lo.iter().zip(&widths).map(|(a, w)| a + w).collect();
+                let rect = Rect::new(lo, hi);
+                let cells = grid_cells(&rect, l, k);
+                prop_assert_eq!(cells.len(), l.pow(k as u32));
+
+                for d in 0..k {
+                    let min_lo = cells.iter().map(|c| c.lo[d]).fold(f64::INFINITY, f64::min);
+                    let max_hi = cells.iter().map(|c| c.hi[d]).fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert_eq!(min_lo.to_bits(), rect.lo[d].to_bits());
+                    prop_assert_eq!(max_hi.to_bits(), rect.hi[d].to_bits());
+                }
+
+                let point: Vec<f64> = (0..k)
+                    .map(|d| rect.lo[d] + frac[d] * (rect.hi[d] - rect.lo[d]))
+                    .collect();
+                let containing = cells
+                    .iter()
+                    .filter(|c| (0..k).all(|d| c.lo[d] <= point[d] && point[d] < c.hi[d]))
+                    .count();
+                prop_assert!(containing <= 1, "point in {containing} overlapping cells");
+                if (0..k).all(|d| point[d] < rect.hi[d]) {
+                    prop_assert_eq!(containing, 1);
+                }
+            }
+        }
     }
 }

@@ -200,6 +200,37 @@ impl udao_core::ObjectiveModel for Gp {
         v.sqrt() * self.scaler.std
     }
 
+    /// Batched mean: each point's cross-kernel row is written into one
+    /// reused buffer and dotted with `α` — a single Gram–vector product
+    /// over the batch with no per-point allocation, bitwise identical to
+    /// scalar [`Gp::predict`] calls.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let mut kx = vec![0.0; self.x_train.len()];
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            for (ki, xi) in kx.iter_mut().zip(&self.x_train) {
+                *ki = se_kernel(x, xi, self.length_scale, self.signal_var);
+            }
+            let mean: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+            *o = self.scaler.inverse(mean);
+        }
+    }
+
+    /// Batched predictive std, sharing the cross-kernel buffer across the
+    /// batch (the triangular solve per point is unavoidable).
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let mut kx = vec![0.0; self.x_train.len()];
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            for (ki, xi) in kx.iter_mut().zip(&self.x_train) {
+                *ki = se_kernel(x, xi, self.length_scale, self.signal_var);
+            }
+            let v = self.chol.solve_lower(&kx);
+            let var = (self.signal_var - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
+            *o = var.sqrt() * self.scaler.std;
+        }
+    }
+
     /// Analytic mean gradient: `∂m/∂x = Σ_i α_i · k(x,x_i) · (x_i − x)/l²`,
     /// scaled back to the raw target scale.
     fn gradient(&self, x: &[f64], out: &mut [f64]) {
@@ -322,6 +353,21 @@ mod tests {
         let p = gp.predict(&[0.5, 0.5]);
         assert!((p - 0.5).abs() < 0.2, "pred {p}");
         assert_eq!(gp.dim(), 2);
+    }
+
+    #[test]
+    fn batched_predictions_are_bitwise_identical_to_scalar() {
+        let d = smooth_dataset(20);
+        let gp = Gp::fit(&d, &GpConfig::default()).unwrap();
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let mut mean = vec![0.0; xs.len()];
+        let mut std = vec![0.0; xs.len()];
+        gp.predict_batch(&xs, &mut mean);
+        gp.predict_std_batch(&xs, &mut std);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(gp.predict(x).to_bits(), mean[i].to_bits());
+            assert_eq!(gp.predict_std(x).to_bits(), std[i].to_bits());
+        }
     }
 
     #[test]

@@ -145,6 +145,56 @@ impl std::ops::IndexMut<(usize, usize)> for Matrix {
     }
 }
 
+/// Transpose a row-major `rows × cols` block into `cols × rows`.
+pub fn transpose(m: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    debug_assert_eq!(m.len(), rows * cols);
+    let mut t = vec![0.0; m.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = m[r * cols + c];
+        }
+    }
+    t
+}
+
+/// Batched affine map `Y = X·Wᵀ + b` over flat row-major buffers: `xs` is
+/// `n × in_dim`, `wt` is the **transposed** (`in_dim × out_dim`) weight
+/// block of a dense layer, and `out` receives `n × out_dim`.
+///
+/// Output rows accumulate with contiguous axpy sweeps
+/// (`out_row_p += xₚᵢ · wt[i]`), which vectorize across output neurons —
+/// where the scalar layer forward walks one serial dot product per neuron.
+/// The feature loop is outermost so each transposed weight row is read
+/// once per *batch* (the scalar path re-reads the full weight block per
+/// point), and the caller pre-transposes the weights once per model (see
+/// `Layer::transposed`), so the batched path pays no per-call reshaping.
+/// Each `(point, neuron)` accumulation keeps the scalar order
+/// (`0 + x₀w₀ + x₁w₁ + … + b`, commuted operands only), so batched
+/// predictions stay bitwise identical to scalar ones.
+pub fn affine_batch(xs: &[f64], n: usize, in_dim: usize, wt: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    let out_dim = b.len();
+    debug_assert_eq!(xs.len(), n * in_dim);
+    debug_assert_eq!(wt.len(), out_dim * in_dim);
+    out.clear();
+    out.resize(n * out_dim, 0.0);
+    for i in 0..in_dim {
+        let wrow = &wt[i * out_dim..(i + 1) * out_dim];
+        for p in 0..n {
+            let xi = xs[p * in_dim + i];
+            let row_out = &mut out[p * out_dim..(p + 1) * out_dim];
+            for (acc, &wv) in row_out.iter_mut().zip(wrow) {
+                *acc += xi * wv;
+            }
+        }
+    }
+    for p in 0..n {
+        let row_out = &mut out[p * out_dim..(p + 1) * out_dim];
+        for (acc, &bo) in row_out.iter_mut().zip(b) {
+            *acc += bo;
+        }
+    }
+}
+
 /// Dot product.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());

@@ -44,6 +44,25 @@ impl Default for MlpConfig {
     }
 }
 
+/// Lazily built column-major (transposed) copy of a layer's weights, used
+/// by the batched forward pass. Derived data: checkpoints store it as
+/// `null` and restores rebuild it on first use, and training resets it
+/// whenever the weights change.
+#[derive(Debug, Clone, Default)]
+struct WtCache(std::sync::OnceLock<Vec<f64>>);
+
+impl serde::Serialize for WtCache {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Null
+    }
+}
+
+impl serde::Deserialize for WtCache {
+    fn from_value(_: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(WtCache::default())
+    }
+}
+
 /// One dense layer `y = W·x + b`, row-major weights.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Layer {
@@ -51,6 +70,7 @@ struct Layer {
     b: Vec<f64>,
     in_dim: usize,
     out_dim: usize,
+    wt: WtCache,
 }
 
 impl Layer {
@@ -58,7 +78,12 @@ impl Layer {
         // He initialization for ReLU networks.
         let scale = (2.0 / in_dim as f64).sqrt();
         let w = (0..in_dim * out_dim).map(|_| (rng.gen::<f64>() - 0.5) * 2.0 * scale).collect();
-        Self { w, b: vec![0.0; out_dim], in_dim, out_dim }
+        Self { w, b: vec![0.0; out_dim], in_dim, out_dim, wt: WtCache::default() }
+    }
+
+    /// The transposed weight block (`in_dim × out_dim`), computed once.
+    fn transposed(&self) -> &[f64] {
+        self.wt.0.get_or_init(|| crate::linalg::transpose(&self.w, self.out_dim, self.in_dim))
     }
 
     fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
@@ -181,6 +206,10 @@ impl Mlp {
             last_mse = epoch_sse / n as f64;
         }
         self.train_mse = last_mse;
+        // Weights changed: drop any cached transposes for the batched path.
+        for layer in &mut self.layers {
+            layer.wt = WtCache::default();
+        }
     }
 
     /// Forward pass caching post-activation values per layer; returns the
@@ -261,6 +290,43 @@ impl udao_core::ObjectiveModel for Mlp {
     fn predict(&self, x: &[f64]) -> f64 {
         let (_, out) = self.forward_cached(x);
         self.scaler.inverse(out)
+    }
+
+    /// Vectorized forward pass: all points flow through each layer as one
+    /// flat `n × width` buffer (ping-pong between two allocations), so the
+    /// per-point `Vec` churn of the scalar path disappears. Accumulation
+    /// order matches [`Layer::forward`] exactly, so results are bitwise
+    /// identical to per-point [`Mlp::predict`] calls.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let n = xs.len();
+        if n == 0 {
+            return;
+        }
+        let max_width =
+            self.layers.iter().map(|l| l.out_dim).max().unwrap_or(1).max(self.dim);
+        let mut cur: Vec<f64> = Vec::with_capacity(n * max_width);
+        for x in xs {
+            debug_assert_eq!(x.len(), self.dim);
+            cur.extend_from_slice(x);
+        }
+        let mut next: Vec<f64> = Vec::with_capacity(n * max_width);
+        let mut width = self.dim;
+        let n_layers = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            crate::linalg::affine_batch(&cur, n, width, layer.transposed(), &layer.b, &mut next);
+            if li + 1 < n_layers {
+                for v in &mut next {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            std::mem::swap(&mut cur, &mut next);
+            width = layer.out_dim;
+        }
+        debug_assert_eq!(width, 1);
+        for (o, v) in out.iter_mut().zip(&cur) {
+            *o = self.scaler.inverse(*v);
+        }
     }
 
     /// Analytic input gradient via backpropagation to the inputs.
@@ -443,6 +509,45 @@ impl udao_core::ObjectiveModel for Ensemble {
         crate::linalg::std_dev(&preds)
     }
 
+    /// Batched mean: one vectorized pass per member, accumulated in the
+    /// same member order as the scalar path.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        for o in out.iter_mut() {
+            *o = 0.0;
+        }
+        let mut buf = vec![0.0; xs.len()];
+        for m in &self.members {
+            udao_core::ObjectiveModel::predict_batch(m, xs, &mut buf);
+            for (o, v) in out.iter_mut().zip(&buf) {
+                *o += v;
+            }
+        }
+        let k = self.members.len() as f64;
+        for o in out.iter_mut() {
+            *o /= k;
+        }
+    }
+
+    /// Batched spread: member predictions are gathered per point (member
+    /// order preserved) and reduced with the same `std_dev` as the scalar
+    /// path.
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let k = self.members.len();
+        let mut per_point = vec![0.0; xs.len() * k];
+        let mut buf = vec![0.0; xs.len()];
+        for (mi, m) in self.members.iter().enumerate() {
+            udao_core::ObjectiveModel::predict_batch(m, xs, &mut buf);
+            for (i, v) in buf.iter().enumerate() {
+                per_point[i * k + mi] = *v;
+            }
+        }
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = crate::linalg::std_dev(&per_point[i * k..(i + 1) * k]);
+        }
+    }
+
     fn gradient(&self, x: &[f64], out: &mut [f64]) {
         for o in out.iter_mut() {
             *o = 0.0;
@@ -612,6 +717,28 @@ mod tests {
         let tight = McDropout::new(mlp.clone(), 0.95, 32).predict_std(&[0.5]);
         let loose = McDropout::new(mlp, 0.5, 32).predict_std(&[0.5]);
         assert!(loose > tight, "{loose} vs {tight}");
+    }
+
+    #[test]
+    fn batched_predictions_are_bitwise_identical_to_scalar() {
+        let d = quadratic_data(30);
+        let m = Mlp::fit(&d, &MlpConfig { epochs: 150, ..quick_cfg() }).unwrap();
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let mut batched = vec![0.0; xs.len()];
+        m.predict_batch(&xs, &mut batched);
+        for (x, b) in xs.iter().zip(&batched) {
+            assert_eq!(m.predict(x).to_bits(), b.to_bits());
+        }
+
+        let e = Ensemble::fit(&d, &MlpConfig { epochs: 80, ..quick_cfg() }, 3).unwrap();
+        let mut mean = vec![0.0; xs.len()];
+        let mut std = vec![0.0; xs.len()];
+        e.predict_batch(&xs, &mut mean);
+        e.predict_std_batch(&xs, &mut std);
+        for (i, x) in xs.iter().enumerate() {
+            assert_eq!(e.predict(x).to_bits(), mean[i].to_bits());
+            assert_eq!(e.predict_std(x).to_bits(), std[i].to_bits());
+        }
     }
 
     #[test]

@@ -69,6 +69,18 @@ impl ObjectiveModel for ErnestLatency {
             out[1] = t1 / m * (s_hi - s_lo);
         }
     }
+
+    /// Closed-form model: the batch is a tight loop over the formula, with
+    /// no per-point dispatch overhead.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let [t0, t1, t2, t3] = self.theta;
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            let m = self.machines_at(x);
+            let s = self.scale_at(x);
+            *o = t0 + t1 * s / m + t2 * m.ln() + t3 * m;
+        }
+    }
 }
 
 /// A resource-cost model: cost rises affinely with allocated capacity,
@@ -103,6 +115,13 @@ impl ObjectiveModel for LinearCost {
             *o = rate * (hi - lo);
         }
         let _ = x;
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            *o = self.predict(x);
+        }
     }
 }
 

@@ -89,6 +89,7 @@ struct Entry {
 struct Metered<M> {
     inner: M,
     inferences: Arc<Counter>,
+    batch_calls: Arc<Counter>,
 }
 
 impl<M: ObjectiveModel> ObjectiveModel for Metered<M> {
@@ -101,6 +102,17 @@ impl<M: ObjectiveModel> ObjectiveModel for Metered<M> {
     }
     fn predict_std(&self, x: &[f64]) -> f64 {
         self.inner.predict_std(x)
+    }
+    /// One batched call counts as one `model.batch_calls` and `n`
+    /// inferences — the ratio of the two counters is the average batch
+    /// size the optimizer achieved.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.batch_calls.inc();
+        self.inferences.add(xs.len() as u64);
+        self.inner.predict_batch(xs, out)
+    }
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.inner.predict_std_batch(xs, out)
     }
     fn gradient(&self, x: &[f64], out: &mut [f64]) {
         self.inner.gradient(x, out)
@@ -115,10 +127,11 @@ impl<M: ObjectiveModel> ObjectiveModel for Metered<M> {
 /// inference-counting wrapper always.
 fn wrap_model<M: ObjectiveModel + 'static>(model: M, log: bool) -> Arc<dyn ObjectiveModel> {
     let inferences = udao_telemetry::counter(names::MODEL_INFERENCES);
+    let batch_calls = udao_telemetry::counter(names::MODEL_BATCH_CALLS);
     if log {
-        Arc::new(Metered { inner: crate::transform::LogSpace(model), inferences })
+        Arc::new(Metered { inner: crate::transform::LogSpace(model), inferences, batch_calls })
     } else {
-        Arc::new(Metered { inner: model, inferences })
+        Arc::new(Metered { inner: model, inferences, batch_calls })
     }
 }
 

@@ -36,6 +36,25 @@ impl<M: ObjectiveModel> ObjectiveModel for LogSpace<M> {
         }
     }
 
+    /// One inner batched pass, then the clamp-and-exp map per element.
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        self.0.predict_batch(xs, out);
+        for o in out.iter_mut() {
+            *o = o.clamp(-80.0, 80.0).exp();
+        }
+    }
+
+    /// Delta method per element over two inner batched passes.
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let mut mu = vec![0.0; xs.len()];
+        self.0.predict_batch(xs, &mut mu);
+        self.0.predict_std_batch(xs, out);
+        for (o, m) in out.iter_mut().zip(&mu) {
+            *o *= m.clamp(-80.0, 80.0).exp();
+        }
+    }
+
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         // d/dx [exp(μ)σ] = exp(μ)(σ·∇μ + ∇σ).
         let mu = self.0.predict(x).clamp(-80.0, 80.0);

@@ -207,39 +207,7 @@ impl UdaoBuilder {
     /// time budget is *allowed* — it means "serve the fastest degraded
     /// answer", which the resilience tests rely on.
     pub fn build(self) -> Result<Udao> {
-        let mogd = &self.pf_options.mogd;
-        if mogd.max_iters == 0 {
-            return Err(Error::InvalidConfig("mogd.max_iters must be >= 1".into()));
-        }
-        if mogd.multistarts == 0 {
-            return Err(Error::InvalidConfig("mogd.multistarts must be >= 1".into()));
-        }
-        if !(mogd.learning_rate.is_finite() && mogd.learning_rate > 0.0) {
-            return Err(Error::InvalidConfig(format!(
-                "mogd.learning_rate must be finite and positive, got {}",
-                mogd.learning_rate
-            )));
-        }
-        if mogd.penalty < 0.0 || !mogd.penalty.is_finite() {
-            return Err(Error::InvalidConfig("mogd.penalty must be non-negative".into()));
-        }
-        if mogd.alpha < 0.0 || !mogd.alpha.is_finite() {
-            return Err(Error::InvalidConfig("mogd.alpha must be non-negative".into()));
-        }
-        if mogd.tol < 0.0 || !mogd.tol.is_finite() {
-            return Err(Error::InvalidConfig("mogd.tol must be non-negative".into()));
-        }
-        if self.resilience.retry.attempts == 0 {
-            return Err(Error::InvalidConfig("retry.attempts must be >= 1".into()));
-        }
-        if self.pf_variant == PfVariant::Sequential && self.pf_options.exact_resolution < 2 {
-            return Err(Error::InvalidConfig(
-                "PF-S needs exact_resolution >= 2".into(),
-            ));
-        }
-        if self.pf_variant == PfVariant::ApproxParallel && self.pf_options.grid_l == 0 {
-            return Err(Error::InvalidConfig("PF-AP needs grid_l >= 1".into()));
-        }
+        validate_options(self.pf_variant, &self.pf_options, &self.resilience)?;
         let provider = self
             .provider
             .unwrap_or_else(|| self.server.clone() as Arc<dyn ModelProvider>);
@@ -254,6 +222,48 @@ impl UdaoBuilder {
             history: Default::default(),
         })
     }
+}
+
+/// Validate a (variant, options, resilience) combination. Shared by
+/// [`UdaoBuilder::build`] and the deprecated in-place `Udao::with_*`
+/// setters, so no construction path can smuggle in rejected options.
+fn validate_options(
+    pf_variant: PfVariant,
+    pf_options: &PfOptions,
+    resilience: &ResilienceOptions,
+) -> Result<()> {
+    let mogd = &pf_options.mogd;
+    if mogd.max_iters == 0 {
+        return Err(Error::InvalidConfig("mogd.max_iters must be >= 1".into()));
+    }
+    if mogd.multistarts == 0 {
+        return Err(Error::InvalidConfig("mogd.multistarts must be >= 1".into()));
+    }
+    if !(mogd.learning_rate.is_finite() && mogd.learning_rate > 0.0) {
+        return Err(Error::InvalidConfig(format!(
+            "mogd.learning_rate must be finite and positive, got {}",
+            mogd.learning_rate
+        )));
+    }
+    if mogd.penalty < 0.0 || !mogd.penalty.is_finite() {
+        return Err(Error::InvalidConfig("mogd.penalty must be non-negative".into()));
+    }
+    if mogd.alpha < 0.0 || !mogd.alpha.is_finite() {
+        return Err(Error::InvalidConfig("mogd.alpha must be non-negative".into()));
+    }
+    if mogd.tol < 0.0 || !mogd.tol.is_finite() {
+        return Err(Error::InvalidConfig("mogd.tol must be non-negative".into()));
+    }
+    if resilience.retry.attempts == 0 {
+        return Err(Error::InvalidConfig("retry.attempts must be >= 1".into()));
+    }
+    if pf_variant == PfVariant::Sequential && pf_options.exact_resolution < 2 {
+        return Err(Error::InvalidConfig("PF-S needs exact_resolution >= 2".into()));
+    }
+    if pf_variant == PfVariant::ApproxParallel && pf_options.grid_l == 0 {
+        return Err(Error::InvalidConfig("PF-AP needs grid_l >= 1".into()));
+    }
+    Ok(())
 }
 
 /// The UDAO system: a cluster, a model server, and the MOO engine.
@@ -310,32 +320,43 @@ impl Udao {
     }
 
     /// Override the Progressive Frontier variant/options.
+    ///
+    /// Runs the same validation as [`UdaoBuilder::build`]; invalid options
+    /// are rejected instead of silently bypassing the builder's checks.
     #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).pf(...).build()`")]
-    pub fn with_pf(mut self, variant: PfVariant, options: PfOptions) -> Self {
+    pub fn with_pf(mut self, variant: PfVariant, options: PfOptions) -> Result<Self> {
+        validate_options(variant, &options, &self.resilience)?;
         self.pf_variant = variant;
         self.pf_options = options;
-        self
+        Ok(self)
     }
 
     /// Override the resilience policy (request budget, retry, cold-start
     /// degradation).
+    ///
+    /// Runs the same validation as [`UdaoBuilder::build`].
     #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).resilience(...).build()`")]
-    pub fn with_resilience(mut self, resilience: ResilienceOptions) -> Self {
+    pub fn with_resilience(mut self, resilience: ResilienceOptions) -> Result<Self> {
+        validate_options(self.pf_variant, &self.pf_options, &resilience)?;
         self.resilience = resilience;
-        self
+        Ok(self)
     }
 
     /// Route model lookups through `provider` instead of the in-process
     /// model server — the seam for remote servers and fault injection.
     /// Training still writes to [`Udao::model_server`]; wrap
     /// [`Udao::shared_model_server`] to intercept its reads.
+    ///
+    /// Runs the same validation as [`UdaoBuilder::build`] so all deprecated
+    /// setters share one contract.
     #[deprecated(
         since = "0.2.0",
         note = "use `Udao::builder(cluster).model_provider(...).build()`"
     )]
-    pub fn with_model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Self {
+    pub fn with_model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Result<Self> {
+        validate_options(self.pf_variant, &self.pf_options, &self.resilience)?;
         self.provider = provider;
-        self
+        Ok(self)
     }
 
     /// The underlying model server.
@@ -835,20 +856,27 @@ impl Udao {
         if request.objectives.is_empty() {
             return Err(Error::InvalidConfig("request has no objectives".into()));
         }
-        let before = udao_telemetry::global().snapshot();
+        // Per-request accounting: every global-registry increment made
+        // while this scope is active (including on PF-AP worker threads,
+        // which re-enter it) is mirrored into the private registry, so the
+        // report stays exact with other requests in flight.
+        let scope = Arc::new(udao_telemetry::MetricsRegistry::new());
         let started = Instant::now();
-        let solved = self.solve_request(request, &started)?;
-        let total_seconds = started.elapsed().as_secs_f64();
-        if solved.degraded {
-            udao_telemetry::counter(names::DEGRADED_RESULTS).inc();
-        }
-        let delta = udao_telemetry::global().snapshot().delta_since(&before);
+        let (solved, total_seconds) = {
+            let _scope_guard = udao_telemetry::enter_scope(scope.clone());
+            let solved = self.solve_request(request, &started)?;
+            if solved.degraded {
+                udao_telemetry::counter(names::DEGRADED_RESULTS).inc();
+            }
+            let total_seconds = started.elapsed().as_secs_f64();
+            (solved, total_seconds)
+        };
         let report = SolveReport::from_delta(
             request.workload_id.clone(),
             solved.sel.stage,
             solved.degraded,
             total_seconds,
-            delta,
+            scope.snapshot(),
         );
         let (batch_conf, stream_conf) = O::typed_confs(&solved.configuration);
         Ok(Recommendation {
@@ -1066,9 +1094,61 @@ mod tests {
     #[allow(deprecated)]
     fn deprecated_setters_still_configure_the_optimizer() {
         let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o);
+        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).unwrap();
         assert_eq!(udao.pf_variant, PfVariant::ApproxSequential);
         assert_eq!(udao.pf_options.mogd.multistarts, 4);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_run_builder_validation() {
+        let (v, mut o) = quick_pf();
+        o.mogd.max_iters = 0;
+        assert!(Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).is_err());
+
+        let (v, mut o) = quick_pf();
+        o.mogd.learning_rate = f64::NAN;
+        assert!(Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).is_err());
+
+        let mut r = ResilienceOptions::default();
+        r.retry.attempts = 0;
+        assert!(Udao::new(ClusterSpec::paper_cluster()).with_resilience(r).is_err());
+    }
+
+    #[test]
+    fn concurrent_requests_produce_disjoint_exact_reports() {
+        let udao = quick_udao();
+        let workloads = batch_workloads();
+        let q2 = workloads.iter().find(|w| w.id == "q2-v0").unwrap();
+        udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+        let req = BatchRequest::new("q2-v0")
+            .objective(BatchObjective::Latency)
+            .objective(BatchObjective::CostCores)
+            .points(5);
+        // Solo run: the deterministic per-request baseline (unlimited
+        // budget, seeded solver).
+        let solo = udao.recommend_batch(&req).unwrap().report;
+        assert!(solo.mogd_iterations > 0);
+        assert!(solo.model_inferences > 0);
+        assert!(solo.model_batch_calls > 0);
+        // Two simultaneous requests: with per-request telemetry scopes each
+        // report must equal the solo baseline exactly — neither absorbs the
+        // other's counters (the old global-delta extraction attributed both
+        // requests' work to both reports).
+        let (a, b) = std::thread::scope(|s| {
+            let a = s.spawn(|| udao.recommend_batch(&req).unwrap().report);
+            let b = s.spawn(|| udao.recommend_batch(&req).unwrap().report);
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        for r in [&a, &b] {
+            assert_eq!(r.mogd_iterations, solo.mogd_iterations);
+            assert_eq!(r.mogd_restarts, solo.mogd_restarts);
+            assert_eq!(r.pf_probes, solo.pf_probes);
+            assert_eq!(r.model_inferences, solo.model_inferences);
+            assert_eq!(r.model_batch_calls, solo.model_batch_calls);
+            assert_eq!(r.model_cache_hits, solo.model_cache_hits);
+            assert_eq!(r.model_cache_misses, solo.model_cache_misses);
+        }
     }
 
     #[test]

@@ -1,11 +1,11 @@
 //! Per-request solve reports.
 //!
-//! Every recommendation carries a [`SolveReport`]: the telemetry delta
-//! observed between the start and end of the solve (stage wall-clock from
-//! span histograms, MOGD/PF/model counters) plus the outcome of the
-//! resilience ladder. The report is exact for single-request sessions and
-//! a best-effort superset when other requests run concurrently (the global
-//! registry is shared; see `udao-telemetry` docs).
+//! Every recommendation carries a [`SolveReport`]: the telemetry observed
+//! during the solve (stage wall-clock from span histograms, MOGD/PF/model
+//! counters) plus the outcome of the resilience ladder. Requests record
+//! into a private telemetry *scope* (`udao_telemetry::enter_scope`), so the
+//! report is exact even when other requests run concurrently — counters
+//! never bleed between simultaneous requests.
 
 use crate::resilience::FallbackStage;
 use serde::Value;
@@ -45,6 +45,13 @@ pub struct SolveReport {
     pub pf_probes: u64,
     /// Model forward passes (learned + analytic + heuristic).
     pub model_inferences: u64,
+    /// Batched inference calls (each covers many points; the ratio
+    /// `model_inferences / model_batch_calls` is the realized batch size).
+    pub model_batch_calls: u64,
+    /// MOGD memoization-cache hits (model evaluations avoided).
+    pub model_cache_hits: u64,
+    /// MOGD memoization-cache misses (evaluations that went to the model).
+    pub model_cache_misses: u64,
     /// Model-server lookups.
     pub model_lookups: u64,
     /// Resilience-ladder descents taken while serving the request.
@@ -84,6 +91,9 @@ impl SolveReport {
             mogd_violations: delta.counter(names::MOGD_VIOLATIONS),
             pf_probes: delta.counter(names::PF_PROBES),
             model_inferences: delta.counter(names::MODEL_INFERENCES),
+            model_batch_calls: delta.counter(names::MODEL_BATCH_CALLS),
+            model_cache_hits: delta.counter(names::MODEL_CACHE_HITS),
+            model_cache_misses: delta.counter(names::MODEL_CACHE_MISSES),
             model_lookups: delta.counter(names::MODEL_LOOKUPS),
             fallback_transitions: delta.counter(names::FALLBACK_TRANSITIONS),
             stages,
@@ -126,6 +136,9 @@ impl SolveReport {
             ("mogd_violations".to_string(), Value::UInt(self.mogd_violations)),
             ("pf_probes".to_string(), Value::UInt(self.pf_probes)),
             ("model_inferences".to_string(), Value::UInt(self.model_inferences)),
+            ("model_batch_calls".to_string(), Value::UInt(self.model_batch_calls)),
+            ("model_cache_hits".to_string(), Value::UInt(self.model_cache_hits)),
+            ("model_cache_misses".to_string(), Value::UInt(self.model_cache_misses)),
             ("model_lookups".to_string(), Value::UInt(self.model_lookups)),
             (
                 "fallback_transitions".to_string(),
@@ -174,8 +187,13 @@ impl SolveReport {
         );
         let _ = writeln!(
             out,
-            "  model:  {} inferences, {} lookups",
-            self.model_inferences, self.model_lookups
+            "  model:  {} inferences in {} batch calls, {} lookups",
+            self.model_inferences, self.model_batch_calls, self.model_lookups
+        );
+        let _ = writeln!(
+            out,
+            "  cache:  {} hits, {} misses",
+            self.model_cache_hits, self.model_cache_misses
         );
         let _ = write!(
             out,
@@ -196,6 +214,9 @@ mod tests {
         reg.counter(names::MOGD_ITERATIONS).add(420);
         reg.counter(names::PF_PROBES).add(17);
         reg.counter(names::MODEL_INFERENCES).add(9001);
+        reg.counter(names::MODEL_BATCH_CALLS).add(101);
+        reg.counter(names::MODEL_CACHE_HITS).add(77);
+        reg.counter(names::MODEL_CACHE_MISSES).add(23);
         reg.histogram("span.recommend").record(0.25);
         reg.histogram("span.recommend/moo").record(0.2);
         reg.histogram(names::MOGD_SOLVE_SECONDS).record(0.01);
@@ -209,6 +230,9 @@ mod tests {
         assert_eq!(report.mogd_iterations, 420);
         assert_eq!(report.pf_probes, 17);
         assert_eq!(report.model_inferences, 9001);
+        assert_eq!(report.model_batch_calls, 101);
+        assert_eq!(report.model_cache_hits, 77);
+        assert_eq!(report.model_cache_misses, 23);
         // Only span.* histograms become stage timings, prefix stripped.
         assert_eq!(report.stages.len(), 2);
         assert_eq!(report.stages[0].path, "recommend");

@@ -55,10 +55,15 @@ fn atomic_add_f64(cell: &AtomicU64, v: f64) {
 ///
 /// Recording is two relaxed atomic increments plus one CAS loop for the
 /// running sum — safe to call from PF-AP worker threads concurrently.
+///
+/// Histograms created by the global registry remember their name and
+/// forward every observation to the identically-named histogram of the
+/// active request scope (see [`crate::scope`]).
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_bits: AtomicU64,
+    scope_name: Option<Box<str>>,
 }
 
 impl Default for Histogram {
@@ -74,15 +79,32 @@ impl Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            scope_name: None,
         }
     }
 
-    /// Record one observation.
+    /// Create an empty histogram that forwards observations to the active
+    /// request scope under `name`.
+    pub(crate) fn named(name: &str) -> Self {
+        Histogram { scope_name: Some(name.into()), ..Self::new() }
+    }
+
+    /// Record one observation. Non-finite values (`NaN`, `±∞`) are
+    /// rejected entirely — counting them in `buckets`/`count` while
+    /// skipping them in `sum` would silently skew the reported mean.
     pub fn record(&self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        if v.is_finite() {
-            atomic_add_f64(&self.sum_bits, v);
+        atomic_add_f64(&self.sum_bits, v);
+        if let Some(name) = &self.scope_name {
+            if let Some(scope) = crate::scope::current_scope() {
+                // Scope registries are non-forwarding, so their histograms
+                // carry no name and this cannot recurse.
+                scope.histogram(name).record(v);
+            }
         }
     }
 
@@ -263,14 +285,34 @@ mod tests {
     }
 
     #[test]
-    fn non_finite_observations_count_but_do_not_poison_the_sum() {
+    fn non_finite_observations_are_rejected_everywhere() {
         let h = Histogram::new();
         h.record(f64::NAN);
         h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
         h.record(1.0);
         let s = h.snapshot();
-        assert_eq!(s.count, 3);
+        // Rejected values appear in neither count, buckets, nor sum, so
+        // the mean stays honest.
+        assert_eq!(s.count, 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 1);
         assert!((s.sum - 1.0).abs() < 1e-12);
+        assert!((s.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finite_edge_cases_are_counted_consistently() {
+        let h = Histogram::new();
+        h.record(0.0);
+        h.record(f64::MIN_POSITIVE); // subnormal-scale: underflow bucket
+        h.record(1e-310); // an actual subnormal
+        h.record(1.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+        // Zero and subnormals land in the underflow bucket but still count.
+        assert_eq!(s.buckets[0], 3);
+        assert!((s.sum - (1.0 + f64::MIN_POSITIVE + 1e-310)).abs() < 1e-12);
     }
 
     #[test]

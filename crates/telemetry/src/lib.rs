@@ -23,9 +23,12 @@
 //!
 //! Instruments are process-global and cumulative. Per-request views (the
 //! `SolveReport` the `udao` crate attaches to every recommendation) are
-//! built by snapshotting the [`global`] registry before and after the
-//! request and taking [`MetricsSnapshot::delta_since`]. Deltas are exact for
-//! a single in-flight request and a best-effort superset under concurrency.
+//! built with a request *scope*: [`enter_scope`] installs a private
+//! registry for the duration of a request, and every global-registry
+//! increment made while the scope is active is mirrored into it — so the
+//! scope's snapshot is exact even with other requests in flight. Global
+//! snapshot + [`MetricsSnapshot::delta_since`] remains available for
+//! process-wide accounting.
 //!
 //! ```
 //! use udao_telemetry as telemetry;
@@ -46,10 +49,12 @@
 mod histogram;
 mod names_mod;
 mod registry;
+mod scope;
 mod span;
 
 pub use histogram::{Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{global, Counter, MetricsRegistry, MetricsSnapshot};
+pub use scope::{current_scope, enter_scope, ScopeGuard};
 pub use span::{span, span_in, Span};
 
 /// Canonical instrument names recorded across the workspace.

@@ -46,6 +46,13 @@ pub const MODEL_INFERENCES: &str = "model.inferences";
 pub const MODEL_RETRAINS: &str = "model.retrains";
 /// Fine-tune passes on incremental trace ingest.
 pub const MODEL_FINE_TUNES: &str = "model.fine_tunes";
+/// Batched inference calls (`predict_batch` invocations; each one covers
+/// many points — compare against [`MODEL_INFERENCES`] for batch size).
+pub const MODEL_BATCH_CALLS: &str = "model.batch_calls";
+/// MOGD memoization-cache hits (model evaluations avoided entirely).
+pub const MODEL_CACHE_HITS: &str = "model.cache_hits";
+/// MOGD memoization-cache misses (evaluations that went to the model).
+pub const MODEL_CACHE_MISSES: &str = "model.cache_misses";
 
 // -------------------------------------------------------------- simulator
 

@@ -12,25 +12,44 @@ use std::sync::{Arc, OnceLock};
 ///
 /// Handles are `Arc`-shared out of the registry, so hot loops resolve the
 /// name once and then increment wait-free.
+///
+/// Counters created by the [`global`] registry remember their name and
+/// *forward* every increment to the identically-named counter of the
+/// active request scope (see [`crate::scope`]), so per-request attribution
+/// works even through handles cached long before the request started.
 #[derive(Debug, Default)]
 pub struct Counter {
     value: AtomicU64,
+    scope_name: Option<Box<str>>,
 }
 
 impl Counter {
     /// Create a counter at zero.
     pub fn new() -> Self {
-        Counter { value: AtomicU64::new(0) }
+        Counter { value: AtomicU64::new(0), scope_name: None }
+    }
+
+    /// Create a counter at zero that forwards increments to the active
+    /// request scope under `name`.
+    pub(crate) fn named(name: &str) -> Self {
+        Counter { value: AtomicU64::new(0), scope_name: Some(name.into()) }
     }
 
     /// Increment by one.
     pub fn inc(&self) {
-        self.value.fetch_add(1, Ordering::Relaxed);
+        self.add(1);
     }
 
     /// Increment by `n`.
     pub fn add(&self, n: u64) {
         self.value.fetch_add(n, Ordering::Relaxed);
+        if let Some(name) = &self.scope_name {
+            if let Some(scope) = crate::scope::current_scope() {
+                // Scope registries are non-forwarding, so their counters
+                // carry no name and this cannot recurse.
+                scope.counter(name).add(n);
+            }
+        }
     }
 
     /// Current value.
@@ -64,9 +83,13 @@ struct Shard {
 /// A registry of named counters and histograms.
 ///
 /// Most code uses the process-wide [`global`] registry; a private registry
-/// is useful in tests that need full isolation.
+/// is useful in tests that need full isolation, and as the per-request
+/// scope registry of [`crate::scope::enter_scope`]. Only the global
+/// registry is *forwarding*: its instruments mirror every increment into
+/// the active request scope.
 pub struct MetricsRegistry {
     shards: Vec<RwLock<Shard>>,
+    forwarding: bool,
 }
 
 impl Default for MetricsRegistry {
@@ -76,11 +99,23 @@ impl Default for MetricsRegistry {
 }
 
 impl MetricsRegistry {
-    /// Create an empty registry.
+    /// Create an empty, non-forwarding registry.
     pub fn new() -> Self {
         MetricsRegistry {
             shards: (0..SHARDS).map(|_| RwLock::new(Shard::default())).collect(),
+            forwarding: false,
         }
+    }
+
+    /// Create an empty registry whose instruments forward to the active
+    /// request scope — the global registry's mode.
+    pub(crate) fn new_forwarding() -> Self {
+        MetricsRegistry { forwarding: true, ..Self::new() }
+    }
+
+    /// Whether this registry's instruments forward to the active scope.
+    pub fn is_forwarding(&self) -> bool {
+        self.forwarding
     }
 
     /// Resolve (or create) the counter named `name`.
@@ -90,11 +125,9 @@ impl MetricsRegistry {
             return Arc::clone(c);
         }
         let mut w = shard.write();
-        Arc::clone(
-            w.counters
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Counter::new())),
-        )
+        Arc::clone(w.counters.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(if self.forwarding { Counter::named(name) } else { Counter::new() })
+        }))
     }
 
     /// Resolve (or create) the histogram named `name`.
@@ -104,11 +137,9 @@ impl MetricsRegistry {
             return Arc::clone(h);
         }
         let mut w = shard.write();
-        Arc::clone(
-            w.histograms
-                .entry(name.to_string())
-                .or_insert_with(|| Arc::new(Histogram::new())),
-        )
+        Arc::clone(w.histograms.entry(name.to_string()).or_insert_with(|| {
+            Arc::new(if self.forwarding { Histogram::named(name) } else { Histogram::new() })
+        }))
     }
 
     /// A point-in-time copy of every registered instrument.
@@ -128,10 +159,12 @@ impl MetricsRegistry {
     }
 }
 
-/// The process-wide registry every instrumented crate records into.
+/// The process-wide registry every instrumented crate records into. Its
+/// instruments forward increments into the active request scope (see
+/// [`crate::scope`]), so per-request deltas stay exact under concurrency.
 pub fn global() -> &'static MetricsRegistry {
     static GLOBAL: OnceLock<MetricsRegistry> = OnceLock::new();
-    GLOBAL.get_or_init(MetricsRegistry::new)
+    GLOBAL.get_or_init(MetricsRegistry::new_forwarding)
 }
 
 /// An owned, ordered copy of a registry's instruments.

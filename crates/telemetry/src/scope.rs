@@ -1,0 +1,142 @@
+//! Per-request telemetry scopes.
+//!
+//! A *scope* is a private [`MetricsRegistry`] installed for the duration
+//! of one logical request. While a scope is active on a thread, every
+//! increment against a global-registry instrument is mirrored into the
+//! identically-named instrument of the scope registry. A snapshot of the
+//! scope registry is therefore an *exact* record of what the request did —
+//! no bleed from other requests running concurrently, no matter how long
+//! ago the global instrument handles were resolved and cached.
+//!
+//! Scopes are thread-local; fan-out code (e.g. the PF-AP worker pool)
+//! captures [`current_scope`] before spawning and re-enters it on each
+//! worker via [`enter_scope`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use udao_telemetry::{enter_scope, MetricsRegistry};
+//!
+//! let scope = Arc::new(MetricsRegistry::new());
+//! {
+//!     let _guard = enter_scope(Arc::clone(&scope));
+//!     udao_telemetry::counter("scope_doc.example").inc();
+//! }
+//! assert_eq!(scope.snapshot().counter("scope_doc.example"), 1);
+//! ```
+
+use crate::registry::MetricsRegistry;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT_SCOPE: RefCell<Option<Arc<MetricsRegistry>>> = const { RefCell::new(None) };
+}
+
+/// The scope registry active on this thread, if any.
+pub fn current_scope() -> Option<Arc<MetricsRegistry>> {
+    CURRENT_SCOPE.with(|s| s.borrow().clone())
+}
+
+/// Install `registry` as this thread's active scope until the returned
+/// guard drops; the previous scope (if any) is restored then. Nested
+/// scopes shadow outer ones — increments reach only the innermost.
+///
+/// # Panics
+///
+/// Panics if `registry` is forwarding (i.e. the global registry): a
+/// forwarding scope would mirror increments back into itself forever.
+pub fn enter_scope(registry: Arc<MetricsRegistry>) -> ScopeGuard {
+    assert!(
+        !registry.is_forwarding(),
+        "a telemetry scope must be a plain MetricsRegistry::new(), not the global registry"
+    );
+    let prev = CURRENT_SCOPE.with(|s| s.borrow_mut().replace(registry));
+    ScopeGuard { prev, _not_send: PhantomData }
+}
+
+/// RAII guard of [`enter_scope`]; restores the previously active scope on
+/// drop. `!Send`, because the scope it manipulates is thread-local.
+pub struct ScopeGuard {
+    prev: Option<Arc<MetricsRegistry>>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        CURRENT_SCOPE.with(|s| *s.borrow_mut() = self.prev.take());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::global;
+
+    #[test]
+    fn scoped_increments_mirror_into_the_scope_registry() {
+        let name = "scope_test.mirrored";
+        let scope = Arc::new(MetricsRegistry::new());
+        let before_global = global().counter(name).get();
+        {
+            let _guard = enter_scope(Arc::clone(&scope));
+            global().counter(name).add(3);
+            global().histogram("scope_test.mirrored_h").record(0.5);
+        }
+        // Outside the scope, increments no longer mirror.
+        global().counter(name).inc();
+        let s = scope.snapshot();
+        assert_eq!(s.counter(name), 3);
+        assert_eq!(s.histogram("scope_test.mirrored_h").map(|h| h.count), Some(1));
+        // The global registry still saw everything.
+        assert_eq!(global().counter(name).get() - before_global, 4);
+    }
+
+    #[test]
+    fn cached_handles_forward_at_increment_time() {
+        // Handles resolved long before the scope exists must still
+        // attribute increments to it — the Metered-wrapper pattern.
+        let handle = global().counter("scope_test.cached_handle");
+        let scope = Arc::new(MetricsRegistry::new());
+        {
+            let _guard = enter_scope(Arc::clone(&scope));
+            handle.add(7);
+        }
+        assert_eq!(scope.snapshot().counter("scope_test.cached_handle"), 7);
+    }
+
+    #[test]
+    fn nested_scopes_shadow_and_restore() {
+        let outer = Arc::new(MetricsRegistry::new());
+        let inner = Arc::new(MetricsRegistry::new());
+        let name = "scope_test.nested";
+        let _outer_guard = enter_scope(Arc::clone(&outer));
+        global().counter(name).inc();
+        {
+            let _inner_guard = enter_scope(Arc::clone(&inner));
+            global().counter(name).add(10);
+        }
+        global().counter(name).inc();
+        assert_eq!(outer.snapshot().counter(name), 2);
+        assert_eq!(inner.snapshot().counter(name), 10);
+    }
+
+    #[test]
+    fn scopes_are_thread_local() {
+        let scope = Arc::new(MetricsRegistry::new());
+        let _guard = enter_scope(Arc::clone(&scope));
+        let t = std::thread::spawn(|| {
+            assert!(current_scope().is_none());
+            global().counter("scope_test.other_thread").inc();
+        });
+        t.join().expect("other thread");
+        assert_eq!(scope.snapshot().counter("scope_test.other_thread"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a plain MetricsRegistry")]
+    fn forwarding_registry_cannot_be_a_scope() {
+        // A forwarding scope would mirror increments back into itself.
+        let _ = enter_scope(Arc::new(MetricsRegistry::new_forwarding()));
+    }
+}
