@@ -63,6 +63,18 @@ impl Budget {
         self.limit.map(|limit| limit.saturating_sub(self.started.elapsed()))
     }
 
+    /// Whether the time left before the deadline covers `estimate`.
+    /// Unlimited budgets cover everything. Admission control uses this to
+    /// shed requests whose remaining budget cannot cover the observed
+    /// typical solve time — failing them in microseconds instead of
+    /// burning a worker on a solve that is doomed to time out.
+    pub fn can_cover(&self, estimate: Duration) -> bool {
+        match self.remaining() {
+            None => true,
+            Some(rem) => rem >= estimate,
+        }
+    }
+
     /// The [`Error::Timeout`] describing this budget's current state, for
     /// callers that hold no partial result to degrade to.
     pub fn timeout_error(&self) -> Error {
@@ -103,6 +115,18 @@ mod tests {
         let b = Budget::from_millis(60_000);
         assert!(!b.expired());
         assert!(b.remaining().unwrap() > Duration::from_secs(50));
+    }
+
+    #[test]
+    fn can_cover_tracks_the_remaining_time() {
+        let unlimited = Budget::unlimited();
+        assert!(unlimited.can_cover(Duration::from_secs(3600)));
+        let b = Budget::from_millis(60_000);
+        assert!(b.can_cover(Duration::from_millis(100)));
+        assert!(!b.can_cover(Duration::from_secs(120)));
+        let expired = Budget::from_millis(0);
+        assert!(!expired.can_cover(Duration::from_millis(1)));
+        assert!(expired.can_cover(Duration::ZERO));
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub enum Error {
     /// A worker thread (or an isolated solve) panicked; the payload carries
     /// the panic message.
     WorkerPanicked(String),
+    /// A serving engine rejected the request at admission: the queue was
+    /// full, the in-flight cap was reached, the engine was draining, or the
+    /// request's remaining budget could not cover the observed solve time.
+    /// Shed requests were never solved — retrying against a less loaded
+    /// engine (or with a larger budget) is always safe.
+    Shed {
+        /// Why admission control rejected the request.
+        reason: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -65,6 +74,7 @@ impl fmt::Display for Error {
             }
             Error::ModelUnavailable(key) => write!(f, "no trained model available: {key}"),
             Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
+            Error::Shed { reason } => write!(f, "request shed by admission control: {reason}"),
         }
     }
 }
@@ -95,6 +105,9 @@ mod tests {
         let e = Error::WorkerPanicked("index out of bounds".into());
         assert!(e.to_string().contains("panicked"));
         assert!(e.to_string().contains("index out of bounds"));
+        let e = Error::Shed { reason: "queue full (depth 64)".into() };
+        assert!(e.to_string().contains("shed"));
+        assert!(e.to_string().contains("queue full"));
     }
 
     #[test]

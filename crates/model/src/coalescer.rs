@@ -1,0 +1,558 @@
+//! Cross-request inference coalescing for the serving engine.
+//!
+//! PR 4 made *single-request* inference batched: MOGD steps all multistart
+//! restarts in lockstep and issues one `predict_batch` per Adam iteration.
+//! The realized batch size is therefore capped at `multistarts + 1`. When
+//! several requests solve concurrently against the *same* served model,
+//! their per-iteration batches can be merged into even larger ones — the
+//! [`InferenceCoalescer`] is the meeting point.
+//!
+//! ## Protocol
+//!
+//! Every wrapped model call lands in a *lane* keyed by the underlying
+//! model instance and the call kind (mean vs. std). The first caller to
+//! find a lane empty becomes the **leader**: it collects followers until
+//! the batch fills (default ≥ 32 points), the window cap expires (default
+//! 200 µs), or — the common exit — one short wait slice passes with no
+//! new arrivals, then takes the whole pending batch, dispatches it
+//! through the inner model's vectorized
+//! `predict_batch`/`predict_std_batch`, and distributes each caller's
+//! slice back through its response slot. Later callers — **followers** —
+//! append their points and block on their slot; a follower that fills the
+//! batch wakes the leader early.
+//!
+//! ## Fast path
+//!
+//! Coalescing only pays off while at least two solves are in flight; with
+//! zero or one active solver every call goes straight to the inner model,
+//! bit-for-bit and counter-for-counter identical to an unwrapped call.
+//! Serving engines register their workers via
+//! [`InferenceCoalescer::register_solver`]; code that never registers
+//! (direct `Udao::recommend` calls, tests, benches) never leaves the fast
+//! path.
+//!
+//! ## Determinism and accounting
+//!
+//! The vectorized batch paths of every served model are *per-point
+//! independent* (each output row is computed from its input row alone, in
+//! a fixed accumulation order — `bench_hotpath` asserts batched equals
+//! scalar bitwise). Merging points from different requests into one batch
+//! therefore returns exactly the bits each request would have computed
+//! alone, which is what makes engine-concurrent solves reproducible.
+//!
+//! Telemetry attribution: the leader dispatches the inner (metered) model
+//! under a throwaway telemetry scope, so the global registry counts every
+//! point exactly once while no single request's scope absorbs its
+//! neighbours' work. Each caller then credits its *own* scope with
+//! exactly what it contributed — the same counts a serial solve would
+//! record — keeping per-request `SolveReport`s exact under coalescing.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+use udao_core::ObjectiveModel;
+use udao_telemetry::names;
+
+/// Tuning knobs for the coalescing window.
+#[derive(Debug, Clone, Copy)]
+pub struct CoalescerOptions {
+    /// Dispatch as soon as this many points are pending in a lane.
+    pub max_batch: usize,
+    /// Dispatch no later than this long after a lane's first pending call.
+    pub window: Duration,
+}
+
+impl Default for CoalescerOptions {
+    fn default() -> Self {
+        Self { max_batch: 32, window: Duration::from_micros(200) }
+    }
+}
+
+/// Which inner entry point a lane feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Kind {
+    Mean,
+    Std,
+}
+
+/// Lock a mutex, recovering the data on poison: a panicking leader already
+/// converts its failure into per-slot errors, so the shared state stays
+/// consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One caller's rendezvous: filled by the leader, awaited by the caller.
+struct Slot {
+    ready: Mutex<Option<Result<Vec<f64>, String>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { ready: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn fulfill(&self, result: Result<Vec<f64>, String>) {
+        *lock(&self.ready) = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Vec<f64>, String> {
+        let mut guard = lock(&self.ready);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Pending work for one (model, kind) pair.
+#[derive(Default)]
+struct LaneState {
+    /// Concatenated pending points, in arrival order.
+    xs: Vec<Vec<f64>>,
+    /// `(slot, offset, len)` per caller, slicing into the batch output.
+    jobs: Vec<(Arc<Slot>, usize, usize)>,
+    /// Whether a leader is currently collecting this lane.
+    has_leader: bool,
+}
+
+struct Lane {
+    state: Mutex<LaneState>,
+    /// Wakes the waiting leader when a follower fills the batch.
+    cv: Condvar,
+}
+
+impl Lane {
+    fn new() -> Self {
+        Lane { state: Mutex::new(LaneState::default()), cv: Condvar::new() }
+    }
+}
+
+/// The cross-request inference coalescer; see the module docs.
+///
+/// One instance is shared by everything that should batch together —
+/// typically the single coalescer owned by a `Udao` and reached by all of
+/// its serving-engine workers.
+pub struct InferenceCoalescer {
+    options: CoalescerOptions,
+    /// Number of registered in-flight solves; below 2 every call takes the
+    /// direct fast path.
+    active: AtomicUsize,
+    lanes: Mutex<HashMap<(usize, Kind), Arc<Lane>>>,
+}
+
+/// The inner batched entry point a lane leader dispatches through
+/// (`predict_batch` or `predict_std_batch` of the wrapped model).
+type BatchDispatch<'a> = dyn Fn(&[Vec<f64>], &mut [f64]) + 'a;
+
+impl InferenceCoalescer {
+    /// Create a coalescer with the given window options.
+    pub fn new(options: CoalescerOptions) -> Arc<Self> {
+        Arc::new(Self { options, active: AtomicUsize::new(0), lanes: Mutex::new(HashMap::new()) })
+    }
+
+    /// The configured window options.
+    pub fn options(&self) -> CoalescerOptions {
+        self.options
+    }
+
+    /// Number of currently registered active solves.
+    pub fn active_solvers(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Mark a solve as active for the lifetime of the returned guard.
+    /// Coalescing engages only while at least two solves are registered.
+    pub fn register_solver(self: &Arc<Self>) -> SolverGuard {
+        self.active.fetch_add(1, Ordering::Relaxed);
+        SolverGuard { coalescer: Arc::clone(self) }
+    }
+
+    /// Wrap a served model so its mean/std predictions route through this
+    /// coalescer. The same underlying model instance (by `Arc` identity)
+    /// shares one lane across any number of wrappers, which is what merges
+    /// concurrent requests' batches.
+    pub fn wrap(
+        self: &Arc<Self>,
+        model: Arc<dyn ObjectiveModel>,
+    ) -> Arc<dyn ObjectiveModel> {
+        Arc::new(CoalescedModel { coalescer: Arc::clone(self), inner: model })
+    }
+
+    fn lane(&self, key: (usize, Kind)) -> Arc<Lane> {
+        let mut lanes = lock(&self.lanes);
+        Arc::clone(lanes.entry(key).or_insert_with(|| Arc::new(Lane::new())))
+    }
+
+    /// Run `points` through the lane protocol; `dispatch` is the inner
+    /// batched entry point the leader calls. Returns this caller's outputs
+    /// in order. Panics (re-raising the leader's payload) if the inner
+    /// dispatch panicked, so existing panic-isolation layers see the same
+    /// behaviour as a direct call.
+    fn coalesce(
+        &self,
+        key: (usize, Kind),
+        points: &[Vec<f64>],
+        dispatch: &BatchDispatch<'_>,
+    ) -> Vec<f64> {
+        let lane = self.lane(key);
+        let slot = Arc::new(Slot::new());
+        let am_leader = {
+            let mut st = lock(&lane.state);
+            let offset = st.xs.len();
+            st.xs.extend(points.iter().cloned());
+            st.jobs.push((Arc::clone(&slot), offset, points.len()));
+            if st.has_leader {
+                if st.xs.len() >= self.options.max_batch {
+                    lane.cv.notify_all();
+                }
+                false
+            } else {
+                st.has_leader = true;
+                true
+            }
+        };
+        if am_leader {
+            self.lead(&lane, dispatch);
+        }
+        match slot.wait() {
+            Ok(values) => values,
+            Err(msg) => panic!("coalesced inference dispatch panicked: {msg}"),
+        }
+    }
+
+    /// Leader side: collect followers, dispatch, and distribute slices.
+    /// Always fulfills every job it drained.
+    ///
+    /// The window is a *cap*, not a target: the leader waits in short
+    /// slices and dispatches as soon as a slice passes with no new points
+    /// arriving (quiescence). Truly concurrent callers land within the
+    /// first slice and still merge; a lone caller pays one slice, not the
+    /// whole window — without this, every small inference under an engine
+    /// with idle co-workers would stall for the full window (and far
+    /// longer under CPU contention, where timer wakeups overshoot).
+    fn lead(&self, lane: &Lane, dispatch: &BatchDispatch<'_>) {
+        let deadline = Instant::now() + self.options.window;
+        let slice = (self.options.window / 8).max(Duration::from_micros(1));
+        let (xs, jobs) = {
+            let mut st = lock(&lane.state);
+            loop {
+                if st.xs.len() >= self.options.max_batch {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let seen = st.xs.len();
+                let (guard, _) = lane
+                    .cv
+                    .wait_timeout(st, slice.min(deadline - now))
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+                if st.xs.len() == seen {
+                    break;
+                }
+            }
+            st.has_leader = false;
+            (std::mem::take(&mut st.xs), std::mem::take(&mut st.jobs))
+        };
+        // Dispatch under a throwaway scope: the inner metered model counts
+        // each point once in the *global* registry, while the leader's own
+        // request scope absorbs nothing on behalf of the other callers —
+        // every caller credits its own scope below in `credit_scope`.
+        let result = {
+            let suppress = Arc::new(udao_telemetry::MetricsRegistry::new());
+            let _guard = udao_telemetry::enter_scope(suppress);
+            udao_telemetry::histogram(names::SERVE_COALESCED_BATCH_SIZE)
+                .record(xs.len() as f64);
+            let mut out = vec![0.0; xs.len()];
+            catch_unwind(AssertUnwindSafe(|| {
+                dispatch(&xs, &mut out);
+                out
+            }))
+            .map_err(|payload| panic_message(payload.as_ref()))
+        };
+        for (job_slot, offset, len) in jobs {
+            job_slot.fulfill(
+                result
+                    .as_ref()
+                    .map(|out| out[offset..offset + len].to_vec())
+                    .map_err(Clone::clone),
+            );
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// RAII registration of one active solve; see
+/// [`InferenceCoalescer::register_solver`].
+pub struct SolverGuard {
+    coalescer: Arc<InferenceCoalescer>,
+}
+
+impl Drop for SolverGuard {
+    fn drop(&mut self) {
+        self.coalescer.active.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Mirror into the caller's request scope exactly what a direct (serial)
+/// call would have recorded there. Scope registries are non-forwarding, so
+/// this cannot double-count into the global registry.
+fn credit_scope(batch_calls: u64, inferences: u64) {
+    if let Some(scope) = udao_telemetry::current_scope() {
+        if batch_calls > 0 {
+            scope.counter(names::MODEL_BATCH_CALLS).add(batch_calls);
+        }
+        if inferences > 0 {
+            scope.counter(names::MODEL_INFERENCES).add(inferences);
+        }
+    }
+}
+
+/// A served model routed through an [`InferenceCoalescer`].
+struct CoalescedModel {
+    coalescer: Arc<InferenceCoalescer>,
+    inner: Arc<dyn ObjectiveModel>,
+}
+
+impl CoalescedModel {
+    fn key(&self, kind: Kind) -> (usize, Kind) {
+        // Arc identity of the underlying model: wrappers of the same served
+        // model share a lane. An address can only be reused after every Arc
+        // to the old model is gone — at which point no caller can still
+        // enqueue against the old lane — so lanes never mix models.
+        (Arc::as_ptr(&self.inner) as *const () as usize, kind)
+    }
+
+    fn fast_path(&self) -> bool {
+        self.coalescer.active.load(Ordering::Relaxed) < 2
+    }
+}
+
+impl ObjectiveModel for CoalescedModel {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn predict(&self, x: &[f64]) -> f64 {
+        if self.fast_path() {
+            return self.inner.predict(x);
+        }
+        let points = [x.to_vec()];
+        let inner = &self.inner;
+        let out = self.coalescer.coalesce(self.key(Kind::Mean), &points, &|xs, out| {
+            inner.predict_batch(xs, out)
+        });
+        // A direct scalar predict records one inference and no batch call.
+        credit_scope(0, 1);
+        out[0]
+    }
+
+    fn predict_std(&self, x: &[f64]) -> f64 {
+        if self.fast_path() {
+            return self.inner.predict_std(x);
+        }
+        let points = [x.to_vec()];
+        let inner = &self.inner;
+        let out = self.coalescer.coalesce(self.key(Kind::Std), &points, &|xs, out| {
+            inner.predict_std_batch(xs, out)
+        });
+        out[0]
+    }
+
+    fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        if self.fast_path() {
+            return self.inner.predict_batch(xs, out);
+        }
+        if xs.is_empty() {
+            return;
+        }
+        let inner = &self.inner;
+        let values = self.coalescer.coalesce(self.key(Kind::Mean), xs, &|batch, o| {
+            inner.predict_batch(batch, o)
+        });
+        out.copy_from_slice(&values);
+        // A direct batched predict records one batch call and n inferences.
+        credit_scope(1, xs.len() as u64);
+    }
+
+    fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        if self.fast_path() {
+            return self.inner.predict_std_batch(xs, out);
+        }
+        if xs.is_empty() {
+            return;
+        }
+        let inner = &self.inner;
+        let values = self.coalescer.coalesce(self.key(Kind::Std), xs, &|batch, o| {
+            inner.predict_std_batch(batch, o)
+        });
+        out.copy_from_slice(&values);
+    }
+
+    // Gradients stay scalar and direct: MOGD calls them once per restart
+    // step and learned models answer analytically.
+    fn gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.gradient(x, out)
+    }
+
+    fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
+        self.inner.std_gradient(x, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udao_core::objective::FnModel;
+
+    fn quad_model() -> Arc<dyn ObjectiveModel> {
+        Arc::new(FnModel::new(2, |x| 3.0 * x[0] + x[1] * x[1]))
+    }
+
+    fn probe_points(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / (n.max(2) - 1) as f64;
+                vec![t, 1.0 - 0.5 * t]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fast_path_is_bitwise_transparent() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions::default());
+        let inner = quad_model();
+        let wrapped = coalescer.wrap(Arc::clone(&inner));
+        let xs = probe_points(7);
+        let mut direct = vec![0.0; xs.len()];
+        let mut via = vec![0.0; xs.len()];
+        inner.predict_batch(&xs, &mut direct);
+        wrapped.predict_batch(&xs, &mut via);
+        for (d, v) in direct.iter().zip(&via) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        assert_eq!(wrapped.predict(&xs[0]).to_bits(), inner.predict(&xs[0]).to_bits());
+    }
+
+    #[test]
+    fn coalesced_dispatch_is_bitwise_equal_to_direct() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 64,
+            window: Duration::from_micros(100),
+        });
+        let inner = quad_model();
+        let wrapped = coalescer.wrap(Arc::clone(&inner));
+        // Two registered solvers force the lane protocol even though only
+        // one caller shows up; the leader flushes at the window deadline.
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let xs = probe_points(9);
+        let mut direct = vec![0.0; xs.len()];
+        let mut via = vec![0.0; xs.len()];
+        inner.predict_batch(&xs, &mut direct);
+        wrapped.predict_batch(&xs, &mut via);
+        for (d, v) in direct.iter().zip(&via) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        // Std path too.
+        wrapped.predict_std_batch(&xs, &mut via);
+        inner.predict_std_batch(&xs, &mut direct);
+        assert_eq!(direct, via);
+        // Scalar predict through the lane.
+        assert_eq!(wrapped.predict(&xs[3]).to_bits(), inner.predict(&xs[3]).to_bits());
+    }
+
+    #[test]
+    fn concurrent_callers_merge_and_keep_exact_scope_attribution() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 32,
+            window: Duration::from_millis(50),
+        });
+        let inner = quad_model();
+        let wrapped = coalescer.wrap(Arc::clone(&inner));
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..2)
+                .map(|t| {
+                    let wrapped = &wrapped;
+                    s.spawn(move || {
+                        let scope = Arc::new(udao_telemetry::MetricsRegistry::new());
+                        let xs = probe_points(8 + t);
+                        let mut out = vec![0.0; xs.len()];
+                        {
+                            let _g = udao_telemetry::enter_scope(Arc::clone(&scope));
+                            wrapped.predict_batch(&xs, &mut out);
+                        }
+                        (xs, out, scope.snapshot())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("caller thread")).collect::<Vec<_>>()
+        });
+        for (xs, out, snapshot) in &results {
+            for (x, o) in xs.iter().zip(out) {
+                assert_eq!(o.to_bits(), inner.predict(x).to_bits());
+            }
+            // Each caller's scope records exactly what a serial solve
+            // would: one batch call, its own point count — nothing from
+            // the neighbour it shared a dispatch with.
+            assert_eq!(snapshot.counter(names::MODEL_BATCH_CALLS), 1);
+            assert_eq!(snapshot.counter(names::MODEL_INFERENCES), xs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn leader_panic_reaches_all_callers_without_deadlock() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 4,
+            window: Duration::from_millis(20),
+        });
+        let poisoned: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(1, |_x: &[f64]| -> f64 { panic!("poisoned model") }));
+        let wrapped = coalescer.wrap(poisoned);
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut out = [0.0; 2];
+            wrapped.predict_batch(&[vec![0.1], vec![0.2]], &mut out);
+        }));
+        assert!(outcome.is_err(), "panic must propagate to the caller");
+        // The lane must be reusable afterwards (no stuck leader flag).
+        let fine = coalescer.wrap(quad_model());
+        let mut out = [0.0; 1];
+        fine.predict_batch(&[vec![0.5, 0.5]], &mut out);
+        assert!(out[0].is_finite());
+    }
+
+    #[test]
+    fn solver_guards_track_active_count() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions::default());
+        assert_eq!(coalescer.active_solvers(), 0);
+        let a = coalescer.register_solver();
+        let b = coalescer.register_solver();
+        assert_eq!(coalescer.active_solvers(), 2);
+        drop(a);
+        assert_eq!(coalescer.active_solvers(), 1);
+        drop(b);
+        assert_eq!(coalescer.active_solvers(), 0);
+    }
+}

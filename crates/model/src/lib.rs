@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+pub mod coalescer;
 pub mod dataset;
 pub mod features;
 pub mod gp;
@@ -32,6 +33,7 @@ pub mod regression;
 pub mod server;
 pub mod transform;
 
+pub use coalescer::{CoalescerOptions, InferenceCoalescer, SolverGuard};
 pub use dataset::Dataset;
 pub use gp::{Gp, GpConfig};
 pub use mlp::{Ensemble, McDropout, Mlp, MlpConfig};

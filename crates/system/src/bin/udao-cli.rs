@@ -6,16 +6,28 @@
 //! udao-cli recommend --workload <id> [--objectives latency,cost_cores]
 //!     [--weights 0.5,0.5] [--constraint cost_cores=4:58]
 //!     [--family gp|dnn] [--traces 80] [--points 12] [--json] [--report]
+//!     [--workers N] [--budget-ms M]
 //!     train models from simulator traces and recommend a configuration;
 //!     --report also prints the per-request solve report (stage timings,
-//!     MOGD/PF/model counters)
+//!     MOGD/PF/model counters); --workers routes the request through a
+//!     concurrent ServingEngine with N workers; --budget-ms sets a
+//!     per-request deadline (requests it cannot cover are shed)
+//!
+//! With --json, failures also print a machine-readable error object (and,
+//! under --report, a complete all-zero solve report — every counter key
+//! present) before exiting non-zero, so downstream parsers never see
+//! truncated output when a request is shed or degrades to the default
+//! configuration.
 //! udao-cli measure --workload <id> [--json]
 //!     run the Spark default configuration on the simulated cluster
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
-use udao::{BatchRequest, ModelFamily, Udao};
+use std::sync::Arc;
+use std::time::Duration;
+use udao::{BatchRequest, ModelFamily, ServingEngine, ServingOptions, SolveReport, Udao};
+use udao_core::Error;
 use udao_sparksim::objectives::BatchObjective;
 use udao_sparksim::{batch_workloads, streaming_workloads, BatchConf, ClusterSpec};
 
@@ -60,6 +72,25 @@ fn parse_constraint(s: &str) -> Option<(String, f64, f64)> {
     let (name, range) = s.split_once('=')?;
     let (lo, hi) = range.split_once(':')?;
     Some((name.to_string(), lo.parse().ok()?, hi.parse().ok()?))
+}
+
+/// The machine-readable failure object printed under `--json`: always a
+/// complete, parseable document. With `with_report`, a full all-zero
+/// [`SolveReport`] rides along so report consumers see every counter key
+/// (and an empty-but-present `metrics.counters` object) even when the
+/// request never reached a solver — shed at admission, or failed outright.
+fn error_value(workload: &str, err: &Error, with_report: bool) -> serde_json::Value {
+    let mut out = serde_json::json!({
+        "workload": workload,
+        "error": err.to_string(),
+        "shed": matches!(err, Error::Shed { .. }),
+    });
+    if with_report {
+        if let serde_json::Value::Object(fields) = &mut out {
+            fields.push(("report".to_string(), SolveReport::empty(workload).to_value()));
+        }
+    }
+    out
 }
 
 fn cmd_workloads(flags: &HashMap<String, String>) -> ExitCode {
@@ -117,7 +148,7 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
     let constraint = flags.get("constraint").and_then(|s| parse_constraint(s));
 
     let udao = match Udao::builder(ClusterSpec::paper_cluster()).build() {
-        Ok(u) => u,
+        Ok(u) => Arc::new(u),
         Err(e) => {
             eprintln!("optimizer construction failed: {e}");
             return ExitCode::FAILURE;
@@ -138,7 +169,20 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
     if let Some(wts) = weights {
         req = req.weights(wts);
     }
-    match udao.recommend_batch(&req) {
+    if let Some(ms) = flags.get("budget-ms").and_then(|v| v.parse().ok()) {
+        req = req.budget(Duration::from_millis(ms));
+    }
+    let result = match flags.get("workers").and_then(|v| v.parse::<usize>().ok()) {
+        Some(workers) => {
+            let engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
+                Arc::clone(&udao),
+                ServingOptions::default().with_workers(workers),
+            );
+            engine.solve(req)
+        }
+        None => udao.recommend_batch(&req),
+    };
+    match result {
         Ok(rec) => {
             let Some(conf) = rec.batch_conf.as_ref() else {
                 eprintln!("internal error: batch request produced no batch configuration");
@@ -191,6 +235,12 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // Under --json downstream parsers still get one complete
+            // document (regression: a shed or bottomed-out request used to
+            // produce no JSON at all).
+            if flags.contains_key("json") {
+                println!("{}", error_value(id, &e, flags.contains_key("report")));
+            }
             eprintln!("recommendation failed: {e}");
             ExitCode::FAILURE
         }
@@ -263,6 +313,45 @@ mod tests {
         assert_eq!(words, vec!["recommend"]);
         assert_eq!(flags.get("workload").map(String::as_str), Some("q2-v0"));
         assert_eq!(flags.get("json").map(String::as_str), Some("true"));
+    }
+
+    #[test]
+    fn shed_error_json_is_valid_and_report_complete() {
+        // Regression: --json --report must emit one parseable document with
+        // every report key present even when the request never solved.
+        let err = Error::Shed { reason: "queue full (depth 4)".into() };
+        let v = error_value("q2-v0", &err, true);
+        let text = serde_json::to_string(&v).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(parsed.get("workload").and_then(|v| v.as_str()), Some("q2-v0"));
+        assert!(matches!(parsed.get("shed"), Some(serde_json::Value::Bool(true))));
+        let report = parsed.get("report").expect("report present");
+        // All counter keys exist, zeroed — not missing.
+        for key in [
+            "mogd_iterations",
+            "pf_probes",
+            "model_inferences",
+            "model_batch_calls",
+            "fallback_transitions",
+        ] {
+            assert_eq!(report.get(key).and_then(|v| v.as_u64()), Some(0), "key {key}");
+        }
+        // The metrics delta carries empty-but-present objects.
+        let metrics = report.get("metrics").expect("metrics present");
+        assert_eq!(metrics.get("counters").and_then(|c| c.as_object()).map(|o| o.len()), Some(0));
+        assert_eq!(
+            metrics.get("histograms").and_then(|h| h.as_object()).map(|o| o.len()),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn non_shed_error_json_marks_shed_false_and_omits_report_when_unasked() {
+        let err = Error::ModelUnavailable("q2-v0/latency".into());
+        let v = error_value("q2-v0", &err, false);
+        assert!(matches!(v.get("shed"), Some(serde_json::Value::Bool(false))));
+        assert!(v.get("report").is_none());
+        assert!(v.get("error").and_then(|e| e.as_str()).unwrap().contains("no trained model"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod pipeline;
 pub mod report;
 pub mod request;
 pub mod resilience;
+pub mod serve;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
 pub use optimizer::{ModelFamily, Recommendation, Udao, UdaoBuilder};
@@ -51,3 +52,4 @@ pub use pipeline::{PipelineRecommendation, PipelineRequest};
 pub use report::{SolveReport, StageTiming};
 pub use request::{BatchRequest, Objective, Request, StreamRequest};
 pub use resilience::{FallbackStage, ModelProvider, ResilienceOptions, RetryPolicy};
+pub use serve::{ResponseHandle, ServingEngine, ServingOptions};

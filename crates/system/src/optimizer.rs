@@ -15,6 +15,7 @@
 use crate::report::SolveReport;
 use crate::request::{BatchRequest, Objective, Request, StreamRequest};
 use crate::resilience::{absorbable, FallbackStage, ModelProvider, ResilienceOptions};
+use crate::serve::ServingOptions;
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::time::Instant;
@@ -29,7 +30,7 @@ use udao_core::space::Configuration;
 use udao_core::{Error, MooProblem, Result};
 use udao_model::dataset::Dataset;
 use udao_model::server::{ModelKey, ModelKind, ModelServer};
-use udao_model::{GpConfig, MlpConfig};
+use udao_model::{CoalescerOptions, GpConfig, InferenceCoalescer, MlpConfig};
 use udao_sparksim::objectives::{BatchObjective, StreamObjective};
 use udao_sparksim::trace::{
     batch_training_data, collect_batch_traces, collect_stream_traces, stream_training_data,
@@ -159,6 +160,8 @@ pub struct UdaoBuilder {
     pf_options: PfOptions,
     pf_variant: PfVariant,
     seed: u64,
+    serving: ServingOptions,
+    coalescer: CoalescerOptions,
 }
 
 impl UdaoBuilder {
@@ -191,6 +194,21 @@ impl UdaoBuilder {
         self
     }
 
+    /// Set the serving-engine policy (worker pool size, queue depth,
+    /// admission control) used by [`crate::serve::ServingEngine`] instances
+    /// started from the built optimizer.
+    pub fn serving(mut self, serving: ServingOptions) -> Self {
+        self.serving = serving;
+        self
+    }
+
+    /// Set the cross-request inference coalescing window (see
+    /// [`udao_model::coalescer`]).
+    pub fn coalescer(mut self, options: CoalescerOptions) -> Self {
+        self.coalescer = options;
+        self
+    }
+
     /// A shareable handle to the model server the built optimizer will
     /// train into — available *before* `build`, so fault-injecting or
     /// caching [`ModelProvider`]s can wrap it.
@@ -208,6 +226,7 @@ impl UdaoBuilder {
     /// answer", which the resilience tests rely on.
     pub fn build(self) -> Result<Udao> {
         validate_options(self.pf_variant, &self.pf_options, &self.resilience)?;
+        self.serving.validate()?;
         let provider = self
             .provider
             .unwrap_or_else(|| self.server.clone() as Arc<dyn ModelProvider>);
@@ -219,6 +238,8 @@ impl UdaoBuilder {
             pf_options: self.pf_options,
             pf_variant: self.pf_variant,
             seed: self.seed,
+            serving: self.serving,
+            coalescer: InferenceCoalescer::new(self.coalescer),
             history: Default::default(),
         })
     }
@@ -275,6 +296,11 @@ pub struct Udao {
     pf_options: PfOptions,
     pf_variant: PfVariant,
     seed: u64,
+    serving: ServingOptions,
+    /// Cross-request inference coalescer shared by every serving engine
+    /// started from this optimizer; dormant (fast-path) until at least two
+    /// engine workers solve concurrently.
+    coalescer: Arc<InferenceCoalescer>,
     /// Raw trace archive per objective name: `(workload id, dataset)` pairs
     /// used for OtterTune-style workload mapping of data-poor online
     /// workloads (§V.1).
@@ -299,6 +325,8 @@ impl Udao {
             pf_options: builder.pf_options,
             pf_variant: builder.pf_variant,
             seed: builder.seed,
+            serving: builder.serving,
+            coalescer: InferenceCoalescer::new(builder.coalescer),
             history: Default::default(),
         }
     }
@@ -316,6 +344,8 @@ impl Udao {
             pf_options,
             pf_variant: PfVariant::ApproxParallel,
             seed: 0xDA0,
+            serving: ServingOptions::default(),
+            coalescer: CoalescerOptions::default(),
         }
     }
 
@@ -373,6 +403,22 @@ impl Udao {
     /// The cluster this optimizer targets.
     pub fn cluster(&self) -> &ClusterSpec {
         &self.cluster
+    }
+
+    /// The serving-engine policy configured at build time.
+    pub fn serving_options(&self) -> &ServingOptions {
+        &self.serving
+    }
+
+    /// The resilience policy configured at build time.
+    pub fn resilience_options(&self) -> &ResilienceOptions {
+        &self.resilience
+    }
+
+    /// The cross-request inference coalescer shared by serving engines
+    /// started from this optimizer.
+    pub fn coalescer(&self) -> &Arc<InferenceCoalescer> {
+        &self.coalescer
     }
 
     /// Collect traces for a batch workload and train per-objective models.
@@ -565,7 +611,10 @@ impl Udao {
             }
             let key = ModelKey::new(request.workload_id.clone(), Objective::name(obj));
             match self.resolve_model(&key, budget)? {
-                Some(model) => models.push(model),
+                // Learned models route through the coalescer so concurrent
+                // engine-served solves can merge their inference batches; a
+                // no-op fast path outside engine concurrency.
+                Some(model) => models.push(self.coalescer.wrap(model)),
                 None => {
                     degraded = true;
                     models.push(obj.heuristic_model());
@@ -853,6 +902,19 @@ impl Udao {
     /// whole solve: the returned [`Recommendation::report`] carries stage
     /// wall-clock and optimizer/model counters for *this* request.
     pub fn recommend<O: Objective>(&self, request: &Request<O>) -> Result<Recommendation> {
+        let limit = request.budget.or(self.resilience.budget);
+        let budget = limit.map(Budget::new).unwrap_or_default();
+        self.recommend_within(request, budget)
+    }
+
+    /// Like [`Udao::recommend`], but solving under an externally started
+    /// [`Budget`]. Serving engines use this so a request's deadline starts
+    /// at *admission* — time spent queued counts against it.
+    pub fn recommend_within<O: Objective>(
+        &self,
+        request: &Request<O>,
+        budget: Budget,
+    ) -> Result<Recommendation> {
         if request.objectives.is_empty() {
             return Err(Error::InvalidConfig("request has no objectives".into()));
         }
@@ -864,7 +926,7 @@ impl Udao {
         let started = Instant::now();
         let (solved, total_seconds) = {
             let _scope_guard = udao_telemetry::enter_scope(scope.clone());
-            let solved = self.solve_request(request, &started)?;
+            let solved = self.solve_request(request, &started, &budget)?;
             if solved.degraded {
                 udao_telemetry::counter(names::DEGRADED_RESULTS).inc();
             }
@@ -903,9 +965,10 @@ impl Udao {
         &self,
         request: &Request<O>,
         started: &Instant,
+        budget: &Budget,
     ) -> Result<Solved> {
         let _request_span = udao_telemetry::span("recommend");
-        let budget = self.resilience.budget.map(Budget::new).unwrap_or_default();
+        let budget = *budget;
         let (problem, mut degraded) = {
             let _models_span = udao_telemetry::span("models");
             self.build_problem(request, &budget)?

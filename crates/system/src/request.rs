@@ -12,6 +12,7 @@ use crate::analytic::{
     BatchCostCoresModel, BatchHeuristicModel, StreamCostCoresModel, StreamHeuristicModel,
 };
 use std::sync::Arc;
+use std::time::Duration;
 use udao_core::recommend::WorkloadClass;
 use udao_core::space::{Configuration, ParamSpace};
 use udao_core::ObjectiveModel;
@@ -117,6 +118,11 @@ pub struct Request<O: Objective> {
     pub workload_class: Option<WorkloadClass>,
     /// Number of Pareto points to request from the Progressive Frontier.
     pub points: usize,
+    /// Optional per-request wall-clock budget, overriding the optimizer's
+    /// [`ResilienceOptions::budget`](crate::ResilienceOptions). Under a
+    /// serving engine the budget starts at *admission*, so queueing time
+    /// counts against it.
+    pub budget: Option<Duration>,
 }
 
 impl<O: Objective> Request<O> {
@@ -129,6 +135,7 @@ impl<O: Objective> Request<O> {
             weights: None,
             workload_class: None,
             points: 12,
+            budget: None,
         }
     }
 
@@ -165,6 +172,12 @@ impl<O: Objective> Request<O> {
         self.points = n;
         self
     }
+
+    /// Set a per-request wall-clock budget.
+    pub fn budget(mut self, limit: Duration) -> Self {
+        self.budget = Some(limit);
+        self
+    }
 }
 
 /// A batch optimization request.
@@ -198,6 +211,15 @@ mod tests {
         assert_eq!(r.objectives.len(), 2);
         assert!(r.weights.is_none());
         assert!(r.workload_class.is_none());
+        assert!(r.budget.is_none());
+    }
+
+    #[test]
+    fn per_request_budget_is_carried() {
+        let r = BatchRequest::new("q2-v0")
+            .objective(BatchObjective::Latency)
+            .budget(Duration::from_millis(750));
+        assert_eq!(r.budget, Some(Duration::from_millis(750)));
     }
 
     #[test]

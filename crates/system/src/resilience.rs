@@ -162,6 +162,9 @@ mod tests {
         assert!(absorbable(&Error::NonFiniteObjective { objective: 0, value: f64::NAN }));
         assert!(!absorbable(&Error::Infeasible("no".into())));
         assert!(!absorbable(&Error::InvalidConfig("bad".into())));
+        // A shed request was never solved: retrying the ladder would just
+        // repeat the admission decision, so shedding must not be absorbed.
+        assert!(!absorbable(&Error::Shed { reason: "queue full".into() }));
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! Concurrent serving engine: a fixed worker pool with a bounded
+//! submission queue, admission control, and graceful drain.
+//!
+//! The paper's serving story (§VI: recommendations in 1–2 s) is stated per
+//! request; a deployed optimizer serves *many* tenants at once. The
+//! [`ServingEngine`] is that front door:
+//!
+//! * **Bounded queue, fixed workers** — [`ServingOptions::workers`] threads
+//!   pull from a queue capped at [`ServingOptions::queue_depth`]; nothing
+//!   in the engine allocates per-request threads, so load cannot fan out
+//!   into unbounded concurrency.
+//! * **Admission control** — a request is *shed* (rejected with the typed
+//!   [`Error::Shed`], never solved, never panicking) when the queue is
+//!   full, the in-flight cap is reached, the engine is draining, or its
+//!   remaining [`Budget`] cannot cover the engine's observed p50 solve
+//!   time. Failing in microseconds beats timing out after seconds: the
+//!   caller can retry against a less loaded engine immediately.
+//! * **Deadlines start at admission** — the request [`Budget`] is started
+//!   when `submit` accepts it, so time spent queued counts against the
+//!   deadline, and a request whose deadline passed while queued is shed at
+//!   dequeue instead of burning a worker.
+//! * **Cross-request batching** — every worker registers with the
+//!   optimizer's [`InferenceCoalescer`](udao_model::InferenceCoalescer)
+//!   while solving, so inference batches from concurrent solves against
+//!   the same served model merge into larger vectorized dispatches.
+//! * **Determinism** — workers run the same seeded
+//!   [`Udao::recommend_within`] path as a serial caller, and the coalescer
+//!   only merges per-point-independent batch evaluations; for a fixed
+//!   request the engine returns bitwise-identical recommendations
+//!   regardless of worker count or co-tenants.
+//! * **Graceful drain** — [`ServingEngine::shutdown`] (and `Drop`) stops
+//!   admissions, lets workers finish everything already queued, and joins
+//!   them; submitted work is never abandoned.
+//!
+//! Telemetry: `serve.queue_depth` (histogram, sampled at every
+//! enqueue/dequeue), `serve.shed`, `serve.admitted`, `serve.completed`,
+//! and `serve.seconds` (admission → response). Each solve still produces
+//! its own exact [`SolveReport`](crate::SolveReport) via the per-request
+//! telemetry scope entered inside `recommend_within` on the worker thread.
+
+use crate::optimizer::{Recommendation, Udao};
+use crate::request::{Objective, Request};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use udao_core::budget::Budget;
+use udao_core::{Error, Result};
+use udao_telemetry::names;
+
+/// Policy for a [`ServingEngine`]: pool size, queue bounds, and admission
+/// control. Configured once on [`crate::UdaoBuilder::serving`].
+#[derive(Debug, Clone)]
+pub struct ServingOptions {
+    /// Worker threads solving requests.
+    pub workers: usize,
+    /// Maximum queued (admitted, not yet started) requests; submissions
+    /// beyond this are shed.
+    pub queue_depth: usize,
+    /// Cap on requests admitted but not yet answered (queued + solving);
+    /// `None` derives `queue_depth + workers` (i.e. the queue bound alone
+    /// governs).
+    pub max_in_flight: Option<usize>,
+    /// Default per-request budget applied when the request carries none.
+    /// `None` falls through to the optimizer's resilience budget.
+    pub default_budget: Option<Duration>,
+    /// Completed-solve window used for the p50 estimate behind
+    /// deadline-aware shedding. Shedding on p50 only engages once a full
+    /// window of observations exists.
+    pub p50_window: usize,
+}
+
+impl Default for ServingOptions {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            queue_depth: 64,
+            max_in_flight: None,
+            default_budget: None,
+            p50_window: 32,
+        }
+    }
+}
+
+impl ServingOptions {
+    /// Set the worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set the submission-queue bound.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Set the default per-request budget.
+    pub fn with_default_budget(mut self, budget: Duration) -> Self {
+        self.default_budget = Some(budget);
+        self
+    }
+
+    /// The effective in-flight cap.
+    pub fn in_flight_cap(&self) -> usize {
+        self.max_in_flight.unwrap_or(self.queue_depth + self.workers)
+    }
+
+    /// Validate the options; shared by [`crate::UdaoBuilder::build`].
+    pub fn validate(&self) -> Result<()> {
+        if self.workers == 0 {
+            return Err(Error::InvalidConfig("serving.workers must be >= 1".into()));
+        }
+        if self.queue_depth == 0 {
+            return Err(Error::InvalidConfig("serving.queue_depth must be >= 1".into()));
+        }
+        if self.max_in_flight == Some(0) {
+            return Err(Error::InvalidConfig("serving.max_in_flight must be >= 1".into()));
+        }
+        if self.p50_window == 0 {
+            return Err(Error::InvalidConfig("serving.p50_window must be >= 1".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Lock a mutex, recovering the data on poison: worker panics are already
+/// isolated into per-request errors, so shared state stays consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One request's response cell: filled exactly once by a worker (or by the
+/// shed path), awaited by the submitter.
+struct ResponseSlot {
+    ready: Mutex<Option<Result<Recommendation>>>,
+    cv: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot { ready: Mutex::new(None), cv: Condvar::new() }
+    }
+
+    fn fulfill(&self, result: Result<Recommendation>) {
+        *lock(&self.ready) = Some(result);
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<Recommendation> {
+        let mut guard = lock(&self.ready);
+        loop {
+            if let Some(result) = guard.take() {
+                return result;
+            }
+            guard = self.cv.wait(guard).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+/// Handle to an admitted request's eventual response.
+pub struct ResponseHandle {
+    slot: Arc<ResponseSlot>,
+}
+
+impl std::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ready = lock(&self.slot.ready).is_some();
+        f.debug_struct("ResponseHandle").field("ready", &ready).finish()
+    }
+}
+
+impl ResponseHandle {
+    /// Block until the request is answered. Returns the recommendation,
+    /// the solve's error, or [`Error::Shed`] if the deadline passed while
+    /// the request was still queued.
+    pub fn wait(self) -> Result<Recommendation> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking poll: `Some` once the response is ready.
+    pub fn try_wait(&self) -> Option<Result<Recommendation>> {
+        lock(&self.slot.ready).take()
+    }
+}
+
+struct Job<O: Objective> {
+    request: Request<O>,
+    budget: Budget,
+    admitted: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+struct QueueState<O: Objective> {
+    queue: VecDeque<Job<O>>,
+    draining: bool,
+}
+
+struct Shared<O: Objective> {
+    udao: Arc<Udao>,
+    options: ServingOptions,
+    state: Mutex<QueueState<O>>,
+    /// Wakes idle workers on enqueue and on drain.
+    cv: Condvar,
+    /// Admitted but not yet answered (queued + solving).
+    in_flight: AtomicUsize,
+    /// Recent solve durations (seconds), newest last; bounded by
+    /// `options.p50_window`.
+    solve_seconds: Mutex<VecDeque<f64>>,
+}
+
+impl<O: Objective> Shared<O> {
+    /// Median of the completed-solve window; `None` until the window is
+    /// full (early estimates from a cold engine are noise).
+    fn p50_solve_time(&self) -> Option<Duration> {
+        let window = lock(&self.solve_seconds);
+        if window.len() < self.options.p50_window {
+            return None;
+        }
+        let mut sorted: Vec<f64> = window.iter().copied().collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(Duration::from_secs_f64(sorted[sorted.len() / 2]))
+    }
+
+    fn record_solve_time(&self, seconds: f64) {
+        let mut window = lock(&self.solve_seconds);
+        window.push_back(seconds);
+        while window.len() > self.options.p50_window {
+            window.pop_front();
+        }
+    }
+
+    fn shed(&self, reason: impl Into<String>) -> Error {
+        udao_telemetry::counter(names::SERVE_SHED).inc();
+        Error::Shed { reason: reason.into() }
+    }
+}
+
+/// The concurrent serving engine; see the module docs.
+///
+/// ```no_run
+/// use udao::{BatchRequest, ServingEngine, Udao};
+/// use udao_sparksim::objectives::BatchObjective;
+/// use udao_sparksim::ClusterSpec;
+/// use std::sync::Arc;
+///
+/// let udao = Arc::new(Udao::builder(ClusterSpec::paper_cluster()).build().unwrap());
+/// let engine: ServingEngine<BatchObjective> = ServingEngine::start(udao);
+/// let req = BatchRequest::new("q2-v0").objective(BatchObjective::CostCores);
+/// let rec = engine.solve(req).unwrap();
+/// # let _ = rec;
+/// ```
+pub struct ServingEngine<O: Objective> {
+    shared: Arc<Shared<O>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<O: Objective> ServingEngine<O> {
+    /// Start an engine over `udao` using its configured
+    /// [`ServingOptions`]; spawns the worker pool immediately.
+    pub fn start(udao: Arc<Udao>) -> Self {
+        let options = udao.serving_options().clone();
+        Self::start_with(udao, options)
+    }
+
+    /// Start an engine with explicit options (validated at
+    /// [`crate::UdaoBuilder::build`] when routed through the builder; an
+    /// invalid `workers == 0` here would simply never answer, so it is
+    /// clamped to one).
+    pub fn start_with(udao: Arc<Udao>, options: ServingOptions) -> Self {
+        let workers = options.workers.max(1);
+        let shared = Arc::new(Shared {
+            udao,
+            options,
+            state: Mutex::new(QueueState { queue: VecDeque::new(), draining: false }),
+            cv: Condvar::new(),
+            in_flight: AtomicUsize::new(0),
+            solve_seconds: Mutex::new(VecDeque::new()),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("udao-serve-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .unwrap_or_else(|e| panic!("failed to spawn serving worker: {e}"))
+            })
+            .collect();
+        ServingEngine { shared, workers: handles }
+    }
+
+    /// The engine's effective options.
+    pub fn options(&self) -> &ServingOptions {
+        &self.shared.options
+    }
+
+    /// Requests admitted but not yet answered.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Submit a request. Returns a handle to the eventual response, or
+    /// [`Error::Shed`] immediately when admission control rejects it.
+    pub fn submit(&self, request: Request<O>) -> Result<ResponseHandle> {
+        let shared = &self.shared;
+        // The budget starts here: queue wait counts against the deadline.
+        let limit = request
+            .budget
+            .or(shared.options.default_budget)
+            .or(shared.udao.resilience_options().budget);
+        let budget = limit.map(Budget::new).unwrap_or_default();
+        if budget.expired() {
+            return Err(shared.shed("request budget already expired at admission"));
+        }
+        if let Some(p50) = shared.p50_solve_time() {
+            if !budget.can_cover(p50) {
+                return Err(shared.shed(format!(
+                    "remaining budget cannot cover p50 solve time ({} ms)",
+                    p50.as_millis()
+                )));
+            }
+        }
+        let cap = shared.options.in_flight_cap();
+        let slot = Arc::new(ResponseSlot::new());
+        {
+            let mut st = lock(&shared.state);
+            if st.draining {
+                return Err(shared.shed("engine is draining"));
+            }
+            if st.queue.len() >= shared.options.queue_depth {
+                return Err(shared
+                    .shed(format!("queue full (depth {})", shared.options.queue_depth)));
+            }
+            if shared.in_flight.load(Ordering::Relaxed) >= cap {
+                return Err(shared.shed(format!("in-flight cap reached ({cap})")));
+            }
+            shared.in_flight.fetch_add(1, Ordering::Relaxed);
+            st.queue.push_back(Job {
+                request,
+                budget,
+                admitted: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+            udao_telemetry::counter(names::SERVE_ADMITTED).inc();
+            udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH).record(st.queue.len() as f64);
+        }
+        shared.cv.notify_one();
+        Ok(ResponseHandle { slot })
+    }
+
+    /// Submit and wait: the synchronous single-call form of
+    /// [`ServingEngine::submit`].
+    pub fn solve(&self, request: Request<O>) -> Result<Recommendation> {
+        self.submit(request)?.wait()
+    }
+
+    /// Graceful drain: stop admitting, finish everything already queued,
+    /// and join the workers. Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.draining = true;
+        }
+        self.shared.cv.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<O: Objective> Drop for ServingEngine<O> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
+    loop {
+        let job = {
+            let mut st = lock(&shared.state);
+            loop {
+                if let Some(job) = st.queue.pop_front() {
+                    udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH)
+                        .record(st.queue.len() as f64);
+                    break Some(job);
+                }
+                if st.draining {
+                    break None;
+                }
+                st = shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let Some(job) = job else {
+            return;
+        };
+        serve_job(shared, job);
+    }
+}
+
+fn serve_job<O: Objective>(shared: &Arc<Shared<O>>, job: Job<O>) {
+    // Deadline re-check at dequeue: a request whose budget died in the
+    // queue is shed here instead of burning a worker on a doomed solve.
+    if job.budget.expired() {
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+        job.slot.fulfill(Err(shared.shed("budget expired while queued")));
+        return;
+    }
+    // While this worker solves, its inference batches may merge with other
+    // in-flight solves' batches against the same served models.
+    let coalesce_guard = shared.udao.coalescer().register_solver();
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        shared.udao.recommend_within(&job.request, job.budget)
+    }));
+    drop(coalesce_guard);
+    let result = outcome.unwrap_or_else(|payload| {
+        let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "opaque panic payload".to_string()
+        };
+        Err(Error::WorkerPanicked(msg))
+    });
+    let elapsed = job.admitted.elapsed().as_secs_f64();
+    if result.is_ok() {
+        shared.record_solve_time(elapsed);
+    }
+    udao_telemetry::counter(names::SERVE_COMPLETED).inc();
+    udao_telemetry::histogram(names::SERVE_SECONDS).record(elapsed);
+    shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    job.slot.fulfill(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_valid() {
+        let opts = ServingOptions::default();
+        assert!(opts.validate().is_ok());
+        assert_eq!(opts.in_flight_cap(), opts.queue_depth + opts.workers);
+    }
+
+    #[test]
+    fn degenerate_options_are_rejected() {
+        assert!(ServingOptions::default().with_workers(0).validate().is_err());
+        assert!(ServingOptions::default().with_queue_depth(0).validate().is_err());
+        let zero_cap = ServingOptions { max_in_flight: Some(0), ..Default::default() };
+        assert!(zero_cap.validate().is_err());
+        let zero_window = ServingOptions { p50_window: 0, ..Default::default() };
+        assert!(zero_window.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_setters_compose() {
+        let opts = ServingOptions::default()
+            .with_workers(2)
+            .with_queue_depth(8)
+            .with_default_budget(Duration::from_millis(500));
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.queue_depth, 8);
+        assert_eq!(opts.default_budget, Some(Duration::from_millis(500)));
+        assert_eq!(opts.in_flight_cap(), 10);
+    }
+
+    #[test]
+    fn response_slot_fulfills_once_and_wakes_waiters() {
+        let slot = Arc::new(ResponseSlot::new());
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || slot.wait())
+        };
+        slot.fulfill(Err(Error::Shed { reason: "test".into() }));
+        let got = waiter.join().expect("waiter thread");
+        assert!(matches!(got, Err(Error::Shed { .. })));
+    }
+}

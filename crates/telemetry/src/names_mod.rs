@@ -54,6 +54,25 @@ pub const MODEL_CACHE_HITS: &str = "model.cache_hits";
 /// MOGD memoization-cache misses (evaluations that went to the model).
 pub const MODEL_CACHE_MISSES: &str = "model.cache_misses";
 
+// --------------------------------------------------------- serving engine
+
+/// Submission-queue depth observed at each enqueue/dequeue (histogram).
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+/// Requests rejected by admission control (queue full, in-flight cap,
+/// draining engine, or a budget that cannot cover the observed p50 solve
+/// time).
+pub const SERVE_SHED: &str = "serve.shed";
+/// Requests admitted into the serving queue.
+pub const SERVE_ADMITTED: &str = "serve.admitted";
+/// Requests completed by engine workers (success or error, shed excluded).
+pub const SERVE_COMPLETED: &str = "serve.completed";
+/// End-to-end seconds from admission to response (queue wait + solve).
+pub const SERVE_SECONDS: &str = "serve.seconds";
+/// Points per coalesced cross-request inference dispatch (histogram; only
+/// recorded when at least two solves are active, i.e. the coalescer left
+/// its single-solver fast path).
+pub const SERVE_COALESCED_BATCH_SIZE: &str = "serve.coalesced_batch_size";
+
 // -------------------------------------------------------------- simulator
 
 /// Batch (Spark SQL) simulator runs.

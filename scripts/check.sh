@@ -4,6 +4,7 @@
 # crates/system/clippy.toml is enforced (see that file for rationale).
 #
 # Usage: scripts/check.sh
+#   CHECK_FAST=1 scripts/check.sh   # smaller bench sizing for smoke runs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -47,5 +48,28 @@ if ! grep -q '"batched_not_slower": true' BENCH_hotpath.json; then
     echo "BENCH_hotpath.json: batched inference is slower than scalar" >&2
     exit 1
 fi
+
+echo "==> serving engine stress tests"
+cargo test -q -p udao --test serving
+
+echo "==> serving throughput bench (1/4/8 workers)"
+cargo run --release -p udao-bench --bin bench_throughput
+if [ ! -s BENCH_throughput.json ]; then
+    echo "BENCH_throughput.json missing or empty" >&2
+    exit 1
+fi
+# The bench binary exits non-zero when 4 workers deliver < 2x the
+# single-worker throughput; re-check the verdict and the latency fields
+# that survived on disk.
+if ! grep -q '"throughput_gate": true' BENCH_throughput.json; then
+    echo "BENCH_throughput.json: 4-worker speedup gate failed" >&2
+    exit 1
+fi
+for field in rps p50_ms p95_ms p99_ms speedup_4x; do
+    if ! grep -q "\"$field\"" BENCH_throughput.json; then
+        echo "BENCH_throughput.json is missing field: $field" >&2
+        exit 1
+    fi
+done
 
 echo "==> all checks passed"

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use udao_core::hyperrect::Rect;
-use udao_core::pareto::{dominates, pareto_filter, uncertain_space, ParetoPoint};
+use udao_core::pareto::{dominates, hypervolume, pareto_filter, uncertain_space, ParetoPoint};
 use udao_core::space::{Configuration, ParamSpace, ParamSpec, ParamValue};
 
 fn objective_vec(k: usize) -> impl Strategy<Value = Vec<f64>> {
@@ -41,6 +41,41 @@ proptest! {
         // Every input point is dominated by or equal to some frontier point.
         for p in &pts {
             prop_assert!(front.iter().any(|q| q.f == p.f || dominates(&q.f, &p.f)));
+        }
+    }
+
+    #[test]
+    fn pareto_filter_is_idempotent(
+        fs in prop::collection::vec(objective_vec(2), 1..40)
+    ) {
+        let pts: Vec<ParetoPoint> =
+            fs.into_iter().map(|f| ParetoPoint::new(vec![0.0], f)).collect();
+        let once = pareto_filter(pts);
+        let twice = pareto_filter(once.clone());
+        // Filtering an already-filtered frontier must be a no-op.
+        prop_assert_eq!(once.len(), twice.len());
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert_eq!(&a.f, &b.f);
+        }
+    }
+
+    #[test]
+    fn hypervolume_is_monotone_under_insertion(
+        fs in prop::collection::vec(objective_vec(2), 1..20),
+        extra in objective_vec(2)
+    ) {
+        let u = [0.0, 0.0];
+        let n = [100.0, 100.0];
+        let base = hypervolume(&fs, &u, &n);
+        prop_assert!((0.0..=1.0).contains(&base), "fraction of the box: {base}");
+        // Adding any point never shrinks the dominated volume...
+        let mut grown = fs.clone();
+        grown.push(extra.clone());
+        let hv_grown = hypervolume(&grown, &u, &n);
+        prop_assert!(hv_grown >= base - 1e-12, "{hv_grown} < {base}");
+        // ...and adding a *dominated* point leaves it exactly unchanged.
+        if fs.iter().any(|f| dominates(f, &extra) || f == &extra) {
+            prop_assert!((hv_grown - base).abs() < 1e-12, "dominated insert changed hv");
         }
     }
 
@@ -174,6 +209,41 @@ proptest! {
             prop_assert!(sol.f[1] <= cost_cap + 0.05, "cost {} cap {}", sol.f[1], cost_cap);
             prop_assert!(sol.x.iter().all(|v| (0.0..=1.0).contains(v)));
         }
+    }
+
+    // Coalescer flush equivalence: with enough registered solvers to defeat
+    // the single-caller fast path, every prediction is routed through the
+    // cross-request batching lane — and must still be bitwise identical to
+    // calling the wrapped model directly, for scalar, batch, and std paths.
+    #[test]
+    fn coalesced_inference_is_bitwise_equal_to_direct(
+        raw in prop::collection::vec(0.0f64..1.0, 2..24)
+    ) {
+        use std::sync::Arc;
+        use udao_core::objective::{FnModel, ObjectiveModel};
+        use udao_model::{CoalescerOptions, InferenceCoalescer};
+
+        let xs: Vec<Vec<f64>> = raw.chunks_exact(2).map(|c| c.to_vec()).collect();
+        let inner: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(2, |x| (7.3 * x[0]).sin() + x[1] * x[1]));
+        let co = InferenceCoalescer::new(CoalescerOptions::default());
+        let wrapped = co.wrap(Arc::clone(&inner));
+        let _g1 = co.register_solver();
+        let _g2 = co.register_solver();
+
+        let mut direct = vec![0.0; xs.len()];
+        inner.predict_batch(&xs, &mut direct);
+        let mut coalesced = vec![0.0; xs.len()];
+        wrapped.predict_batch(&xs, &mut coalesced);
+        // Batch, scalar, and std flushes must all be bitwise exact.
+        for (a, b) in direct.iter().zip(&coalesced) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(inner.predict(&xs[0]).to_bits(), wrapped.predict(&xs[0]).to_bits());
+        prop_assert_eq!(
+            inner.predict_std(&xs[0]).to_bits(),
+            wrapped.predict_std(&xs[0]).to_bits()
+        );
     }
 
     // Adversarial robustness: under models that randomly return NaN/∞,
