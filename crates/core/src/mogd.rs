@@ -146,13 +146,17 @@ impl MemoCache {
     }
 
     /// Clear the cache if `problem` is not the one the cached values were
-    /// computed for.
+    /// computed for. The model-generation stamp joins the pointer identity:
+    /// a hot-swap can free an old model and allocate the new one at the
+    /// same address (ABA), and without the generation the cache would
+    /// replay values computed from the retired weights.
     fn sync_problem(&self, problem: &MooProblem) {
         let fp: Vec<usize> = problem
             .objectives
             .iter()
             .map(|m| Arc::as_ptr(m) as *const () as usize)
             .chain(std::iter::once(problem.dim))
+            .chain(std::iter::once(problem.generation as usize))
             .collect();
         let mut cur = self.fingerprint.lock();
         if *cur != fp {
@@ -805,6 +809,32 @@ mod tests {
         let s2 = mogd.solve(&p2, &co).unwrap().expect("p2 feasible");
         assert!(s2.x[0] > 0.9, "p2 minimizes at 1, got {}", s2.x[0]);
         assert!(s2.f[0] < 0.1, "p2 value is fresh, got {}", s2.f[0]);
+    }
+
+    #[test]
+    fn memo_cache_resets_when_the_model_generation_changes() {
+        let counter: Arc<CountingModel> = Arc::new(CountingModel(AtomicUsize::new(0)));
+        let mogd = Mogd::new(MogdConfig::default());
+        let co = CoProblem::unconstrained(0, 1);
+        // Same model Arc (same address — simulating a hot-swap that reused
+        // a retired model's allocation), different generation stamps.
+        let p1 = MooProblem::new(2, vec![counter.clone() as Arc<dyn ObjectiveModel>])
+            .with_generation(1);
+        let p2 = MooProblem::new(2, vec![counter.clone() as Arc<dyn ObjectiveModel>])
+            .with_generation(2);
+        mogd.solve(&p1, &co).unwrap();
+        let after_first = counter.0.load(Ordering::Relaxed);
+        // A new generation must invalidate, forcing fresh evaluations even
+        // though every pointer in the fingerprint is unchanged.
+        mogd.solve(&p2, &co).unwrap();
+        assert!(
+            counter.0.load(Ordering::Relaxed) > after_first,
+            "generation bump must invalidate the memo cache"
+        );
+        // Same generation again: back to pure cache hits.
+        let hits_baseline = counter.0.load(Ordering::Relaxed);
+        mogd.solve(&p2, &co).unwrap();
+        assert_eq!(counter.0.load(Ordering::Relaxed), hits_baseline);
     }
 
     #[test]

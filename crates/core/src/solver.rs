@@ -59,6 +59,12 @@ pub struct MooProblem {
     pub objectives: Vec<Arc<dyn ObjectiveModel>>,
     /// Optional user constraints `F_i ∈ [F^L_i, F^U_i]`.
     pub constraints: Vec<Bound>,
+    /// Model-generation stamp folded from the pinned versions of every
+    /// learned objective (0 when unversioned). Solvers that memoize model
+    /// evaluations include it in their cache identity, so a hot-swap that
+    /// reuses a retired model's allocation can never replay cached values
+    /// from a different set of weights (pointer-identity ABA).
+    pub generation: u64,
     /// General inequality constraints: each model `g` requires `g(x) ≤ 0`.
     pub inequalities: Vec<Arc<dyn ObjectiveModel>>,
 }
@@ -67,7 +73,20 @@ impl MooProblem {
     /// Build an unconstrained problem.
     pub fn new(dim: usize, objectives: Vec<Arc<dyn ObjectiveModel>>) -> Self {
         let k = objectives.len();
-        Self { dim, objectives, constraints: vec![Bound::FREE; k], inequalities: Vec::new() }
+        Self {
+            dim,
+            objectives,
+            constraints: vec![Bound::FREE; k],
+            inequalities: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Stamp the problem with a model-generation fingerprint (see the
+    /// `generation` field).
+    pub fn with_generation(mut self, generation: u64) -> Self {
+        self.generation = generation;
+        self
     }
 
     /// Attach global objective-value constraints.

@@ -77,6 +77,15 @@ enum Kind {
     Std,
 }
 
+/// Lane identity: the underlying model's `Arc` address, the registry epoch
+/// it was published under, and the call kind. The epoch component closes
+/// the address-reuse (ABA) hole — after a hot-swap frees an old model, the
+/// allocator may hand its address to the *new* version, and an
+/// address-only key would then merge a pinned-old-version solve's points
+/// into a new-version dispatch. Distinct epochs can never share a lane,
+/// whatever the allocator does.
+type LaneKey = (usize, u64, Kind);
+
 /// Lock a mutex, recovering the data on poison: a panicking leader already
 /// converts its failure into per-slot errors, so the shared state stays
 /// consistent.
@@ -144,7 +153,7 @@ pub struct InferenceCoalescer {
     /// Number of registered in-flight solves; below 2 every call takes the
     /// direct fast path.
     active: AtomicUsize,
-    lanes: Mutex<HashMap<(usize, Kind), Arc<Lane>>>,
+    lanes: Mutex<HashMap<LaneKey, Arc<Lane>>>,
 }
 
 /// The inner batched entry point a lane leader dispatches through
@@ -175,17 +184,44 @@ impl InferenceCoalescer {
     }
 
     /// Wrap a served model so its mean/std predictions route through this
-    /// coalescer. The same underlying model instance (by `Arc` identity)
-    /// shares one lane across any number of wrappers, which is what merges
-    /// concurrent requests' batches.
+    /// coalescer, at epoch 0. Prefer [`InferenceCoalescer::wrap_versioned`]
+    /// for models leased from a versioned registry.
     pub fn wrap(
         self: &Arc<Self>,
         model: Arc<dyn ObjectiveModel>,
     ) -> Arc<dyn ObjectiveModel> {
-        Arc::new(CoalescedModel { coalescer: Arc::clone(self), inner: model })
+        self.wrap_versioned(model, 0)
     }
 
-    fn lane(&self, key: (usize, Kind)) -> Arc<Lane> {
+    /// Wrap a served model pinned at a registry `epoch`. Wrappers of the
+    /// same underlying instance **and** the same epoch share one lane —
+    /// that sharing is what merges concurrent requests' batches — while
+    /// wrappers at different epochs never do, even if a hot-swap recycles
+    /// the old model's allocation (see [`LaneKey`]).
+    pub fn wrap_versioned(
+        self: &Arc<Self>,
+        model: Arc<dyn ObjectiveModel>,
+        epoch: u64,
+    ) -> Arc<dyn ObjectiveModel> {
+        Arc::new(CoalescedModel { coalescer: Arc::clone(self), inner: model, epoch })
+    }
+
+    /// Drop lanes with no leader and no pending points — the invalidation
+    /// fan-out a hot-swap or drift retrain calls so stale-epoch lanes do
+    /// not accumulate across swap storms. Busy lanes are left untouched
+    /// (their in-flight batches complete under their pinned version).
+    /// Returns the number of lanes removed.
+    pub fn prune_idle_lanes(&self) -> usize {
+        let mut lanes = lock(&self.lanes);
+        let before = lanes.len();
+        lanes.retain(|_, lane| {
+            let st = lock(&lane.state);
+            st.has_leader || !st.xs.is_empty()
+        });
+        before - lanes.len()
+    }
+
+    fn lane(&self, key: LaneKey) -> Arc<Lane> {
         let mut lanes = lock(&self.lanes);
         Arc::clone(lanes.entry(key).or_insert_with(|| Arc::new(Lane::new())))
     }
@@ -197,7 +233,7 @@ impl InferenceCoalescer {
     /// behaviour as a direct call.
     fn coalesce(
         &self,
-        key: (usize, Kind),
+        key: LaneKey,
         points: &[Vec<f64>],
         dispatch: &BatchDispatch<'_>,
     ) -> Vec<f64> {
@@ -330,15 +366,16 @@ fn credit_scope(batch_calls: u64, inferences: u64) {
 struct CoalescedModel {
     coalescer: Arc<InferenceCoalescer>,
     inner: Arc<dyn ObjectiveModel>,
+    /// Registry epoch the wrapped model was leased at (0 = unversioned).
+    epoch: u64,
 }
 
 impl CoalescedModel {
-    fn key(&self, kind: Kind) -> (usize, Kind) {
-        // Arc identity of the underlying model: wrappers of the same served
-        // model share a lane. An address can only be reused after every Arc
-        // to the old model is gone — at which point no caller can still
-        // enqueue against the old lane — so lanes never mix models.
-        (Arc::as_ptr(&self.inner) as *const () as usize, kind)
+    fn key(&self, kind: Kind) -> LaneKey {
+        // Arc identity + epoch: wrappers of the same served model version
+        // share a lane; different versions never do, even when the
+        // allocator reuses a retired version's address (ABA).
+        (Arc::as_ptr(&self.inner) as *const () as usize, self.epoch, kind)
     }
 
     fn fast_path(&self) -> bool {
@@ -540,6 +577,94 @@ mod tests {
         let fine = coalescer.wrap(quad_model());
         let mut out = [0.0; 1];
         fine.predict_batch(&[vec![0.5, 0.5]], &mut out);
+        assert!(out[0].is_finite());
+    }
+
+    /// Records every dispatched batch so tests can inspect what actually
+    /// reached the inner model together.
+    struct BatchRecorder {
+        batches: std::sync::Mutex<Vec<Vec<Vec<f64>>>>,
+    }
+
+    impl ObjectiveModel for BatchRecorder {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn predict(&self, x: &[f64]) -> f64 {
+            2.0 * x[0]
+        }
+        fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+            self.batches.lock().unwrap().push(xs.to_vec());
+            for (x, o) in xs.iter().zip(out) {
+                *o = 2.0 * x[0];
+            }
+        }
+    }
+
+    /// Regression for the hot-swap ABA hole: a pinned-old-version solve and
+    /// a new-version solve can hold models at the *same address* (the
+    /// allocator reuses a retired version's slot). Lane keys must include
+    /// the epoch so the two never share a dispatch. Identity-only keys fail
+    /// this test: both wrappers map to one lane and versions mix in one
+    /// batch.
+    #[test]
+    fn different_epochs_never_share_a_lane_even_at_one_address() {
+        let recorder = Arc::new(BatchRecorder { batches: std::sync::Mutex::new(Vec::new()) });
+        let inner: Arc<dyn ObjectiveModel> = recorder.clone();
+        for round in 0..20 {
+            let coalescer = InferenceCoalescer::new(CoalescerOptions {
+                max_batch: 64,
+                window: Duration::from_millis(5),
+            });
+            // Same inner Arc (same address — the worst-case reuse), two
+            // epochs: exactly what a swap plus allocator reuse produces.
+            let old = coalescer.wrap_versioned(Arc::clone(&inner), 1);
+            let new = coalescer.wrap_versioned(Arc::clone(&inner), 2);
+            let _a = coalescer.register_solver();
+            let _b = coalescer.register_solver();
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                // Epoch-1 points live in [0, 0.5); epoch-2 in [0.5, 1.0].
+                s.spawn(|| {
+                    barrier.wait();
+                    let xs: Vec<Vec<f64>> =
+                        (0..4).map(|i| vec![0.1 + 0.01 * (round * 4 + i) as f64 % 0.4]).collect();
+                    let mut out = vec![0.0; xs.len()];
+                    old.predict_batch(&xs, &mut out);
+                });
+                s.spawn(|| {
+                    barrier.wait();
+                    let xs: Vec<Vec<f64>> =
+                        (0..4).map(|i| vec![0.6 + 0.01 * (round * 4 + i) as f64 % 0.4]).collect();
+                    let mut out = vec![0.0; xs.len()];
+                    new.predict_batch(&xs, &mut out);
+                });
+            });
+        }
+        for batch in recorder.batches.lock().unwrap().iter() {
+            let olds = batch.iter().filter(|x| x[0] < 0.5).count();
+            assert!(
+                olds == 0 || olds == batch.len(),
+                "a dispatched batch mixed model versions: {batch:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prune_drops_idle_lanes_only() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 64,
+            window: Duration::from_micros(100),
+        });
+        let wrapped = coalescer.wrap_versioned(quad_model(), 1);
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let mut out = [0.0; 1];
+        wrapped.predict_batch(&[vec![0.2, 0.2]], &mut out);
+        assert_eq!(coalescer.prune_idle_lanes(), 1, "quiesced lane pruned");
+        assert_eq!(coalescer.prune_idle_lanes(), 0, "nothing left to prune");
+        // The lane is rebuilt transparently on the next call.
+        wrapped.predict_batch(&[vec![0.4, 0.4]], &mut out);
         assert!(out[0].is_finite());
     }
 

@@ -25,6 +25,7 @@
 
 pub mod coalescer;
 pub mod dataset;
+pub mod drift;
 pub mod features;
 pub mod gp;
 pub mod linalg;
@@ -35,6 +36,7 @@ pub mod transform;
 
 pub use coalescer::{CoalescerOptions, InferenceCoalescer, SolverGuard};
 pub use dataset::Dataset;
+pub use drift::{DriftOptions, DriftVerdict, DriftWindow};
 pub use gp::{Gp, GpConfig};
 pub use mlp::{Ensemble, McDropout, Mlp, MlpConfig};
-pub use server::{ModelKey, ModelKind, ModelServer};
+pub use server::{ModelKey, ModelKind, ModelLease, ModelServer};

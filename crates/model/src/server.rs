@@ -1,19 +1,51 @@
-//! The model server (§V): an asynchronous registry of per-(workload,
-//! objective) predictive models.
+//! The model server (§V): an asynchronous, *versioned* registry of
+//! per-(workload, objective) predictive models.
 //!
-//! The server ingests runtime traces as they arrive, trains models in the
-//! background (here: synchronously on demand — the *interface* is what the
-//! optimizer depends on), checkpoints the best weights, retrains from
+//! The server ingests runtime traces as they arrive, trains models **off
+//! the registry lock**, checkpoints the best weights, retrains from
 //! scratch on large trace updates, and fine-tunes incrementally on small
 //! ones, mirroring the industry practice the paper cites.
+//!
+//! ## Versioned hot-swap
+//!
+//! Each [`ModelKey`] maps to an epoch-stamped model: every publish bumps a
+//! monotonically increasing per-key **version**. Consumers pin a version
+//! for the duration of a solve via [`ModelServer::lease`] — the returned
+//! [`ModelLease`] holds an `Arc` to exactly one trained snapshot, so a
+//! retrain that lands mid-solve can never hand different iterations of one
+//! descent different weights. Swaps are *atomic publish-then-retire*: the
+//! new version becomes visible in one short write-locked store, the old
+//! version is downgraded to a `Weak` in the retired list, and its memory
+//! is reclaimed only when the last pinned lease drops its `Arc`
+//! ([`ModelServer::retired_unreclaimed`] observes this in tests).
+//!
+//! ## Training off-lock
+//!
+//! [`ModelServer::ingest`] holds the registry write lock only to append
+//! traces and snapshot the training inputs, trains on the calling thread
+//! with **no lock held**, then re-locks briefly to compare-and-publish:
+//! a training whose snapshot is older than one already published is
+//! discarded (`model.swap_superseded`) instead of clobbering fresher
+//! weights. [`ModelServer::get`]/[`lease`](ModelServer::lease) therefore
+//! never block behind a retrain — only behind microsecond map operations.
+//!
+//! ## Drift detection
+//!
+//! [`ModelServer::observe`] compares served predictions against observed
+//! (simulated-run) outcomes and keeps rolling relative-residual windows
+//! per key (see [`crate::drift`]). A full window whose mean relative error
+//! exceeds the threshold reports `drifted = true` — the lifecycle loop
+//! answers with [`ModelServer::retrain_now`] and invalidation fan-out
+//! (coalescer lanes, memo-cache generation).
 
 use crate::dataset::Dataset;
+use crate::drift::{DriftOptions, DriftVerdict, DriftWindow};
 use crate::gp::{Gp, GpConfig};
 use crate::mlp::{Ensemble, MlpConfig};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::time::Instant;
 use udao_core::ObjectiveModel;
 use udao_telemetry::{names, Counter};
@@ -54,6 +86,24 @@ impl Default for ModelKind {
     }
 }
 
+/// A pinned model version: the snapshot one solve holds for its entire
+/// duration. The `Arc` keeps the weights alive past any number of swaps;
+/// `version` is the registry epoch the snapshot was published under, and is
+/// what `SolveReport.model_versions` and the coalescer lane keys carry.
+#[derive(Clone)]
+pub struct ModelLease {
+    /// The pinned model snapshot.
+    pub model: Arc<dyn ObjectiveModel>,
+    /// Registry epoch of the snapshot (1-based; bumped on every publish).
+    pub version: u64,
+}
+
+impl std::fmt::Debug for ModelLease {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModelLease").field("version", &self.version).finish()
+    }
+}
+
 /// Threshold (in new traces) above which the server retrains from scratch
 /// instead of fine-tuning; the paper uses 5000 vs 1000 at cluster scale,
 /// scaled down here to simulator trace volumes.
@@ -70,7 +120,9 @@ enum Trained {
 struct Entry {
     data: Dataset,
     kind: ModelKind,
-    model: Option<Arc<dyn ObjectiveModel>>,
+    /// The published model and its version; swapped atomically under the
+    /// registry write lock.
+    current: Option<(Arc<dyn ObjectiveModel>, u64)>,
     trained: Option<Trained>,
     /// Learn in log-target space (positive heavy-tailed objectives).
     log_target: bool,
@@ -79,6 +131,31 @@ struct Entry {
     /// Number of retrains / fine-tunes performed (diagnostics).
     retrains: usize,
     fine_tunes: usize,
+    /// Last published version (0 = never published).
+    version: u64,
+    /// Monotonic snapshot sequence handed to each training job.
+    train_seq: u64,
+    /// Snapshot sequence of the last published training; older jobs are
+    /// discarded at publish time (compare-and-publish).
+    published_seq: u64,
+    /// Weak handles to retired versions: alive exactly while some lease
+    /// still pins them.
+    retired: Vec<Weak<dyn ObjectiveModel>>,
+}
+
+/// A snapshot of everything one training needs, taken under the write lock
+/// and trained with no lock held.
+enum TrainJob {
+    Full { data: Dataset, kind: ModelKind },
+    FineTune { ens: Ensemble, batch: Dataset },
+}
+
+/// What a training produced, ready to publish.
+enum TrainOutcome {
+    Gp(Gp),
+    Dnn(Ensemble),
+    /// Training failed (degenerate data); nothing to publish.
+    None,
 }
 
 /// A served model with inference accounting: every `predict` through a
@@ -135,17 +212,37 @@ fn wrap_model<M: ObjectiveModel + 'static>(model: M, log: bool) -> Arc<dyn Objec
     }
 }
 
-/// The model registry. Thread-safe; clones of the `Arc`-wrapped models are
-/// handed to the MOO layer and stay valid across retrains.
+/// The versioned model registry. Thread-safe; leases hand out `Arc`-pinned
+/// snapshots that stay valid (and bitwise constant) across retrains.
 #[derive(Default)]
 pub struct ModelServer {
     entries: RwLock<HashMap<ModelKey, Entry>>,
+    /// Published-version floor per key, updated *after* each publish
+    /// completes. A lease that begins after reading floor `v` must see
+    /// version `>= v`; anything less is a torn read and counts as
+    /// `model.stale_served`. Kept outside `entries` so the tripwire reads
+    /// from a different lock than the lease it checks.
+    floors: Mutex<HashMap<ModelKey, u64>>,
+    /// Rolling prediction-vs-observed residual windows per key.
+    drift: Mutex<HashMap<ModelKey, DriftWindow>>,
+    drift_options: RwLock<DriftOptions>,
 }
 
 impl ModelServer {
     /// Create an empty server.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Replace the drift-detection policy (applies to subsequent
+    /// [`ModelServer::observe`] calls).
+    pub fn set_drift_options(&self, options: DriftOptions) {
+        *self.drift_options.write() = options;
+    }
+
+    /// The current drift-detection policy.
+    pub fn drift_options(&self) -> DriftOptions {
+        *self.drift_options.read()
     }
 
     /// Declare a model for `key` with the given family. Idempotent; the
@@ -167,76 +264,228 @@ impl ModelServer {
         self.entries.write().entry(key).or_insert_with(|| Entry {
             data: Dataset::default(),
             kind,
-            model: None,
+            current: None,
             trained: None,
             log_target,
             pending: 0,
             retrains: 0,
             fine_tunes: 0,
+            version: 0,
+            train_seq: 0,
+            published_seq: 0,
+            retired: Vec::new(),
         });
     }
 
     /// Ingest a batch of traces for `key` and update its model: a full
     /// retrain if the entry is untrained or the pending volume crossed
-    /// [`RETRAIN_THRESHOLD`], an incremental fine-tune otherwise.
+    /// [`RETRAIN_THRESHOLD`], an incremental fine-tune otherwise. Training
+    /// runs on the calling thread with **no registry lock held**; see the
+    /// module docs for the snapshot → train → compare-and-publish
+    /// protocol.
     pub fn ingest(&self, key: &ModelKey, batch: &Dataset) {
-        let mut entries = self.entries.write();
-        let Some(e) = entries.get_mut(key) else { return };
-        // Log-target entries store and train on ln(y); targets are clamped
-        // at a tiny positive value to survive degenerate traces.
-        let batch = if e.log_target {
-            Dataset::new(batch.x.clone(), batch.y.iter().map(|v| v.max(1e-9).ln()).collect())
-        } else {
-            batch.clone()
+        self.ingest_inner(key, batch, false);
+    }
+
+    /// Ingest `batch` (possibly empty) and force a full retrain from the
+    /// entry's complete trace archive — the drift-triggered path. Returns
+    /// `true` if a model was published.
+    pub fn retrain_now(&self, key: &ModelKey, batch: &Dataset) -> bool {
+        self.ingest_inner(key, batch, true)
+    }
+
+    fn ingest_inner(&self, key: &ModelKey, batch: &Dataset, force_full: bool) -> bool {
+        let started = Instant::now();
+        // Phase 1 (locked, short): append traces, snapshot training inputs.
+        let (job, log, seq, full) = {
+            let mut entries = self.entries.write();
+            let Some(e) = entries.get_mut(key) else { return false };
+            // Log-target entries store and train on ln(y); targets are
+            // clamped at a tiny positive value to survive degenerate traces.
+            let batch = if e.log_target {
+                Dataset::new(batch.x.clone(), batch.y.iter().map(|v| v.max(1e-9).ln()).collect())
+            } else {
+                batch.clone()
+            };
+            e.data.extend(&batch);
+            e.pending += batch.len();
+            if e.data.is_empty() {
+                return false;
+            }
+            let need_full = force_full || e.trained.is_none() || e.pending >= RETRAIN_THRESHOLD;
+            e.train_seq += 1;
+            let seq = e.train_seq;
+            let job = match (&e.trained, need_full) {
+                (Some(Trained::Dnn(ens)), false) => TrainJob::FineTune { ens: ens.clone(), batch },
+                // Full (re)train; GPs are always refit exactly.
+                _ => TrainJob::Full { data: e.data.clone(), kind: e.kind.clone() },
+            };
+            if need_full {
+                e.pending = 0;
+            }
+            (job, e.log_target, seq, need_full)
         };
-        e.data.extend(&batch);
-        e.pending += batch.len();
-        if e.data.is_empty() {
-            return;
-        }
-        let log = e.log_target;
-        let need_full = e.trained.is_none() || e.pending >= RETRAIN_THRESHOLD;
-        match (&mut e.trained, need_full) {
-            (Some(Trained::Dnn(ens)), false) => {
+        // Phase 2 (no lock): train. `get`/`lease` stay answerable while
+        // this runs, serving the previous version.
+        let outcome = match job {
+            TrainJob::FineTune { mut ens, batch } => {
                 ens.fine_tune(&batch, FINE_TUNE_EPOCHS);
+                TrainOutcome::Dnn(ens)
+            }
+            TrainJob::Full { data, kind } => match kind {
+                ModelKind::Gp(cfg) => {
+                    Gp::fit(&data, &cfg).map(TrainOutcome::Gp).unwrap_or(TrainOutcome::None)
+                }
+                ModelKind::Dnn { config, members } => Ensemble::fit(&data, &config, members)
+                    .map(TrainOutcome::Dnn)
+                    .unwrap_or(TrainOutcome::None),
+            },
+        };
+        // Phase 3 (locked, short): compare-and-publish.
+        self.publish(key, outcome, log, seq, full, started)
+    }
+
+    /// Atomically publish a training outcome for `key` unless a training
+    /// with a newer snapshot already published (`seq` comparison). Retires
+    /// the previous version (demoted to a `Weak`) and bumps the epoch.
+    fn publish(
+        &self,
+        key: &ModelKey,
+        outcome: TrainOutcome,
+        log: bool,
+        seq: u64,
+        full: bool,
+        started: Instant,
+    ) -> bool {
+        let (wrapped, trained) = match outcome {
+            TrainOutcome::Gp(gp) => (wrap_model(gp, log), Trained::Gp),
+            TrainOutcome::Dnn(ens) => (wrap_model(ens.clone(), log), Trained::Dnn(ens)),
+            TrainOutcome::None => return false,
+        };
+        let version = {
+            let mut entries = self.entries.write();
+            let Some(e) = entries.get_mut(key) else { return false };
+            if seq <= e.published_seq {
+                // A training snapshotted after ours already published:
+                // ours would roll fresher weights back. Discard it.
+                udao_telemetry::counter(names::MODEL_SWAP_SUPERSEDED).inc();
+                return false;
+            }
+            let swapping = if let Some((old, _)) = e.current.take() {
+                e.retired.push(Arc::downgrade(&old));
+                true
+            } else {
+                false
+            };
+            // Drop weaks whose versions have been fully reclaimed so the
+            // retired list stays bounded by the number of live pins.
+            e.retired.retain(|w| w.strong_count() > 0);
+            e.version += 1;
+            e.published_seq = seq;
+            e.current = Some((wrapped, e.version));
+            e.trained = Some(trained);
+            if full {
+                e.retrains += 1;
+                udao_telemetry::counter(names::MODEL_RETRAINS).inc();
+            } else {
                 e.fine_tunes += 1;
                 udao_telemetry::counter(names::MODEL_FINE_TUNES).inc();
-                e.model = Some(wrap_model(ens.clone(), log));
             }
-            _ => {
-                // Full (re)train; GPs are always refit exactly.
-                match &e.kind {
-                    ModelKind::Gp(cfg) => {
-                        if let Some(gp) = Gp::fit(&e.data, cfg) {
-                            e.model = Some(wrap_model(gp, log));
-                            e.trained = Some(Trained::Gp);
-                            e.retrains += 1;
-                            udao_telemetry::counter(names::MODEL_RETRAINS).inc();
-                        }
-                    }
-                    ModelKind::Dnn { config, members } => {
-                        if let Some(ens) = Ensemble::fit(&e.data, config, *members) {
-                            e.model = Some(wrap_model(ens.clone(), log));
-                            e.trained = Some(Trained::Dnn(ens));
-                            e.retrains += 1;
-                            udao_telemetry::counter(names::MODEL_RETRAINS).inc();
-                        }
-                    }
-                }
+            if swapping {
+                udao_telemetry::counter(names::MODEL_SWAPS).inc();
+            }
+            e.version
+        };
+        // The floor trails the publish: a lease that starts after this
+        // store must observe at least `version`.
+        self.floors.lock().insert(key.clone(), version);
+        udao_telemetry::histogram(names::MODEL_SWAP_SECONDS)
+            .record_duration(started.elapsed());
+        true
+    }
+
+    /// Pin the current model version for `key`: the returned lease holds
+    /// one epoch-stamped snapshot for as long as the caller keeps it — a
+    /// solve that leases at admission sees exactly one set of weights for
+    /// its entire descent, regardless of concurrent swaps.
+    pub fn lease(&self, key: &ModelKey) -> Option<ModelLease> {
+        let started = Instant::now();
+        // Torn-read tripwire: any version published before this load must
+        // be visible to the lease below (the load precedes the read lock).
+        let floor = self.floors.lock().get(key).copied().unwrap_or(0);
+        let lease = self
+            .entries
+            .read()
+            .get(key)
+            .and_then(|e| e.current.clone())
+            .map(|(model, version)| ModelLease { model, version });
+        udao_telemetry::counter(names::MODEL_LOOKUPS).inc();
+        udao_telemetry::histogram(names::MODEL_LOOKUP_SECONDS).record_duration(started.elapsed());
+        if let Some(l) = &lease {
+            udao_telemetry::histogram(names::MODEL_VERSION).record(l.version as f64);
+            if l.version < floor {
+                udao_telemetry::counter(names::MODEL_STALE_SERVED).inc();
             }
         }
-        if need_full {
-            e.pending = 0;
-        }
+        lease
     }
 
     /// Retrieve the current model for `key`, if one has been trained.
+    /// Unversioned convenience over [`ModelServer::lease`].
     pub fn get(&self, key: &ModelKey) -> Option<Arc<dyn ObjectiveModel>> {
-        let started = Instant::now();
-        let model = self.entries.read().get(key).and_then(|e| e.model.clone());
-        udao_telemetry::counter(names::MODEL_LOOKUPS).inc();
-        udao_telemetry::histogram(names::MODEL_LOOKUP_SECONDS).record_duration(started.elapsed());
-        model
+        self.lease(key).map(|l| l.model)
+    }
+
+    /// The currently published version for `key` (0 = none yet).
+    pub fn current_version(&self, key: &ModelKey) -> u64 {
+        self.entries.read().get(key).map(|e| e.version).unwrap_or(0)
+    }
+
+    /// Retired versions of `key` still pinned by at least one live lease.
+    /// Returns 0 once every old lease has dropped — `Arc` reclamation is
+    /// the epoch-based garbage collection.
+    pub fn retired_unreclaimed(&self, key: &ModelKey) -> usize {
+        self.entries
+            .read()
+            .get(key)
+            .map(|e| e.retired.iter().filter(|w| w.strong_count() > 0).count())
+            .unwrap_or(0)
+    }
+
+    /// Record one observed outcome for `key`: compares the served model's
+    /// prediction at `x` against the observed value `y` (raw objective
+    /// space) and updates the rolling drift window. Returns `None` when no
+    /// model is published yet. The prediction runs with no registry lock
+    /// held.
+    pub fn observe(&self, key: &ModelKey, x: &[f64], y: f64) -> Option<DriftVerdict> {
+        let (model, _version) = self.entries.read().get(key).and_then(|e| e.current.clone())?;
+        // Served models predict in raw space (log-target entries answer
+        // through their exp transform), so the residual is raw-vs-raw.
+        let predicted = model.predict(x);
+        let residual = DriftWindow::residual(predicted, y);
+        let opts = *self.drift_options.read();
+        let verdict = self
+            .drift
+            .lock()
+            .entry(key.clone())
+            .or_default()
+            .record(residual, &opts);
+        udao_telemetry::histogram(names::MODEL_DRIFT_SCORE).record(verdict.score);
+        Some(verdict)
+    }
+
+    /// The current windowed drift score for `key`, if any observations
+    /// have been recorded since the last reset.
+    pub fn drift_score(&self, key: &ModelKey) -> Option<f64> {
+        self.drift.lock().get(key).and_then(|w| w.score())
+    }
+
+    /// Forget `key`'s drift window (a freshly retrained model starts with
+    /// a clean slate).
+    pub fn reset_drift(&self, key: &ModelKey) {
+        if let Some(w) = self.drift.lock().get_mut(key) {
+            w.reset();
+        }
     }
 
     /// Number of traces held for `key`.
@@ -342,6 +591,8 @@ mod tests {
         server.ingest(&key, &line_data(5, 1.0));
         assert!(server.get(&key).is_none());
         assert_eq!(server.trace_count(&key), 0);
+        assert_eq!(server.current_version(&key), 0);
+        assert!(server.observe(&key, &[0.5], 1.0).is_none());
     }
 
     #[test]
@@ -361,6 +612,8 @@ mod tests {
         assert_eq!(server.training_stats(&key), (1, 1));
         server.ingest(&key, &line_data(250, 5.0)); // large: retrain
         assert_eq!(server.training_stats(&key), (2, 1));
+        // Every publish bumped the version.
+        assert_eq!(server.current_version(&key), 3);
     }
 
     #[test]
@@ -377,6 +630,117 @@ mod tests {
         // The registry serves the new one.
         let new = server.get(&key).unwrap();
         assert!((new.predict(&[0.5]) - before).abs() > 0.5);
+    }
+
+    #[test]
+    fn leases_pin_versions_and_retire_after_last_drop() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q3", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(15, 3.0));
+        let lease_v1 = server.lease(&key).expect("v1 published");
+        assert_eq!(lease_v1.version, 1);
+        let before = lease_v1.model.predict(&[0.5]);
+
+        // Swap to v2 while v1 is pinned.
+        server.ingest(&key, &line_data(250, -3.0));
+        assert_eq!(server.current_version(&key), 2);
+        assert_eq!(server.lease(&key).unwrap().version, 2);
+        // The pinned lease still answers with v1's exact bits.
+        assert_eq!(lease_v1.model.predict(&[0.5]).to_bits(), before.to_bits());
+        // v1 is retired but not reclaimed while the lease lives.
+        assert_eq!(server.retired_unreclaimed(&key), 1);
+        drop(lease_v1);
+        assert_eq!(server.retired_unreclaimed(&key), 0, "last pin dropped -> reclaimed");
+    }
+
+    #[test]
+    fn swap_counters_track_replacements_only() {
+        let reg = udao_telemetry::global();
+        let swaps_before = reg.counter(names::MODEL_SWAPS).get();
+        let server = ModelServer::new();
+        let key = ModelKey::new("q4", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(15, 3.0)); // initial publish: not a swap
+        assert_eq!(reg.counter(names::MODEL_SWAPS).get(), swaps_before);
+        server.ingest(&key, &line_data(250, 2.0)); // replacement: a swap
+        assert_eq!(reg.counter(names::MODEL_SWAPS).get(), swaps_before + 1);
+    }
+
+    #[test]
+    fn drift_observation_triggers_on_shifted_ground_truth() {
+        let server = ModelServer::new();
+        server.set_drift_options(DriftOptions { window: 8, threshold: 0.3 });
+        let key = ModelKey::new("q6", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(20, 5.0)); // learns y = 2 + 5x
+        // Outcomes matching the model: no drift.
+        for i in 0..16 {
+            let x = i as f64 / 15.0;
+            let v = server.observe(&key, &[x], 2.0 + 5.0 * x).expect("model published");
+            assert!(!v.drifted, "accurate outcomes must not trigger");
+        }
+        assert!(server.drift_score(&key).unwrap_or(1.0) < 0.3);
+        // Ground truth shifts: y = 10 + 5x. Observations now miss badly.
+        let mut fired = false;
+        for i in 0..16 {
+            let x = i as f64 / 15.0;
+            if server.observe(&key, &[x], 10.0 + 5.0 * x).expect("model").drifted {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "shifted ground truth must cross the drift threshold");
+        // The window reset on trigger.
+        assert!(server.drift_score(&key).is_none());
+        // retrain_now republishes from the full archive.
+        let v_before = server.current_version(&key);
+        assert!(server.retrain_now(&key, &line_data(10, 5.0)));
+        assert_eq!(server.current_version(&key), v_before + 1);
+    }
+
+    #[test]
+    fn retrain_now_without_new_traces_still_republishes() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q8", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(15, 3.0));
+        assert!(server.retrain_now(&key, &Dataset::default()));
+        assert_eq!(server.current_version(&key), 2);
+        assert_eq!(server.training_stats(&key).0, 2);
+    }
+
+    #[test]
+    fn concurrent_ingests_publish_monotone_versions() {
+        let server = Arc::new(ModelServer::new());
+        let key = ModelKey::new("q10", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(12, 1.0));
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let server = Arc::clone(&server);
+                let key = key.clone();
+                s.spawn(move || {
+                    for i in 0..6 {
+                        server.retrain_now(&key, &line_data(4, t as f64 + i as f64));
+                    }
+                });
+            }
+            // Reads race the publishes and must always see a whole model.
+            let server = Arc::clone(&server);
+            let key = key.clone();
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..200 {
+                    if let Some(l) = server.lease(&key) {
+                        assert!(l.version >= last, "versions move forward");
+                        last = l.version;
+                        assert!(l.model.predict(&[0.5]).is_finite());
+                    }
+                }
+            });
+        });
+        assert!(server.current_version(&key) >= 2);
     }
 
     #[test]

@@ -332,10 +332,16 @@ mod tests {
             "pf_probes",
             "model_inferences",
             "model_batch_calls",
+            "stale_served",
             "fallback_transitions",
         ] {
             assert_eq!(report.get(key).and_then(|v| v.as_u64()), Some(0), "key {key}");
         }
+        // Lifecycle fields present even for never-solved requests.
+        assert!(
+            report.get("model_versions").and_then(|v| v.as_object()).is_some(),
+            "model_versions present"
+        );
         // The metrics delta carries empty-but-present objects.
         let metrics = report.get("metrics").expect("metrics present");
         assert_eq!(metrics.get("counters").and_then(|c| c.as_object()).map(|o| o.len()), Some(0));

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod lifecycle;
 pub mod optimizer;
 pub mod pipeline;
 pub mod report;
@@ -47,6 +48,7 @@ pub mod resilience;
 pub mod serve;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
+pub use lifecycle::{LifecycleManager, LifecycleOptions, LifecycleStats};
 pub use optimizer::{ModelFamily, Recommendation, Udao, UdaoBuilder};
 pub use pipeline::{PipelineRecommendation, PipelineRequest};
 pub use report::{SolveReport, StageTiming};

@@ -29,7 +29,7 @@ use udao_core::solver::{Bound, CoProblem, CoSolver};
 use udao_core::space::Configuration;
 use udao_core::{Error, MooProblem, Result};
 use udao_model::dataset::Dataset;
-use udao_model::server::{ModelKey, ModelKind, ModelServer};
+use udao_model::server::{ModelKey, ModelKind, ModelLease, ModelServer};
 use udao_model::{CoalescerOptions, GpConfig, InferenceCoalescer, MlpConfig};
 use udao_sparksim::objectives::{BatchObjective, StreamObjective};
 use udao_sparksim::trace::{
@@ -115,6 +115,12 @@ struct MooSelection {
     degraded: bool,
 }
 
+/// What [`Udao::build_problem`] assembles for one request: the encoded
+/// MOO problem, whether any objective degraded to its heuristic prior,
+/// and the `(objective name, pinned model version)` pairs for every
+/// learned objective (0 = heuristic/unversioned).
+type BuiltProblem = (MooProblem, bool, Vec<(String, u64)>);
+
 /// The solve core's output, before report assembly.
 struct Solved {
     sel: MooSelection,
@@ -122,6 +128,10 @@ struct Solved {
     snapped: Vec<f64>,
     predicted: Vec<f64>,
     configuration: Configuration,
+    /// `(objective name, pinned model version)` per learned objective —
+    /// exactly the versions this solve's problem was built against
+    /// (version 0 = heuristic/unversioned).
+    model_versions: Vec<(String, u64)>,
 }
 
 /// Run `f` isolating panics into [`Error::WorkerPanicked`], so a poisoned
@@ -542,13 +552,10 @@ impl Udao {
         }
     }
 
-    /// Fetch a trained model with bounded retry + exponential backoff on
-    /// transient provider failures. Backoff sleeps never outlive `budget`.
-    fn fetch_model(
-        &self,
-        key: &ModelKey,
-        budget: &Budget,
-    ) -> Result<Option<Arc<dyn ObjectiveModel>>> {
+    /// Fetch a trained model as a version-pinned lease, with bounded retry
+    /// and exponential backoff on transient provider failures. Backoff
+    /// sleeps never outlive `budget`.
+    fn fetch_model(&self, key: &ModelKey, budget: &Budget) -> Result<Option<ModelLease>> {
         let retry = &self.resilience.retry;
         let mut last: Option<Error> = None;
         for attempt in 0..retry.attempts.max(1) {
@@ -563,7 +570,7 @@ impl Udao {
                 }
                 std::thread::sleep(pause);
             }
-            match self.provider.fetch(key) {
+            match self.provider.lease(key) {
                 Ok(found) => return Ok(found),
                 Err(e) => last = Some(e),
             }
@@ -574,11 +581,7 @@ impl Udao {
     /// Resolve the model for one learned objective: retried lookup, then —
     /// when cold-start degradation is enabled — the analytic heuristic
     /// prior. `Ok(None)` means "degrade to the heuristic".
-    fn resolve_model(
-        &self,
-        key: &ModelKey,
-        budget: &Budget,
-    ) -> Result<Option<Arc<dyn ObjectiveModel>>> {
+    fn resolve_model(&self, key: &ModelKey, budget: &Budget) -> Result<Option<ModelLease>> {
         match self.fetch_model(key, budget) {
             Ok(Some(model)) => Ok(Some(model)),
             Ok(None) if self.resilience.cold_start_analytic => Ok(None),
@@ -594,44 +597,67 @@ impl Udao {
     }
 
     /// Build the MOO problem for a request from the model server's current
-    /// models (analytic objectives are served exactly, without lookup).
-    /// The flag reports whether any objective degraded to a heuristic.
+    /// models (analytic objectives are served exactly, without lookup);
+    /// see [`BuiltProblem`] for the shape of the result.
+    /// Each learned objective's model version is **pinned here, once, for
+    /// the whole solve** — the lease's `Arc` keeps those exact weights
+    /// alive through any number of concurrent hot-swaps, and the problem's
+    /// generation stamp (folded from the pinned versions) keys the MOGD
+    /// memo cache to them. The flag reports whether any objective degraded
+    /// to a heuristic; the version list records `(objective, version)` per
+    /// learned objective (0 = heuristic/unversioned).
     fn build_problem<O: Objective>(
         &self,
         request: &Request<O>,
         budget: &Budget,
-    ) -> Result<(MooProblem, bool)> {
+    ) -> Result<BuiltProblem> {
         let space = O::space();
         let mut models: Vec<Arc<dyn ObjectiveModel>> = Vec::new();
         let mut degraded = false;
+        let mut versions: Vec<(String, u64)> = Vec::new();
+        // FNV-1a fold of the pinned versions: any swap between two builds
+        // changes the stamp, so memoized evaluations never cross versions
+        // even if the allocator reuses a retired model's address.
+        let mut generation: u64 = 0xcbf2_9ce4_8422_2325;
         for obj in &request.objectives {
             if let Some(analytic) = obj.analytic_model() {
                 models.push(analytic);
                 continue;
             }
             let key = ModelKey::new(request.workload_id.clone(), Objective::name(obj));
-            match self.resolve_model(&key, budget)? {
+            let version = match self.resolve_model(&key, budget)? {
                 // Learned models route through the coalescer so concurrent
-                // engine-served solves can merge their inference batches; a
-                // no-op fast path outside engine concurrency.
-                Some(model) => models.push(self.coalescer.wrap(model)),
+                // engine-served solves against the *same version* can merge
+                // their inference batches; a no-op fast path outside engine
+                // concurrency. The lane key carries the epoch, so a pinned
+                // old version never batches with a freshly swapped one.
+                Some(lease) => {
+                    models.push(self.coalescer.wrap_versioned(lease.model, lease.version));
+                    lease.version
+                }
                 None => {
                     degraded = true;
                     models.push(obj.heuristic_model());
+                    0
                 }
-            }
+            };
+            versions.push((Objective::name(obj).to_string(), version));
+            generation = (generation ^ version).wrapping_mul(0x100_0000_01b3);
         }
         let constraints = request
             .constraints
             .iter()
             .map(|c| c.map(|(lo, hi)| Bound::new(lo, hi)).unwrap_or(Bound::FREE))
             .collect();
-        Ok((MooProblem::new(space.encoded_dim(), models).with_constraints(constraints), degraded))
+        let problem = MooProblem::new(space.encoded_dim(), models)
+            .with_constraints(constraints)
+            .with_generation(generation);
+        Ok((problem, degraded, versions))
     }
 
     /// Build the MOO problem for a request (unlimited budget).
     pub fn problem<O: Objective>(&self, request: &Request<O>) -> Result<MooProblem> {
-        self.build_problem(request, &Budget::unlimited()).map(|(p, _)| p)
+        self.build_problem(request, &Budget::unlimited()).map(|(p, _, _)| p)
     }
 
     /// Build the MOO problem for a batch request (unlimited budget).
@@ -933,13 +959,14 @@ impl Udao {
             let total_seconds = started.elapsed().as_secs_f64();
             (solved, total_seconds)
         };
-        let report = SolveReport::from_delta(
+        let mut report = SolveReport::from_delta(
             request.workload_id.clone(),
             solved.sel.stage,
             solved.degraded,
             total_seconds,
             scope.snapshot(),
         );
+        report.model_versions = solved.model_versions.clone();
         let (batch_conf, stream_conf) = O::typed_confs(&solved.configuration);
         Ok(Recommendation {
             batch_conf,
@@ -969,7 +996,7 @@ impl Udao {
     ) -> Result<Solved> {
         let _request_span = udao_telemetry::span("recommend");
         let budget = *budget;
-        let (problem, mut degraded) = {
+        let (problem, mut degraded, model_versions) = {
             let _models_span = udao_telemetry::span("models");
             self.build_problem(request, &budget)?
         };
@@ -1007,7 +1034,7 @@ impl Udao {
             Self::snap_resilient(&problem, &space, &sel, &mut degraded)?
         };
         let configuration = space.decode(&snapped)?;
-        Ok(Solved { sel, degraded, snapped, predicted, configuration })
+        Ok(Solved { sel, degraded, snapped, predicted, configuration, model_versions })
     }
 
     /// Handle a batch request end-to-end; see [`Udao::recommend`].

@@ -54,6 +54,14 @@ pub struct SolveReport {
     pub model_cache_misses: u64,
     /// Model-server lookups.
     pub model_lookups: u64,
+    /// `(objective name, pinned model version)` per learned objective of
+    /// the request — exactly one version per key for the whole solve
+    /// (version 0 = heuristic/unversioned provider).
+    pub model_versions: Vec<(String, u64)>,
+    /// Torn model reads observed while serving this request: leases that
+    /// returned a version older than one already published before the
+    /// lease began. Must be 0; `bench_lifecycle` gates on it.
+    pub stale_served: u64,
     /// Resilience-ladder descents taken while serving the request.
     pub fallback_transitions: u64,
     /// Stage wall-clock extracted from span histograms, sorted by path.
@@ -95,6 +103,8 @@ impl SolveReport {
             model_cache_hits: delta.counter(names::MODEL_CACHE_HITS),
             model_cache_misses: delta.counter(names::MODEL_CACHE_MISSES),
             model_lookups: delta.counter(names::MODEL_LOOKUPS),
+            model_versions: Vec::new(),
+            stale_served: delta.counter(names::MODEL_STALE_SERVED),
             fallback_transitions: delta.counter(names::FALLBACK_TRANSITIONS),
             stages,
             metrics: delta,
@@ -140,6 +150,16 @@ impl SolveReport {
             ("model_cache_hits".to_string(), Value::UInt(self.model_cache_hits)),
             ("model_cache_misses".to_string(), Value::UInt(self.model_cache_misses)),
             ("model_lookups".to_string(), Value::UInt(self.model_lookups)),
+            (
+                "model_versions".to_string(),
+                Value::Object(
+                    self.model_versions
+                        .iter()
+                        .map(|(name, v)| (name.clone(), Value::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+            ("stale_served".to_string(), Value::UInt(self.stale_served)),
             (
                 "fallback_transitions".to_string(),
                 Value::UInt(self.fallback_transitions),
@@ -195,6 +215,20 @@ impl SolveReport {
             "  cache:  {} hits, {} misses",
             self.model_cache_hits, self.model_cache_misses
         );
+        if !self.model_versions.is_empty() || self.stale_served > 0 {
+            let versions = self
+                .model_versions
+                .iter()
+                .map(|(name, v)| format!("{name}=v{v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = writeln!(
+                out,
+                "  models: {} (stale served: {})",
+                if versions.is_empty() { "-".to_string() } else { versions },
+                self.stale_served
+            );
+        }
         let _ = write!(
             out,
             "  ladder: {} transitions",
@@ -268,5 +302,24 @@ mod tests {
         assert_eq!(report.mogd_iterations, 0);
         assert!(report.stages.is_empty());
         assert!(!report.degraded);
+        assert!(report.model_versions.is_empty());
+        assert_eq!(report.stale_served, 0);
+    }
+
+    #[test]
+    fn model_versions_and_stale_served_surface_in_json_and_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter(names::MODEL_STALE_SERVED).add(2);
+        let mut report =
+            SolveReport::from_delta("q2-v0", FallbackStage::Primary, false, 0.1, reg.snapshot());
+        report.model_versions = vec![("latency".into(), 3)];
+        assert_eq!(report.stale_served, 2);
+        let v = report.to_value();
+        assert_eq!(v.get("stale_served").and_then(Value::as_u64), Some(2));
+        let versions = v.get("model_versions").expect("versions present");
+        assert_eq!(versions.get("latency").and_then(Value::as_u64), Some(3));
+        let text = report.render();
+        assert!(text.contains("latency=v3"), "{text}");
+        assert!(text.contains("stale served: 2"), "{text}");
     }
 }

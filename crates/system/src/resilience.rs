@@ -23,7 +23,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 use udao_core::{Error, ObjectiveModel, Result};
-use udao_model::server::{ModelKey, ModelServer};
+use udao_model::server::{ModelKey, ModelLease, ModelServer};
 
 /// Bounded retry with exponential backoff for transient model-server
 /// failures.
@@ -112,11 +112,24 @@ impl ResilienceOptions {
 pub trait ModelProvider: Send + Sync {
     /// Fetch the current model for `key`.
     fn fetch(&self, key: &ModelKey) -> Result<Option<Arc<dyn ObjectiveModel>>>;
+
+    /// Fetch the current model for `key` as a version-pinned lease. The
+    /// default delegates to [`fetch`](Self::fetch) at version 0, so
+    /// providers that know nothing about versions (fault injectors, remote
+    /// stubs) keep working; the [`ModelServer`] override reports real
+    /// registry epochs.
+    fn lease(&self, key: &ModelKey) -> Result<Option<ModelLease>> {
+        Ok(self.fetch(key)?.map(|model| ModelLease { model, version: 0 }))
+    }
 }
 
 impl ModelProvider for ModelServer {
     fn fetch(&self, key: &ModelKey) -> Result<Option<Arc<dyn ObjectiveModel>>> {
         Ok(self.get(key))
+    }
+
+    fn lease(&self, key: &ModelKey) -> Result<Option<ModelLease>> {
+        Ok(ModelServer::lease(self, key))
     }
 }
 

@@ -31,6 +31,15 @@
 //! * **Graceful drain** — [`ServingEngine::shutdown`] (and `Drop`) stops
 //!   admissions, lets workers finish everything already queued, and joins
 //!   them; submitted work is never abandoned.
+//! * **Hot-swap safe** — a solve pins its model versions at problem-build
+//!   time (one [`ModelLease`](udao_model::ModelLease) per learned
+//!   objective), so a background retrain publishing mid-solve — e.g. from
+//!   the [`LifecycleManager`](crate::lifecycle::LifecycleManager) loop —
+//!   can never hand different iterations of one descent different weights.
+//!   Admission and in-flight work never block on training: the registry is
+//!   locked only for microsecond map operations (training itself runs
+//!   off-lock on the lifecycle thread), and each `SolveReport` names the
+//!   exact versions it solved against (`report.model_versions`).
 //!
 //! Telemetry: `serve.queue_depth` (histogram, sampled at every
 //! enqueue/dequeue), `serve.shed`, `serve.admitted`, `serve.completed`,

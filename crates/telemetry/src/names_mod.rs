@@ -54,6 +54,32 @@ pub const MODEL_CACHE_HITS: &str = "model.cache_hits";
 /// MOGD memoization-cache misses (evaluations that went to the model).
 pub const MODEL_CACHE_MISSES: &str = "model.cache_misses";
 
+// ------------------------------------------------------- model lifecycle
+
+/// Version published by a model lease (histogram: which registry epochs
+/// actually served traffic).
+pub const MODEL_VERSION: &str = "model.version";
+/// Hot-swaps: publishes that *replaced* an already-served model version.
+pub const MODEL_SWAPS: &str = "model.swaps";
+/// Wall-clock seconds from training snapshot to atomic publish (histogram;
+/// the swap latency `bench_lifecycle` reports).
+pub const MODEL_SWAP_SECONDS: &str = "model.swap_seconds";
+/// Trainings discarded at publish time because a newer snapshot already
+/// published (compare-and-publish losers).
+pub const MODEL_SWAP_SUPERSEDED: &str = "model.swap_superseded";
+/// Leases that returned a version older than one already published before
+/// the lease began — a torn read. Must stay 0; gated by `bench_lifecycle`.
+pub const MODEL_STALE_SERVED: &str = "model.stale_served";
+/// Windowed mean relative error of predictions vs. observed outcomes
+/// (histogram, recorded per drift observation).
+pub const MODEL_DRIFT_SCORE: &str = "model.drift_score";
+/// Full retrains triggered by drift detection (threshold crossings).
+pub const MODEL_DRIFT_RETRAINS: &str = "model.drift_retrains";
+/// Observed traces accepted by the lifecycle loop.
+pub const LIFECYCLE_OBSERVED: &str = "lifecycle.observed";
+/// Observed traces dropped because the lifecycle queue was full.
+pub const LIFECYCLE_DROPPED: &str = "lifecycle.dropped";
+
 // --------------------------------------------------------- serving engine
 
 /// Submission-queue depth observed at each enqueue/dequeue (histogram).

@@ -52,6 +52,32 @@ fi
 echo "==> serving engine stress tests"
 cargo test -q -p udao --test serving
 
+echo "==> lifecycle stress (smoke-sized swap storm)"
+CHECK_FAST=1 cargo test -q -p udao --test lifecycle
+
+echo "==> model lifecycle bench (hot-swap under serving load)"
+cargo run --release -p udao-bench --bin bench_lifecycle
+if [ ! -s BENCH_lifecycle.json ]; then
+    echo "BENCH_lifecycle.json missing or empty" >&2
+    exit 1
+fi
+# The bench binary exits non-zero on any stale serve or a swap-free run;
+# re-check the verdict and the headline fields that survived on disk.
+if ! grep -q '"lifecycle_gate": true' BENCH_lifecycle.json; then
+    echo "BENCH_lifecycle.json: stale-serve/swap gate failed" >&2
+    exit 1
+fi
+if ! grep -q '"stale_served": 0' BENCH_lifecycle.json; then
+    echo "BENCH_lifecycle.json: stale_served must be 0" >&2
+    exit 1
+fi
+for field in swaps swap_ms_mean swap_ms_p95 distinct_versions_served; do
+    if ! grep -q "\"$field\"" BENCH_lifecycle.json; then
+        echo "BENCH_lifecycle.json is missing field: $field" >&2
+        exit 1
+    fi
+done
+
 echo "==> serving throughput bench (1/4/8 workers)"
 cargo run --release -p udao-bench --bin bench_throughput
 if [ ! -s BENCH_throughput.json ]; then
