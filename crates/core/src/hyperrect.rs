@@ -185,6 +185,13 @@ impl RectQueue {
     pub fn total_volume(&self) -> f64 {
         self.total_volume.max(0.0)
     }
+
+    /// Consume the queue into its remaining rectangles, largest volume
+    /// first — the uncertain-space bookkeeping a finished PF run exports so
+    /// a later run can resume probing where this one stopped.
+    pub fn into_rects(self) -> Vec<Rect> {
+        self.heap.into_sorted_vec().into_iter().rev().map(|q| q.rect).collect()
+    }
 }
 
 #[cfg(test)]

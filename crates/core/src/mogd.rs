@@ -44,6 +44,13 @@ pub struct MogdConfig {
     pub patience: usize,
     /// Base RNG seed; per-problem seeds are derived deterministically.
     pub seed: u64,
+    /// Warm-start points in `[0,1]^D` tried ahead of random restarts —
+    /// the cross-request frontier cache seeds descent from previously
+    /// Pareto-optimal configurations here. At most `multistarts` warm
+    /// points are used (points with the wrong dimension are skipped);
+    /// any remaining start slots fall back to random restarts, so an
+    /// empty list (the default) reproduces pure random multi-start.
+    pub warm_starts: Vec<Vec<f64>>,
 }
 
 impl Default for MogdConfig {
@@ -57,6 +64,7 @@ impl Default for MogdConfig {
             tol: 1e-3,
             patience: 20,
             seed: 0x0DA0,
+            warm_starts: Vec::new(),
         }
     }
 }
@@ -96,13 +104,9 @@ const CACHE_SHARDS: usize = 8;
 /// total footprint stays bounded at `CACHE_SHARDS * CACHE_SHARD_CAP`
 /// entries.
 const CACHE_SHARD_CAP: usize = 8192;
-/// Input quantization scale for cache keys: positions are rounded to
-/// `2^-30`, far below the solver's `1e-3` feasibility tolerance, so two
-/// points sharing a key are numerically indistinguishable to the models.
-const CACHE_QUANT: f64 = (1u64 << 30) as f64;
 
 /// Per-solver memoization of conservative objective values, keyed by the
-/// quantized configuration point. PF probes the same configurations over
+/// exact configuration point. PF probes the same configurations over
 /// and over (anchor points, cell middles, feasibility re-checks across
 /// neighboring cells); memoizing the `k` conservative values per point
 /// turns those repeats into lock-then-clone lookups.
@@ -131,8 +135,17 @@ impl std::fmt::Debug for MemoCache {
     }
 }
 
-fn quantize_key(x: &[f64]) -> Vec<i64> {
-    x.iter().map(|v| (v * CACHE_QUANT).round() as i64).collect()
+/// Exact cache key: every dimension contributes its full IEEE-754 bit
+/// pattern, so two points share a key iff they are bitwise identical.
+///
+/// An earlier revision quantized coordinates to `2^-30` before keying;
+/// distinct points straddling a rounding boundary then collided and one
+/// silently received its neighbor's conservative values. PF's repeated
+/// probes (anchors, cell middles, feasibility re-checks) are replayed with
+/// bitwise-identical coordinates, so exact keys keep the same hit rate
+/// while guaranteeing a hit is indistinguishable from a fresh evaluation.
+fn cache_key(x: &[f64]) -> Vec<i64> {
+    x.iter().map(|v| v.to_bits() as i64).collect()
 }
 
 impl MemoCache {
@@ -225,7 +238,7 @@ impl Mogd {
         let k = problem.num_objectives();
         let n = xs.len();
         self.cache.sync_problem(problem);
-        let keys: Vec<Vec<i64>> = xs.iter().map(|x| quantize_key(x)).collect();
+        let keys: Vec<Vec<i64>> = xs.iter().map(|x| cache_key(x)).collect();
         let mut out: Vec<Vec<f64>> = Vec::with_capacity(n);
         // point index -> slot among the unique misses (usize::MAX = hit).
         let mut slot_of: Vec<usize> = vec![usize::MAX; n];
@@ -606,7 +619,19 @@ impl CoSolver for Mogd {
         let mut starts: Vec<Vec<f64>> = Vec::with_capacity(self.cfg.multistarts + 1);
         starts.push(vec![0.5; d]);
         if !budget.expired() {
-            for _ in 0..self.cfg.multistarts {
+            // Warm starts (cached Pareto configurations) claim start slots
+            // ahead of random restarts; the RNG still derives from the same
+            // per-problem seed, so runs with an identical warm list replay.
+            for w in self
+                .cfg
+                .warm_starts
+                .iter()
+                .filter(|w| w.len() == d && w.iter().all(|v| v.is_finite()))
+                .take(self.cfg.multistarts)
+            {
+                starts.push(w.iter().map(|v| v.clamp(0.0, 1.0)).collect());
+            }
+            while starts.len() < self.cfg.multistarts + 1 {
                 starts.push((0..d).map(|_| rng.gen::<f64>()).collect());
             }
         }
@@ -850,6 +875,88 @@ mod tests {
             let with_grad = mogd.loss_with_values(&p, &co, &x, &values[0], Some(&mut g));
             assert_eq!(loss, with_grad);
             assert!(g.iter().any(|v| *v != 0.0), "gradient at {x:?} is all-zero");
+        }
+    }
+
+    #[test]
+    fn cache_key_distinguishes_points_straddling_a_rounding_boundary() {
+        // Regression: the old quantized key (round to 2^-30) collided for
+        // distinct points closer than half a quantum, so the second point
+        // silently received the first one's cached values.
+        let probe: Arc<dyn ObjectiveModel> =
+            Arc::new(FnModel::new(1, |x: &[f64]| x[0] * 1.0e9));
+        let p = MooProblem::new(1, vec![probe.clone()]);
+        let mogd = Mogd::new(MogdConfig::default());
+        let a: f64 = 0.5;
+        let b: f64 = 0.5 + 2f64.powi(-32); // same key as `a` under the old scheme
+        assert_ne!(a.to_bits(), b.to_bits());
+        // Evaluate `a` first so a collision would serve its cached values.
+        let va = mogd.batch_values(&p, &[vec![a]]);
+        let vb = mogd.batch_values(&p, &[vec![b]]);
+        assert_eq!(va[0][0].to_bits(), probe.predict(&[a]).to_bits());
+        assert_eq!(vb[0][0].to_bits(), probe.predict(&[b]).to_bits(), "served neighbor's value");
+        assert_ne!(va[0][0].to_bits(), vb[0][0].to_bits());
+    }
+
+    #[test]
+    fn warm_starts_seed_descent_and_keep_determinism() {
+        let p = toy_problem();
+        let co = CoProblem::constrained(0, vec![Bound::new(100.0, 260.0), Bound::new(8.0, 16.0)]);
+        let cold = Mogd::new(MogdConfig::default());
+        let reference = cold.solve(&p, &co).unwrap().expect("feasible");
+        // Seed descent from the cold optimum (plus a junk-dimension point,
+        // which must be skipped): the warm solver may only match or beat it.
+        let cfg = MogdConfig {
+            warm_starts: vec![vec![0.1], reference.x.clone()],
+            ..Default::default()
+        };
+        let warm = Mogd::new(cfg);
+        let a = warm.solve(&p, &co).unwrap().expect("feasible");
+        assert!(a.f[co.target] <= reference.f[co.target] + 1e-9);
+        // Warm-started solves replay deterministically too.
+        let b = warm.solve(&p, &co).unwrap().expect("feasible");
+        assert_eq!(a, b);
+    }
+
+    mod memo_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Any cache hit is bitwise-equal to a fresh model evaluation:
+            /// populate the cache at arbitrary points (including pairs
+            /// closer than the old quantization step), then re-evaluate and
+            /// compare against the uncached model directly.
+            #[test]
+            fn cache_hits_are_bitwise_equal_to_fresh_evaluations(
+                base in prop::collection::vec(0.0f64..1.0, 4),
+                nudge_sel in 0usize..3,
+            ) {
+                let p = toy_problem();
+                let mogd = Mogd::new(MogdConfig::default());
+                // Nudges below the old 2^-30 quantum stress the boundary
+                // cases that used to collide.
+                let nudge = [0.0f64, 2f64.powi(-33), 2f64.powi(-31)][nudge_sel];
+                let near: Vec<f64> =
+                    base.iter().map(|v| (v + nudge).min(1.0)).collect();
+                let points = vec![
+                    vec![base[0], base[1]],
+                    vec![near[0], near[1]],
+                    vec![base[2], base[3]],
+                ];
+                // First pass populates; second pass must hit.
+                let first = mogd.batch_values(&p, &points);
+                let second = mogd.batch_values(&p, &points);
+                for (x, (fresh_pass, hit_pass)) in
+                    points.iter().zip(first.iter().zip(&second))
+                {
+                    for j in 0..p.num_objectives() {
+                        let fresh = p.objectives[j].predict(x);
+                        prop_assert_eq!(fresh_pass[j].to_bits(), fresh.to_bits());
+                        prop_assert_eq!(hit_pass[j].to_bits(), fresh.to_bits());
+                    }
+                }
+            }
         }
     }
 

@@ -119,12 +119,114 @@ pub struct PfRun {
     pub degraded: bool,
     /// Probes abandoned because the CO solve panicked (PF-AP isolation).
     pub skipped_probes: usize,
+    /// Rectangles still uncertain when the run stopped (largest first) —
+    /// the bookkeeping a [`PfSeed`] resumes from.
+    pub uncertain: Vec<Rect>,
+    /// Volume of the run's *original* Utopia–Nadir box (carried through
+    /// seeded resumes so uncertain-space fractions stay comparable).
+    pub initial_volume: f64,
 }
 
 impl PfRun {
     /// Final uncertain-space fraction (0 when the queue drained).
     pub fn final_uncertainty(&self) -> f64 {
         self.history.last().map(|s| s.uncertain_frac).unwrap_or(1.0)
+    }
+
+    /// Capture this run's outcome as warm-start state for a later run on
+    /// the same (or a near-identical) problem.
+    pub fn seed(&self) -> PfSeed {
+        PfSeed {
+            frontier: self.frontier.clone(),
+            utopia: self.utopia.clone(),
+            nadir: self.nadir.clone(),
+            uncertain: self.uncertain.clone(),
+            initial_volume: self.initial_volume,
+        }
+    }
+}
+
+/// Warm-start state for a PF run, captured from a previous run via
+/// [`PfRun::seed`] — the cross-request frontier cache's near-hit path.
+/// A seeded run skips the per-objective anchor solves (the seed frontier
+/// already spans the Utopia–Nadir box) and resumes probing from the
+/// recorded uncertain rectangles instead of the full box.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct PfSeed {
+    /// Previously found Pareto points (configurations and objective values).
+    pub frontier: Vec<ParetoPoint>,
+    /// Utopia point of the run the seed was captured from.
+    pub utopia: Vec<f64>,
+    /// Nadir point of the run the seed was captured from.
+    pub nadir: Vec<f64>,
+    /// Uncertain rectangles left when the captured run stopped.
+    pub uncertain: Vec<Rect>,
+    /// The captured run's original Utopia–Nadir volume.
+    pub initial_volume: f64,
+}
+
+impl PfSeed {
+    /// Whether this seed is usable for a `k`-objective problem: a seed
+    /// must carry at least one Pareto point and dimensionally consistent
+    /// corners and rectangles, or the run falls back to a cold start.
+    pub fn usable_for(&self, k: usize) -> bool {
+        !self.frontier.is_empty()
+            && self.utopia.len() == k
+            && self.nadir.len() == k
+            && self.frontier.iter().all(|p| p.f.len() == k)
+            && self.uncertain.iter().all(|r| r.dim() == k)
+    }
+
+    /// The seed's Pareto configurations — what MOGD multi-start warms from
+    /// (see `MogdConfig::warm_starts`).
+    pub fn pareto_configs(&self) -> Vec<Vec<f64>> {
+        self.frontier.iter().map(|p| p.x.clone()).collect()
+    }
+}
+
+/// Mutable probe-loop state, assembled cold (anchors + full Utopia–Nadir
+/// root) or warm (seed frontier + saved uncertain rectangles).
+struct PfState {
+    frontier: Vec<ParetoPoint>,
+    utopia: Vec<f64>,
+    nadir: Vec<f64>,
+    queue: RectQueue,
+    initial_volume: f64,
+    probes: usize,
+}
+
+impl PfState {
+    fn from_anchors(plans: Vec<CoSolution>, utopia: Vec<f64>, nadir: Vec<f64>) -> Self {
+        let probes = plans.len();
+        let frontier = plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
+        let root = Rect::new(utopia.clone(), nadir.clone());
+        let initial_volume = root.volume();
+        let mut queue = RectQueue::new();
+        if initial_volume > 0.0 {
+            queue.push(root);
+        }
+        Self { frontier, utopia, nadir, queue, initial_volume, probes }
+    }
+
+    fn from_seed(seed: &PfSeed) -> Self {
+        udao_telemetry::counter(names::PF_SEEDED_RUNS).inc();
+        let mut queue = RectQueue::new();
+        for r in &seed.uncertain {
+            queue.push(r.clone());
+        }
+        let initial_volume = if seed.initial_volume > 0.0 {
+            seed.initial_volume
+        } else {
+            Rect::new(seed.utopia.clone(), seed.nadir.clone()).volume()
+        };
+        Self {
+            frontier: pareto_filter(seed.frontier.clone()),
+            utopia: seed.utopia.clone(),
+            nadir: seed.nadir.clone(),
+            queue,
+            initial_volume,
+            probes: 0,
+        }
     }
 }
 
@@ -163,17 +265,32 @@ impl ProgressiveFrontier {
         n_points: usize,
         budget: &Budget,
     ) -> Result<PfRun> {
+        self.solve_seeded_within(problem, n_points, budget, None)
+    }
+
+    /// Like [`ProgressiveFrontier::solve_within`], but optionally resumed
+    /// from a [`PfSeed`]: the anchor solves are skipped and probing starts
+    /// from the seed's uncertain rectangles. A seed that fails
+    /// [`PfSeed::usable_for`] is ignored and the run starts cold.
+    pub fn solve_seeded_within(
+        &self,
+        problem: &MooProblem,
+        n_points: usize,
+        budget: &Budget,
+        seed: Option<&PfSeed>,
+    ) -> Result<PfRun> {
         udao_telemetry::counter(names::PF_RUNS).inc();
+        let seed = seed.filter(|s| s.usable_for(problem.num_objectives()));
         let run = match self.variant {
             PfVariant::Sequential => {
                 let solver = ExactGridSolver::new(self.opts.exact_resolution);
-                self.run_sequential(problem, n_points, &solver, budget)
+                self.run_sequential(problem, n_points, &solver, budget, seed)
             }
             PfVariant::ApproxSequential => {
                 let solver = Mogd::new(self.opts.mogd.clone());
-                self.run_sequential(problem, n_points, &solver, budget)
+                self.run_sequential(problem, n_points, &solver, budget, seed)
             }
-            PfVariant::ApproxParallel => self.run_parallel(problem, n_points, budget),
+            PfVariant::ApproxParallel => self.run_parallel(problem, n_points, budget, seed),
         }?;
         // Per-run aggregates: how many probes this run cost, how much of
         // the Utopia–Nadir volume it left uncertain, and what it lost to
@@ -223,21 +340,18 @@ impl ProgressiveFrontier {
         n_points: usize,
         solver: &dyn CoSolver,
         budget: &Budget,
+        seed: Option<&PfSeed>,
     ) -> Result<PfRun> {
         let start = Instant::now();
-        let k = problem.num_objectives();
-        let (plans, utopia, nadir) = self.anchors(problem, solver, budget)?;
-        let mut frontier: Vec<ParetoPoint> =
-            plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
+        let state = match seed {
+            Some(s) => PfState::from_seed(s),
+            None => {
+                let (plans, utopia, nadir) = self.anchors(problem, solver, budget)?;
+                PfState::from_anchors(plans, utopia, nadir)
+            }
+        };
+        let PfState { mut frontier, utopia, nadir, mut queue, initial_volume, mut probes } = state;
         let mut history = Vec::new();
-        let mut probes = k;
-
-        let root = Rect::new(utopia.clone(), nadir.clone());
-        let initial_volume = root.volume();
-        let mut queue = RectQueue::new();
-        if initial_volume > 0.0 {
-            queue.push(root);
-        }
         let min_volume = initial_volume * self.opts.min_volume_frac;
         let cell_seconds = udao_telemetry::histogram(names::PF_CELL_SOLVE_SECONDS);
         let snapshot = |queue: &RectQueue, probes: usize, frontier_len: usize, start: &Instant| {
@@ -306,6 +420,8 @@ impl ProgressiveFrontier {
             history,
             degraded,
             skipped_probes: 0,
+            uncertain: queue.into_rects(),
+            initial_volume,
         })
     }
 
@@ -314,6 +430,7 @@ impl ProgressiveFrontier {
         problem: &MooProblem,
         n_points: usize,
         budget: &Budget,
+        seed: Option<&PfSeed>,
     ) -> Result<PfRun> {
         let start = Instant::now();
         let k = problem.num_objectives();
@@ -324,48 +441,49 @@ impl ProgressiveFrontier {
             self.opts.threads
         };
 
-        // Anchor COs in parallel; each solve is panic-isolated so a
-        // poisoned model turns into a typed error, not a dead scope.
-        let anchor_results: Vec<Result<Option<CoSolution>>> =
-            parallel_map(threads, (0..k).collect(), |i| {
-                isolated_solve(&solver, problem, &CoProblem::unconstrained(i, k), budget)
-            })?;
-        let mut plans = Vec::with_capacity(k);
-        for (i, r) in anchor_results.into_iter().enumerate() {
-            match r? {
-                Some(sol) => plans.push(sol),
-                None if budget.expired() => return Err(budget.timeout_error()),
-                None => {
-                    return Err(Error::Infeasible(format!(
-                        "no feasible configuration minimizes objective {i}"
-                    )))
+        let state = match seed {
+            Some(s) => PfState::from_seed(s),
+            None => {
+                // Anchor COs in parallel; each solve is panic-isolated so a
+                // poisoned model turns into a typed error, not a dead scope.
+                let anchor_results: Vec<Result<Option<CoSolution>>> =
+                    parallel_map(threads, (0..k).collect(), |i| {
+                        isolated_solve(&solver, problem, &CoProblem::unconstrained(i, k), budget)
+                    })?;
+                let mut plans = Vec::with_capacity(k);
+                for (i, r) in anchor_results.into_iter().enumerate() {
+                    match r? {
+                        Some(sol) => plans.push(sol),
+                        None if budget.expired() => return Err(budget.timeout_error()),
+                        None => {
+                            return Err(Error::Infeasible(format!(
+                                "no feasible configuration minimizes objective {i}"
+                            )))
+                        }
+                    }
                 }
+                let mut utopia = plans[0].f.clone();
+                let mut nadir = plans[0].f.clone();
+                for p in &plans[1..] {
+                    for d in 0..k {
+                        utopia[d] = utopia[d].min(p.f[d]);
+                        nadir[d] = nadir[d].max(p.f[d]);
+                    }
+                }
+                PfState::from_anchors(plans, utopia, nadir)
             }
-        }
-        let mut utopia = plans[0].f.clone();
-        let mut nadir = plans[0].f.clone();
-        for p in &plans[1..] {
-            for d in 0..k {
-                utopia[d] = utopia[d].min(p.f[d]);
-                nadir[d] = nadir[d].max(p.f[d]);
-            }
-        }
-        let mut frontier: Vec<ParetoPoint> =
-            plans.into_iter().map(|p| ParetoPoint::new(p.x, p.f)).collect();
-        let mut probes = k;
+        };
+        let PfState { mut frontier, utopia, nadir, mut queue, initial_volume, mut probes } = state;
         let mut history = Vec::new();
-
-        let root = Rect::new(utopia.clone(), nadir.clone());
-        let initial_volume = root.volume();
-        let mut queue = RectQueue::new();
-        if initial_volume > 0.0 {
-            queue.push(root);
-        }
         let min_volume = initial_volume * self.opts.min_volume_frac;
         history.push(PfSnapshot {
             elapsed: start.elapsed().as_secs_f64(),
             probes,
-            uncertain_frac: if initial_volume > 0.0 { 1.0 } else { 0.0 },
+            uncertain_frac: if initial_volume > 0.0 {
+                (queue.total_volume() / initial_volume).clamp(0.0, 1.0)
+            } else {
+                0.0
+            },
             frontier_len: frontier.len(),
         });
 
@@ -451,6 +569,8 @@ impl ProgressiveFrontier {
             history,
             degraded,
             skipped_probes,
+            uncertain: queue.into_rects(),
+            initial_volume,
         })
     }
 }
@@ -867,6 +987,52 @@ mod tests {
                 assert!(!dominates(&a.f, &b.f) || a.f == b.f);
             }
         }
+    }
+
+    #[test]
+    fn seeded_resume_refines_without_anchor_solves() {
+        let p = convex_problem();
+        for variant in [PfVariant::ApproxSequential, PfVariant::ApproxParallel] {
+            let pf = ProgressiveFrontier::new(variant, PfOptions::default());
+            let cold = pf.solve(&p, 6).unwrap();
+            assert!(cold.initial_volume > 0.0);
+            assert!(!cold.uncertain.is_empty(), "6-point run should leave uncertain space");
+            // Resume toward more points from the finished run's seed:
+            // probing restarts from the saved rectangles and the warm
+            // frontier may only shrink the uncertain space further.
+            let warm = pf
+                .solve_seeded_within(&p, 12, &Budget::unlimited(), Some(&cold.seed()))
+                .unwrap();
+            assert!(warm.frontier.len() >= cold.frontier.len());
+            let u = [100.0, 8.0];
+            let n = [300.0, 24.0];
+            let fs = |run: &PfRun| run.frontier.iter().map(|p| p.f.clone()).collect::<Vec<_>>();
+            let us_cold = uncertain_space(&fs(&cold), &u, &n);
+            let us_warm = uncertain_space(&fs(&warm), &u, &n);
+            assert!(us_warm <= us_cold + 1e-9, "{variant:?}: {us_warm} > {us_cold}");
+            // The seed frontier is never contradicted, only refined.
+            for s in &cold.frontier {
+                assert!(warm.frontier.iter().any(|l| l.f == s.f || dominates(&l.f, &s.f)));
+            }
+        }
+    }
+
+    #[test]
+    fn unusable_seeds_fall_back_to_a_cold_start() {
+        let empty = PfSeed {
+            frontier: vec![],
+            utopia: vec![0.0; 2],
+            nadir: vec![1.0; 2],
+            uncertain: vec![],
+            initial_volume: 1.0,
+        };
+        assert!(!empty.usable_for(2));
+        let pf = ProgressiveFrontier::new(PfVariant::ApproxSequential, PfOptions::default());
+        // With the seed rejected the run must still anchor and solve.
+        let run = pf
+            .solve_seeded_within(&convex_problem(), 8, &Budget::unlimited(), Some(&empty))
+            .unwrap();
+        assert!(run.frontier.len() >= 5);
     }
 
     #[test]

@@ -70,6 +70,33 @@ impl Default for CoalescerOptions {
     }
 }
 
+impl CoalescerOptions {
+    /// Smallest wait slice a lane leader ever sleeps for. OS timers cannot
+    /// honour sub-microsecond (often sub-5µs) timeouts: `wait_timeout`
+    /// returns almost immediately, and a slice below this floor degenerates
+    /// the leader's quiescence loop into a hot spin on the lane lock.
+    pub const MIN_WAIT_SLICE: Duration = Duration::from_micros(5);
+
+    /// Check the options the way `UdaoBuilder::build` does. A zero
+    /// `max_batch` lane has no meaningful fill target; it is reported here
+    /// so builders can reject it instead of silently saturating.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("coalescer max_batch must be at least 1".to_string());
+        }
+        Ok(())
+    }
+
+    /// Saturate degenerate values into the supported range: `max_batch` is
+    /// floored at 1. A zero `window` stays zero (dispatch immediately, no
+    /// follower collection) — only the leader's wait slice is floored, at
+    /// [`Self::MIN_WAIT_SLICE`], inside the dispatch loop.
+    pub fn saturated(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self
+    }
+}
+
 /// Which inner entry point a lane feeds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum Kind {
@@ -161,9 +188,16 @@ pub struct InferenceCoalescer {
 type BatchDispatch<'a> = dyn Fn(&[Vec<f64>], &mut [f64]) + 'a;
 
 impl InferenceCoalescer {
-    /// Create a coalescer with the given window options.
+    /// Create a coalescer with the given window options. Degenerate values
+    /// are saturated (see [`CoalescerOptions::saturated`]) so a
+    /// misconfigured coalescer stays safe; builders that prefer to reject
+    /// them outright call [`CoalescerOptions::validate`] first.
     pub fn new(options: CoalescerOptions) -> Arc<Self> {
-        Arc::new(Self { options, active: AtomicUsize::new(0), lanes: Mutex::new(HashMap::new()) })
+        Arc::new(Self {
+            options: options.saturated(),
+            active: AtomicUsize::new(0),
+            lanes: Mutex::new(HashMap::new()),
+        })
     }
 
     /// The configured window options.
@@ -275,7 +309,13 @@ impl InferenceCoalescer {
     /// longer under CPU contention, where timer wakeups overshoot).
     fn lead(&self, lane: &Lane, dispatch: &BatchDispatch<'_>) {
         let deadline = Instant::now() + self.options.window;
-        let slice = (self.options.window / 8).max(Duration::from_micros(1));
+        // Regression: the slice used to be `(window / 8).max(1µs)`, so a
+        // sub-8µs window produced timeouts below what OS timers can honour
+        // — `wait_timeout` returned almost immediately and the loop hot-
+        // spun on the lane lock until the deadline. Both the slice and the
+        // final pre-deadline wait are floored now; a degenerate window may
+        // overshoot its deadline by at most one floored slice.
+        let slice = (self.options.window / 8).max(CoalescerOptions::MIN_WAIT_SLICE);
         let (xs, jobs) = {
             let mut st = lock(&lane.state);
             loop {
@@ -289,7 +329,10 @@ impl InferenceCoalescer {
                 let seen = st.xs.len();
                 let (guard, _) = lane
                     .cv
-                    .wait_timeout(st, slice.min(deadline - now))
+                    .wait_timeout(
+                        st,
+                        (deadline - now).min(slice).max(CoalescerOptions::MIN_WAIT_SLICE),
+                    )
                     .unwrap_or_else(|p| p.into_inner());
                 st = guard;
                 if st.xs.len() == seen {
@@ -666,6 +709,54 @@ mod tests {
         // The lane is rebuilt transparently on the next call.
         wrapped.predict_batch(&[vec![0.4, 0.4]], &mut out);
         assert!(out[0].is_finite());
+    }
+
+    /// Regression for the degenerate-window hot spin: zero and sub-8µs
+    /// windows used to produce 1µs wait slices — below OS timer
+    /// granularity, so the leader spun on the lane lock. With the floored
+    /// slice the leader exits after at most one real sleep, and dispatch
+    /// stays bitwise-equal to a direct call.
+    #[test]
+    fn degenerate_windows_dispatch_promptly_and_exactly() {
+        for window in [Duration::ZERO, Duration::from_nanos(500), Duration::from_micros(2)] {
+            let coalescer = InferenceCoalescer::new(CoalescerOptions { max_batch: 32, window });
+            let inner = quad_model();
+            let wrapped = coalescer.wrap(Arc::clone(&inner));
+            let _a = coalescer.register_solver();
+            let _b = coalescer.register_solver();
+            let xs = probe_points(5);
+            let mut direct = vec![0.0; xs.len()];
+            let mut via = vec![0.0; xs.len()];
+            inner.predict_batch(&xs, &mut direct);
+            let started = Instant::now();
+            wrapped.predict_batch(&xs, &mut via);
+            assert!(
+                started.elapsed() < Duration::from_millis(100),
+                "window {window:?} stalled the lone caller"
+            );
+            for (d, v) in direct.iter().zip(&via) {
+                assert_eq!(d.to_bits(), v.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_options_are_rejected_by_validate_and_saturated_by_new() {
+        let degenerate = CoalescerOptions { max_batch: 0, window: Duration::ZERO };
+        assert!(degenerate.validate().is_err());
+        assert!(CoalescerOptions::default().validate().is_ok());
+        assert_eq!(degenerate.saturated().max_batch, 1);
+        // A coalescer built from degenerate options still dispatches: the
+        // saturated single-point fill target makes every caller a full
+        // batch, so nothing waits on an unreachable threshold.
+        let coalescer = InferenceCoalescer::new(degenerate);
+        assert_eq!(coalescer.options().max_batch, 1);
+        let inner = quad_model();
+        let wrapped = coalescer.wrap(Arc::clone(&inner));
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let x = vec![0.3, 0.7];
+        assert_eq!(wrapped.predict(&x).to_bits(), inner.predict(&x).to_bits());
     }
 
     #[test]

@@ -6,12 +6,13 @@
 //! udao-cli recommend --workload <id> [--objectives latency,cost_cores]
 //!     [--weights 0.5,0.5] [--constraint cost_cores=4:58]
 //!     [--family gp|dnn] [--traces 80] [--points 12] [--json] [--report]
-//!     [--workers N] [--budget-ms M]
+//!     [--workers N] [--budget-ms M] [--cache N]
 //!     train models from simulator traces and recommend a configuration;
 //!     --report also prints the per-request solve report (stage timings,
 //!     MOGD/PF/model counters); --workers routes the request through a
 //!     concurrent ServingEngine with N workers; --budget-ms sets a
-//!     per-request deadline (requests it cannot cover are shed)
+//!     per-request deadline (requests it cannot cover are shed); --cache
+//!     enables the cross-request frontier cache with capacity N entries
 //!
 //! With --json, failures also print a machine-readable error object (and,
 //! under --report, a complete all-zero solve report — every counter key
@@ -147,7 +148,11 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
         .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect());
     let constraint = flags.get("constraint").and_then(|s| parse_constraint(s));
 
-    let udao = match Udao::builder(ClusterSpec::paper_cluster()).build() {
+    let mut builder = Udao::builder(ClusterSpec::paper_cluster());
+    if let Some(cap) = flags.get("cache").and_then(|v| v.parse::<usize>().ok()) {
+        builder = builder.frontier_cache(cap);
+    }
+    let udao = match builder.build() {
         Ok(u) => Arc::new(u),
         Err(e) => {
             eprintln!("optimizer construction failed: {e}");

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod analytic;
+pub mod frontier_cache;
 pub mod lifecycle;
 pub mod optimizer;
 pub mod pipeline;
@@ -48,6 +49,9 @@ pub mod resilience;
 pub mod serve;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
+pub use frontier_cache::{
+    CacheLookup, CachedFrontier, FrontierCache, FrontierKey, RequestFingerprint,
+};
 pub use lifecycle::{LifecycleManager, LifecycleOptions, LifecycleStats};
 pub use optimizer::{ModelFamily, Recommendation, Udao, UdaoBuilder};
 pub use pipeline::{PipelineRecommendation, PipelineRequest};

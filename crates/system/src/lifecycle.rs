@@ -32,6 +32,7 @@
 //! drift tests use to assert "retrain within one request cycle"
 //! deterministically.
 
+use crate::frontier_cache::FrontierCache;
 use crate::optimizer::Udao;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -113,12 +114,13 @@ pub struct LifecycleManager {
 }
 
 impl LifecycleManager {
-    /// Start the lifecycle loop for `server`, pruning `coalescer` lanes on
-    /// every publish. Installs `options.drift` as the server's drift
-    /// policy.
+    /// Start the lifecycle loop for `server`, pruning `coalescer` lanes
+    /// and invalidating the affected `frontier_cache` entries on every
+    /// publish. Installs `options.drift` as the server's drift policy.
     pub fn start(
         server: Arc<ModelServer>,
         coalescer: Arc<InferenceCoalescer>,
+        frontier_cache: Option<Arc<FrontierCache>>,
         options: LifecycleOptions,
     ) -> Result<Self> {
         options.validate()?;
@@ -128,7 +130,9 @@ impl LifecycleManager {
         let worker_shared = Arc::clone(&shared);
         let worker = std::thread::Builder::new()
             .name("udao-lifecycle".into())
-            .spawn(move || run_loop(&rx, &server, &coalescer, options, &worker_shared))
+            .spawn(move || {
+                run_loop(&rx, &server, &coalescer, frontier_cache.as_deref(), options, &worker_shared)
+            })
             .map_err(|e| Error::InvalidConfig(format!("cannot spawn lifecycle thread: {e}")))?;
         Ok(Self { tx, worker: Some(worker), shared })
     }
@@ -199,9 +203,20 @@ fn run_loop(
     rx: &Receiver<Msg>,
     server: &Arc<ModelServer>,
     coalescer: &Arc<InferenceCoalescer>,
+    frontier_cache: Option<&FrontierCache>,
     options: LifecycleOptions,
     shared: &Arc<Shared>,
 ) {
+    // Publish fan-out: the new version changes the problem generation
+    // stamp (MOGD memo cache), idle coalescer lanes keyed to retired
+    // epochs are pruned, and cached frontiers pinning the republished
+    // model are dropped — one invalidation protocol, three caches.
+    let invalidate = |key: &ModelKey| {
+        coalescer.prune_idle_lanes();
+        if let Some(cache) = frontier_cache {
+            cache.invalidate_model(&key.workload, &key.objective);
+        }
+    };
     let mut buffers: HashMap<ModelKey, KeyBuffer> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -218,7 +233,7 @@ fn run_loop(
                     if server.retrain_now(&key, &batch) {
                         shared.drift_retrains.fetch_add(1, Ordering::Relaxed);
                         udao_telemetry::counter(names::MODEL_DRIFT_RETRAINS).inc();
-                        coalescer.prune_idle_lanes();
+                        invalidate(&key);
                     }
                 } else if buf.x.len() >= options.retrain_batch {
                     // Routine path: let the server's fine-tune/retrain
@@ -226,7 +241,7 @@ fn run_loop(
                     let batch = buf.take();
                     server.ingest(&key, &batch);
                     shared.ingests.fetch_add(1, Ordering::Relaxed);
-                    coalescer.prune_idle_lanes();
+                    invalidate(&key);
                 }
             }
             Msg::Flush(ack) => {
@@ -248,6 +263,7 @@ impl Udao {
         LifecycleManager::start(
             self.shared_model_server(),
             Arc::clone(self.coalescer()),
+            self.frontier_cache().cloned(),
             options,
         )
     }
@@ -291,6 +307,7 @@ mod tests {
         let mgr = LifecycleManager::start(
             Arc::clone(&server),
             coalescer,
+            None,
             LifecycleOptions {
                 retrain_batch: 1000,
                 drift: DriftOptions { window: 8, threshold: 0.3 },
@@ -318,6 +335,7 @@ mod tests {
         let mgr = LifecycleManager::start(
             Arc::clone(&server),
             coalescer,
+            None,
             LifecycleOptions {
                 retrain_batch: 1000,
                 drift: DriftOptions { window: 8, threshold: 0.3 },
@@ -346,6 +364,7 @@ mod tests {
         let mgr = LifecycleManager::start(
             Arc::clone(&server),
             coalescer,
+            None,
             LifecycleOptions {
                 retrain_batch: 10,
                 // Huge threshold: drift never fires, only the batch path.
@@ -375,6 +394,7 @@ mod tests {
         let mgr = LifecycleManager::start(
             server,
             coalescer,
+            None,
             LifecycleOptions { queue_depth: 1, ..Default::default() },
         )
         .expect("starts");
@@ -401,7 +421,8 @@ mod tests {
         let server = Arc::new(ModelServer::new());
         let coalescer = InferenceCoalescer::new(Default::default());
         let mgr =
-            LifecycleManager::start(server, coalescer, LifecycleOptions::default()).expect("ok");
+            LifecycleManager::start(server, coalescer, None, LifecycleOptions::default())
+                .expect("ok");
         drop(mgr); // must not hang
     }
 }

@@ -12,6 +12,9 @@
 //! ([`Udao::recommend`] over [`Objective`]); every solve is instrumented
 //! through `udao-telemetry` and returns its own [`SolveReport`].
 
+use crate::frontier_cache::{
+    CacheLookup, CachedFrontier, FrontierCache, FrontierKey,
+};
 use crate::report::SolveReport;
 use crate::request::{BatchRequest, Objective, Request, StreamRequest};
 use crate::resilience::{absorbable, FallbackStage, ModelProvider, ResilienceOptions};
@@ -23,7 +26,7 @@ use udao_core::budget::Budget;
 use udao_core::mogd::Mogd;
 use udao_core::objective::ObjectiveModel;
 use udao_core::pareto::ParetoPoint;
-use udao_core::pf::{PfOptions, PfVariant, ProgressiveFrontier};
+use udao_core::pf::{PfOptions, PfSeed, PfVariant, ProgressiveFrontier};
 use udao_core::recommend::{recommend, Strategy};
 use udao_core::solver::{Bound, CoProblem, CoSolver};
 use udao_core::space::Configuration;
@@ -113,6 +116,10 @@ struct MooSelection {
     moo_seconds: f64,
     stage: FallbackStage,
     degraded: bool,
+    /// The PF run's exported resume state (frontier + uncertain
+    /// rectangles), present only when a full Progressive Frontier run
+    /// produced the selection — what the frontier cache stores.
+    seed: Option<PfSeed>,
 }
 
 /// What [`Udao::build_problem`] assembles for one request: the encoded
@@ -172,6 +179,7 @@ pub struct UdaoBuilder {
     seed: u64,
     serving: ServingOptions,
     coalescer: CoalescerOptions,
+    frontier_cache: Option<usize>,
 }
 
 impl UdaoBuilder {
@@ -219,6 +227,17 @@ impl UdaoBuilder {
         self
     }
 
+    /// Enable the cross-request frontier cache, holding up to `capacity`
+    /// solved frontiers (see [`crate::frontier_cache`]). Exact repeats of
+    /// a request are answered from the cache without a MOO run; nearby
+    /// requests warm-start MOGD and PF probing from the cached entry. The
+    /// cache is strictly opt-in: without this call every solve runs cold,
+    /// exactly as before.
+    pub fn frontier_cache(mut self, capacity: usize) -> Self {
+        self.frontier_cache = Some(capacity);
+        self
+    }
+
     /// A shareable handle to the model server the built optimizer will
     /// train into — available *before* `build`, so fault-injecting or
     /// caching [`ModelProvider`]s can wrap it.
@@ -237,6 +256,10 @@ impl UdaoBuilder {
     pub fn build(self) -> Result<Udao> {
         validate_options(self.pf_variant, &self.pf_options, &self.resilience)?;
         self.serving.validate()?;
+        self.coalescer.validate().map_err(Error::InvalidConfig)?;
+        if self.frontier_cache == Some(0) {
+            return Err(Error::InvalidConfig("frontier_cache capacity must be >= 1".into()));
+        }
         let provider = self
             .provider
             .unwrap_or_else(|| self.server.clone() as Arc<dyn ModelProvider>);
@@ -250,6 +273,7 @@ impl UdaoBuilder {
             seed: self.seed,
             serving: self.serving,
             coalescer: InferenceCoalescer::new(self.coalescer),
+            frontier_cache: self.frontier_cache.map(|cap| Arc::new(FrontierCache::new(cap))),
             history: Default::default(),
         })
     }
@@ -311,6 +335,9 @@ pub struct Udao {
     /// started from this optimizer; dormant (fast-path) until at least two
     /// engine workers solve concurrently.
     coalescer: Arc<InferenceCoalescer>,
+    /// Opt-in cross-request frontier cache; `None` (the default) keeps
+    /// every solve cold and bitwise-identical to a cacheless optimizer.
+    frontier_cache: Option<Arc<FrontierCache>>,
     /// Raw trace archive per objective name: `(workload id, dataset)` pairs
     /// used for OtterTune-style workload mapping of data-poor online
     /// workloads (§V.1).
@@ -337,6 +364,7 @@ impl Udao {
             seed: builder.seed,
             serving: builder.serving,
             coalescer: InferenceCoalescer::new(builder.coalescer),
+            frontier_cache: None,
             history: Default::default(),
         }
     }
@@ -356,6 +384,7 @@ impl Udao {
             seed: 0xDA0,
             serving: ServingOptions::default(),
             coalescer: CoalescerOptions::default(),
+            frontier_cache: None,
         }
     }
 
@@ -429,6 +458,27 @@ impl Udao {
     /// started from this optimizer.
     pub fn coalescer(&self) -> &Arc<InferenceCoalescer> {
         &self.coalescer
+    }
+
+    /// The cross-request frontier cache, when enabled via
+    /// [`UdaoBuilder::frontier_cache`].
+    pub fn frontier_cache(&self) -> Option<&Arc<FrontierCache>> {
+        self.frontier_cache.as_ref()
+    }
+
+    /// Reclaim idle serving-path state: retired coalescer lanes and
+    /// frontier-cache entries whose pinned model versions fell behind the
+    /// registry. Serving-engine workers call this from their idle path so
+    /// reclamation does not depend on a lifecycle manager running; it is
+    /// safe (and cheap) to call at any time.
+    pub fn prune_idle(&self) -> usize {
+        let mut reclaimed = self.coalescer.prune_idle_lanes();
+        if let Some(cache) = &self.frontier_cache {
+            reclaimed += cache.prune_stale(|workload, objective| {
+                self.server.current_version(&ModelKey::new(workload, objective))
+            });
+        }
+        reclaimed
     }
 
     /// Collect traces for a batch workload and train per-objective models.
@@ -671,7 +721,10 @@ impl Udao {
     }
 
     /// Run one Progressive Frontier `rung` — its solver variant paired with
-    /// the ladder stage it represents — to a selection.
+    /// the ladder stage it represents — to a selection. With a cached
+    /// `seed`, MOGD multistarts are warm-started from the cached Pareto
+    /// configurations and PF probing resumes from the cached uncertain
+    /// rectangles instead of the full objective-space box.
     fn pf_stage(
         &self,
         rung: (PfVariant, FallbackStage),
@@ -679,19 +732,24 @@ impl Udao {
         points: usize,
         weights: &Option<Vec<f64>>,
         budget: &Budget,
-        start: &Instant,
+        seed: Option<&PfSeed>,
     ) -> Result<MooSelection> {
         let (variant, stage) = rung;
         udao_telemetry::counter(&names::fallback_stage(&stage)).inc();
+        let mut options = self.pf_options.clone();
+        if let Some(seed) = seed {
+            options.mogd.warm_starts = seed.pareto_configs();
+        }
         let run = guard(|| {
-            ProgressiveFrontier::new(variant, self.pf_options.clone())
-                .solve_within(problem, points, budget)
+            ProgressiveFrontier::new(variant, options)
+                .solve_seeded_within(problem, points, budget, seed)
         })?;
         let strategy = match weights {
             Some(w) => Strategy::WeightedUtopiaNearest(w.clone()),
             None => Strategy::UtopiaNearest,
         };
         let idx = recommend(&run.frontier, &run.utopia, &run.nadir, &strategy)?;
+        let exported = run.seed();
         Ok(MooSelection {
             x: run.frontier[idx].x.clone(),
             f: run.frontier[idx].f.clone(),
@@ -699,9 +757,41 @@ impl Udao {
             utopia: run.utopia,
             nadir: run.nadir,
             probes: run.probes,
-            moo_seconds: start.elapsed().as_secs_f64(),
+            // Stamped by `run_moo_and_select` once a rung succeeds.
+            moo_seconds: 0.0,
             stage,
             degraded: run.degraded || stage != FallbackStage::Primary,
+            seed: Some(exported),
+        })
+    }
+
+    /// Synthesize the MOO selection for an exact frontier-cache hit: the
+    /// cached frontier answers the request directly, with only the (cheap)
+    /// weighted Utopia-nearest selection re-run — so differing preference
+    /// weights still share one cached entry. Reports zero probes: no CO
+    /// solve ran for this request.
+    fn select_from_cache(
+        entry: &CachedFrontier,
+        weights: &Option<Vec<f64>>,
+        started: &Instant,
+    ) -> Result<MooSelection> {
+        let strategy = match weights {
+            Some(w) => Strategy::WeightedUtopiaNearest(w.clone()),
+            None => Strategy::UtopiaNearest,
+        };
+        let seed = &entry.seed;
+        let idx = recommend(&seed.frontier, &seed.utopia, &seed.nadir, &strategy)?;
+        Ok(MooSelection {
+            x: seed.frontier[idx].x.clone(),
+            f: seed.frontier[idx].f.clone(),
+            frontier: seed.frontier.clone(),
+            utopia: seed.utopia.clone(),
+            nadir: seed.nadir.clone(),
+            probes: 0,
+            moo_seconds: started.elapsed().as_secs_f64(),
+            stage: FallbackStage::Primary,
+            degraded: false,
+            seed: None,
         })
     }
 
@@ -717,18 +807,23 @@ impl Udao {
         points: usize,
         weights: &Option<Vec<f64>>,
         budget: &Budget,
+        seed: Option<&PfSeed>,
     ) -> Result<MooSelection> {
         let start = Instant::now();
+        let stamp = |mut sel: MooSelection| {
+            sel.moo_seconds = start.elapsed().as_secs_f64();
+            sel
+        };
         let primary = self.pf_stage(
             (self.pf_variant, FallbackStage::Primary),
             problem,
             points,
             weights,
             budget,
-            &start,
+            seed,
         );
         let mut last_err = match primary {
-            Ok(sel) => return Ok(sel),
+            Ok(sel) => return Ok(stamp(sel)),
             Err(e) if absorbable(&e) => e,
             Err(e) => return Err(e),
         };
@@ -744,9 +839,9 @@ impl Udao {
                 points,
                 weights,
                 budget,
-                &start,
+                seed,
             ) {
-                Ok(sel) => return Ok(sel),
+                Ok(sel) => return Ok(stamp(sel)),
                 Err(e) if absorbable(&e) => last_err = e,
                 Err(e) => return Err(e),
             }
@@ -787,6 +882,7 @@ impl Udao {
                 moo_seconds: start.elapsed().as_secs_f64(),
                 stage: FallbackStage::SingleObjective,
                 degraded: true,
+                seed: None,
             }),
             Ok(None) => Err(last_err),
             Err(e) if absorbable(&e) => Err(e),
@@ -910,6 +1006,7 @@ impl Udao {
                             moo_seconds: started.elapsed().as_secs_f64(),
                             stage: FallbackStage::DefaultConfig,
                             degraded: true,
+                            seed: None,
                         };
                         return Ok((snapped, f, sel));
                     }
@@ -1011,23 +1108,77 @@ impl Udao {
             _ => request.weights.clone(),
         };
         let space = O::space();
-        let sel = {
-            let _moo_span = udao_telemetry::span("moo");
-            match self.run_moo_and_select(&problem, request.points, &weights, &budget) {
-                Ok(sel) => sel,
-                Err(e) if absorbable(&e) => {
-                    eprintln!(
-                        "udao: all solver rungs failed ({e}); serving default configuration"
-                    );
-                    udao_telemetry::counter(names::FALLBACK_TRANSITIONS).inc();
-                    let default_x = space.encode(&O::default_configuration()).ok();
-                    let (_, _, sel) =
-                        Self::default_recommendation(&problem, &space, default_x, started)?;
-                    sel
+        // Frontier-cache lookup (opt-in): the key pins the exact model
+        // versions this solve's problem was built against, so an entry
+        // solved under retired weights can never match.
+        let cache_slot = self.frontier_cache.as_ref().map(|cache| {
+            let objective_names: Vec<&str> =
+                request.objectives.iter().map(Objective::name).collect();
+            let (key, fingerprint) = FrontierKey::for_request(
+                &request.workload_id,
+                &objective_names,
+                &request.constraints,
+                request.points,
+                &model_versions,
+            );
+            (cache, key, fingerprint)
+        });
+        let mut cached_sel: Option<MooSelection> = None;
+        let mut warm_seed: Option<Arc<CachedFrontier>> = None;
+        if let Some((cache, key, fingerprint)) = &cache_slot {
+            let k = problem.num_objectives();
+            match cache.lookup(key, fingerprint) {
+                CacheLookup::Exact(entry) if entry.seed.usable_for(k) => {
+                    match Self::select_from_cache(&entry, &weights, started) {
+                        Ok(sel) => {
+                            udao_telemetry::counter(names::CACHE_SERVED).inc();
+                            cached_sel = Some(sel);
+                        }
+                        // An unselectable entry (empty frontier) degrades
+                        // to a cold solve rather than failing the request.
+                        Err(_) => udao_telemetry::counter(names::CACHE_MISSES).inc(),
+                    }
                 }
-                Err(e) => return Err(e),
+                CacheLookup::Near(entry) if entry.seed.usable_for(k) => {
+                    udao_telemetry::counter(names::CACHE_WARM_STARTS).inc();
+                    warm_seed = Some(entry);
+                }
+                _ => udao_telemetry::counter(names::CACHE_MISSES).inc(),
+            }
+        }
+        let from_cache = cached_sel.is_some();
+        let mut sel = {
+            let _moo_span = udao_telemetry::span("moo");
+            if let Some(sel) = cached_sel {
+                sel
+            } else {
+                let seed = warm_seed.as_ref().map(|entry| &entry.seed);
+                match self.run_moo_and_select(&problem, request.points, &weights, &budget, seed) {
+                    Ok(sel) => sel,
+                    Err(e) if absorbable(&e) => {
+                        eprintln!(
+                            "udao: all solver rungs failed ({e}); serving default configuration"
+                        );
+                        udao_telemetry::counter(names::FALLBACK_TRANSITIONS).inc();
+                        let default_x = space.encode(&O::default_configuration()).ok();
+                        let (_, _, sel) =
+                            Self::default_recommendation(&problem, &space, default_x, started)?;
+                        sel
+                    }
+                    Err(e) => return Err(e),
+                }
             }
         };
+        // Insert-on-success: only clean primary solves are worth reusing.
+        // Near hits re-insert, refreshing the entry's fingerprint (and its
+        // frontier) to the latest solved request.
+        if let Some((cache, key, fingerprint)) = cache_slot {
+            if !from_cache && sel.stage == FallbackStage::Primary && !sel.degraded {
+                if let Some(seed) = sel.seed.take() {
+                    cache.insert(key, fingerprint, CachedFrontier { seed });
+                }
+            }
+        }
         degraded |= sel.degraded;
         let (snapped, predicted) = {
             let _snap_span = udao_telemetry::span("snap");

@@ -54,6 +54,14 @@ pub struct SolveReport {
     pub model_cache_misses: u64,
     /// Model-server lookups.
     pub model_lookups: u64,
+    /// Requests answered straight from the cross-request frontier cache
+    /// (exact hit: no MOO run at all). 0 or 1 for a single solve.
+    pub cache_served: u64,
+    /// Solves warm-started from a near-hit frontier-cache entry.
+    pub cache_warm_starts: u64,
+    /// Frontier-cache lookups that found nothing usable (0 when no cache
+    /// is configured — the default).
+    pub cache_misses: u64,
     /// `(objective name, pinned model version)` per learned objective of
     /// the request — exactly one version per key for the whole solve
     /// (version 0 = heuristic/unversioned provider).
@@ -103,6 +111,9 @@ impl SolveReport {
             model_cache_hits: delta.counter(names::MODEL_CACHE_HITS),
             model_cache_misses: delta.counter(names::MODEL_CACHE_MISSES),
             model_lookups: delta.counter(names::MODEL_LOOKUPS),
+            cache_served: delta.counter(names::CACHE_SERVED),
+            cache_warm_starts: delta.counter(names::CACHE_WARM_STARTS),
+            cache_misses: delta.counter(names::CACHE_MISSES),
             model_versions: Vec::new(),
             stale_served: delta.counter(names::MODEL_STALE_SERVED),
             fallback_transitions: delta.counter(names::FALLBACK_TRANSITIONS),
@@ -150,6 +161,9 @@ impl SolveReport {
             ("model_cache_hits".to_string(), Value::UInt(self.model_cache_hits)),
             ("model_cache_misses".to_string(), Value::UInt(self.model_cache_misses)),
             ("model_lookups".to_string(), Value::UInt(self.model_lookups)),
+            ("cache_served".to_string(), Value::UInt(self.cache_served)),
+            ("cache_warm_starts".to_string(), Value::UInt(self.cache_warm_starts)),
+            ("cache_misses".to_string(), Value::UInt(self.cache_misses)),
             (
                 "model_versions".to_string(),
                 Value::Object(
@@ -215,6 +229,13 @@ impl SolveReport {
             "  cache:  {} hits, {} misses",
             self.model_cache_hits, self.model_cache_misses
         );
+        if self.cache_served + self.cache_warm_starts + self.cache_misses > 0 {
+            let _ = writeln!(
+                out,
+                "  frontier cache: {} served, {} warm starts, {} misses",
+                self.cache_served, self.cache_warm_starts, self.cache_misses
+            );
+        }
         if !self.model_versions.is_empty() || self.stale_served > 0 {
             let versions = self
                 .model_versions
@@ -304,6 +325,32 @@ mod tests {
         assert!(!report.degraded);
         assert!(report.model_versions.is_empty());
         assert_eq!(report.stale_served, 0);
+    }
+
+    #[test]
+    fn frontier_cache_counters_surface_in_json_and_render() {
+        let reg = MetricsRegistry::new();
+        reg.counter(names::CACHE_SERVED).inc();
+        reg.counter(names::CACHE_MISSES).add(2);
+        let report =
+            SolveReport::from_delta("q2-v0", FallbackStage::Primary, false, 0.1, reg.snapshot());
+        assert_eq!(report.cache_served, 1);
+        assert_eq!(report.cache_warm_starts, 0);
+        assert_eq!(report.cache_misses, 2);
+        let v = report.to_value();
+        assert_eq!(v.get("cache_served").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("cache_warm_starts").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("cache_misses").and_then(Value::as_u64), Some(2));
+        let text = report.render();
+        assert!(text.contains("frontier cache: 1 served"), "{text}");
+        // Cacheless solves keep the quiet rendering: no frontier-cache line.
+        let silent = SolveReport::empty("w").render();
+        assert!(!silent.contains("frontier cache"), "{silent}");
+        assert_eq!(
+            SolveReport::empty("w").to_value().get("cache_served").and_then(Value::as_u64),
+            Some(0),
+            "key present even when zero"
+        );
     }
 
     #[test]

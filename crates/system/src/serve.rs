@@ -385,6 +385,12 @@ impl<O: Objective> Drop for ServingEngine<O> {
     }
 }
 
+/// How long an idle worker waits before running a reclamation pass
+/// (retired coalescer lanes, stale frontier-cache entries) and going back
+/// to sleep. Pruning runs off-lock, so a request arriving mid-prune is
+/// picked up by another worker immediately.
+const IDLE_PRUNE_PERIOD: Duration = Duration::from_millis(50);
+
 fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
     loop {
         let job = {
@@ -398,7 +404,19 @@ fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
                 if st.draining {
                     break None;
                 }
-                st = shared.cv.wait(st).unwrap_or_else(|p| p.into_inner());
+                let (guard, wait) = shared
+                    .cv
+                    .wait_timeout(st, IDLE_PRUNE_PERIOD)
+                    .unwrap_or_else(|p| p.into_inner());
+                st = guard;
+                // Periodic idle-path reclamation: without this, retired
+                // coalescer lanes and stale cached frontiers only went
+                // away when a lifecycle manager happened to publish.
+                if wait.timed_out() && st.queue.is_empty() && !st.draining {
+                    drop(st);
+                    shared.udao.prune_idle();
+                    st = lock(&shared.state);
+                }
             }
         };
         let Some(job) = job else {

@@ -33,6 +33,26 @@ pub const PF_CELL_SOLVE_SECONDS: &str = "pf.cell_solve_seconds";
 /// Final uncertain-space volume fraction per PF run (dimensionless, in
 /// `[0, 1]`; shrinkage below `min_volume_frac` ends the run).
 pub const PF_UNCERTAIN_FRAC: &str = "pf.uncertain_volume_frac";
+/// PF runs resumed from a `PfSeed` (anchors skipped, probing restarted
+/// from cached uncertain rectangles).
+pub const PF_SEEDED_RUNS: &str = "pf.seeded_runs";
+
+// ------------------------------------------------- frontier cache (serving)
+
+/// Requests answered directly from a cached Pareto frontier (exact hit —
+/// no MOO run at all).
+pub const CACHE_SERVED: &str = "cache.served";
+/// Requests that warm-started MOGD/PF from a near-hit cache entry.
+pub const CACHE_WARM_STARTS: &str = "cache.warm_starts";
+/// Cache lookups that found nothing usable (cold solve follows).
+pub const CACHE_MISSES: &str = "cache.misses";
+/// Solved frontiers inserted into the cache.
+pub const CACHE_INSERTS: &str = "cache.inserts";
+/// Entries dropped because a model hot-swap retired their pinned
+/// versions (lifecycle invalidation fan-out).
+pub const CACHE_INVALIDATIONS: &str = "cache.invalidations";
+/// Entries evicted by the capacity bound (oldest-first within a shard).
+pub const CACHE_EVICTIONS: &str = "cache.evictions";
 
 // ---------------------------------------------------------- model server
 

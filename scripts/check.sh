@@ -78,6 +78,31 @@ for field in swaps swap_ms_mean swap_ms_p95 distinct_versions_served; do
     fi
 done
 
+echo "==> frontier cache bench (exact hits and warm-started near hits)"
+cargo run --release -p udao-bench --bin bench_cache
+if [ ! -s BENCH_cache.json ]; then
+    echo "BENCH_cache.json missing or empty" >&2
+    exit 1
+fi
+# The bench binary exits non-zero when the cache never serves, exact hits
+# are under 10x faster than cold solves, warm starts lose to cold solves,
+# or the warm frontier drops >2% hypervolume; re-check the verdict and the
+# headline fields that survived on disk.
+if ! grep -q '"cache_gate": true' BENCH_cache.json; then
+    echo "BENCH_cache.json: frontier-cache hit/warm-start gate failed" >&2
+    exit 1
+fi
+if ! grep -q '"warm_beats_cold": true' BENCH_cache.json; then
+    echo "BENCH_cache.json: warm-started solves must beat cold solves" >&2
+    exit 1
+fi
+for field in served warm_starts hit_speedup cold_p50_ms hit_p50_ms hv_min_ratio; do
+    if ! grep -q "\"$field\"" BENCH_cache.json; then
+        echo "BENCH_cache.json is missing field: $field" >&2
+        exit 1
+    fi
+done
+
 echo "==> serving throughput bench (1/4/8 workers)"
 cargo run --release -p udao-bench --bin bench_throughput
 if [ ! -s BENCH_throughput.json ]; then

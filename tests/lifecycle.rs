@@ -321,6 +321,147 @@ fn drift_retrain_is_visible_to_the_next_request() {
     assert_eq!(after.report.stale_served, 0);
 }
 
+/// The lifecycle fan-out reclaims cached frontiers: a drift-forced retrain
+/// publishes new weights and, in the same publish step, drops every
+/// frontier-cache entry pinned to the retired version — the next request
+/// is a cold miss against the new model, never a stale serve.
+#[test]
+fn lifecycle_retrain_invalidates_cached_frontiers() {
+    let (variant, options) = quick_pf();
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .pf(variant, options)
+        .frontier_cache(16)
+        .build()
+        .expect("quick_pf options are valid");
+    let workloads = batch_workloads();
+    let q2 = workloads.iter().find(|w| w.id == "q2-v0").expect("q2-v0 exists");
+    udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+    let mgr = udao
+        .start_lifecycle(LifecycleOptions {
+            retrain_batch: 1000, // only the drift path may retrain here
+            drift: DriftOptions { window: 8, threshold: 0.3 },
+            ..Default::default()
+        })
+        .expect("lifecycle starts");
+
+    let before = udao.recommend_batch(&q2_request(3)).expect("pre-drift solve");
+    let cache = udao.frontier_cache().expect("cache enabled");
+    assert_eq!(cache.len(), 1, "the solve cached its frontier");
+
+    for _ in 0..8 {
+        assert!(mgr.observe(
+            storm_key(),
+            before.x.clone(),
+            before.predicted[0].abs() * 10.0 + 5.0
+        ));
+    }
+    mgr.flush();
+    assert_eq!(mgr.stats().drift_retrains, 1);
+    assert_eq!(
+        cache.len(),
+        0,
+        "the publish fan-out must drop frontiers built on the retired weights"
+    );
+    let after = udao.recommend_batch(&q2_request(3)).expect("post-drift solve");
+    assert_eq!(after.report.cache_served, 0, "nothing cached survives the swap");
+    assert_eq!(after.report.cache_misses, 1);
+    assert_eq!(after.report.model_versions, vec![("latency".to_string(), 2)]);
+    assert_eq!(after.report.stale_served, 0);
+}
+
+/// Swap-storm variant over the frontier cache: rounds of forced hot-swaps
+/// interleaved with repeat requests. Every post-swap request must be a
+/// cache miss pinned to the fresh version — across the whole storm the
+/// cache never serves a frontier computed from retired weights — while
+/// unswapped repeats keep hitting.
+#[test]
+fn swap_storm_never_serves_frontiers_from_retired_weights() {
+    let (variant, options) = quick_pf();
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .pf(variant, options)
+        .frontier_cache(64)
+        .build()
+        .expect("quick_pf options are valid");
+    let workloads = batch_workloads();
+    let q2 = workloads.iter().find(|w| w.id == "q2-v0").expect("q2-v0 exists");
+    udao.train_batch(q2, 24, ModelFamily::Gp, &[BatchObjective::Latency]);
+    let key = storm_key();
+    let server = udao.shared_model_server();
+    let dim = server.lease(&key).expect("trained").model.dim();
+    let injector = FaultInjector::new(FaultConfig { drop_rate: 0.5, seed: 0xCAC4E, ..Default::default() });
+
+    for round in 0..8u64 {
+        let expected_version = server.current_version(&key);
+        let cold = udao.recommend_batch(&q2_request(3)).expect("post-swap solve");
+        assert_eq!(
+            cold.report.cache_served, 0,
+            "round {round}: a frontier from retired weights was served"
+        );
+        assert_eq!(
+            cold.report.model_versions,
+            vec![("latency".to_string(), expected_version)],
+            "round {round}: the miss must pin the live version"
+        );
+        assert_eq!(cold.report.stale_served, 0);
+        let hit = udao.recommend_batch(&q2_request(3)).expect("repeat solve");
+        assert_eq!(
+            hit.report.cache_served, 1,
+            "round {round}: an unswapped repeat must hit the cache"
+        );
+        // Force the hot-swap for the next round on real drifting traces.
+        let batch = if server.trace_count(&key) < 80 {
+            storm_batch(&injector, dim, round)
+        } else {
+            Dataset::default()
+        };
+        assert!(server.retrain_now(&key, &batch), "round {round}: forced retrain publishes");
+        assert_eq!(server.current_version(&key), expected_version + 1);
+    }
+    // Unreachable retired-version entries are bounded: the idle prune
+    // reclaims everything but the live round's frontier.
+    let cache = udao.frontier_cache().expect("cache enabled");
+    assert!(udao.prune_idle() > 0, "the storm left stale entries to reclaim");
+    assert!(cache.len() <= 1, "only the live-version entry may survive the prune");
+}
+
+/// Idle serving workers reclaim stale cache entries on their own: after a
+/// hot-swap retires the cached frontier's weights, an idle engine (no
+/// further requests) prunes the entry within a few idle periods.
+#[test]
+fn idle_serving_workers_prune_stale_cache_entries() {
+    let (variant, options) = quick_pf();
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .pf(variant, options)
+        .frontier_cache(16)
+        .build()
+        .expect("quick_pf options are valid");
+    let workloads = batch_workloads();
+    let q2 = workloads.iter().find(|w| w.id == "q2-v0").expect("q2-v0 exists");
+    udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+    let udao = Arc::new(udao);
+    let mut engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
+        Arc::clone(&udao),
+        ServingOptions::default().with_workers(2),
+    );
+    let rec = engine.solve(q2_request(3)).expect("engine solve");
+    assert_eq!(rec.report.cache_misses, 1);
+    let cache = udao.frontier_cache().expect("cache enabled");
+    assert_eq!(cache.len(), 1);
+
+    // Retire the weights underneath the cached frontier, then go idle.
+    assert!(udao.shared_model_server().retrain_now(&storm_key(), &Dataset::default()));
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while cache.len() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(
+        cache.len(),
+        0,
+        "idle workers must reclaim the stale entry without any request traffic"
+    );
+    engine.shutdown();
+}
+
 /// Serving never blocks behind training: while a deliberately large full
 /// GP refit grinds on another thread, `lease` keeps answering from the old
 /// version with low latency, and the swap lands atomically afterwards.
@@ -351,7 +492,8 @@ fn lease_never_blocks_behind_a_slow_retrain() {
         })
     };
 
-    let mut leased_during_training = 0u64;
+    let mut old_version_leases = 0u64;
+    let mut last_version = 0u64;
     let mut slowest = Duration::ZERO;
     while training.load(Ordering::Acquire) {
         let started = Instant::now();
@@ -359,15 +501,29 @@ fn lease_never_blocks_behind_a_slow_retrain() {
         let took = started.elapsed();
         slowest = slowest.max(took);
         if training.load(Ordering::Acquire) {
-            leased_during_training += 1;
-            assert_eq!(lease.version, 1, "mid-retrain leases must serve the old version");
+            // The publish lands *inside* `retrain_now`, strictly before the
+            // trainer clears `training`, so a v2 lease here only means the
+            // swap already landed — asserting v1 outright races the store.
+            // What must hold: versions move 1 → 2 monotonically (never torn
+            // or rolled back), and the slow refit serves the old version
+            // throughout — counted below.
+            assert!(
+                lease.version >= last_version,
+                "version rolled back mid-retrain: {} after {last_version}",
+                lease.version
+            );
+            assert!(lease.version <= 2, "impossible version {} during one retrain", lease.version);
+            last_version = lease.version;
+            if lease.version == 1 {
+                old_version_leases += 1;
+            }
         }
         std::thread::sleep(Duration::from_micros(200));
     }
     assert!(trainer.join().expect("trainer exits"), "the slow retrain must publish");
     assert!(
-        leased_during_training > 0,
-        "the refit must be slow enough for the serving thread to overlap it"
+        old_version_leases > 0,
+        "the refit must be slow enough for the serving thread to lease the old version meanwhile"
     );
     assert!(
         slowest < Duration::from_millis(250),
