@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use udao::{BatchRequest, ModelFamily, ServingEngine, ServingOptions, Udao};
+use udao::{BatchRequest, ClassQuotas, ModelFamily, ServingEngine, ServingOptions, Udao};
 use udao_model::dataset::Dataset;
 use udao_model::server::{ModelKey, ModelServer};
 use udao_sparksim::objectives::BatchObjective;
@@ -122,7 +122,16 @@ fn run() -> Result<(), String> {
 
     let mut engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
         Arc::clone(&udao),
-        ServingOptions::default().with_workers(WORKERS).with_queue_depth(requests),
+        ServingOptions::default()
+            .with_workers(WORKERS)
+            .with_queue_depth(requests)
+            // The whole burst is one (standard) class; the derived
+            // per-class quotas would shed its tail.
+            .with_class_quotas(ClassQuotas {
+                interactive: requests,
+                standard: requests,
+                batch: requests,
+            }),
     );
     let started = Instant::now();
     let handles: Vec<_> = (0..requests)

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use udao::{
-    BatchRequest, ModelFamily, ModelProvider, ServingEngine, ServingOptions, Udao,
+    BatchRequest, ClassQuotas, ModelFamily, ModelProvider, ServingEngine, ServingOptions, Udao,
 };
 use udao_model::server::{ModelKey, ModelServer};
 use udao_sparksim::objectives::BatchObjective;
@@ -96,7 +96,14 @@ fn run_level(udao: &Arc<Udao>, workers: usize, requests: usize) -> Result<Level,
         Arc::clone(udao),
         ServingOptions::default()
             .with_workers(workers)
-            .with_queue_depth(requests.max(1)),
+            .with_queue_depth(requests.max(1))
+            // The whole burst is one (standard) class; the derived
+            // per-class quotas would shed the tail of larger levels.
+            .with_class_quotas(ClassQuotas {
+                interactive: requests.max(1),
+                standard: requests.max(1),
+                batch: requests.max(1),
+            }),
     );
     let engine = Arc::new(engine);
     let started = Instant::now();

@@ -1,5 +1,6 @@
 //! Error handling for the MOO core.
 
+use crate::priority::Priority;
 use std::fmt;
 
 /// Errors produced by the MOO core.
@@ -45,15 +46,32 @@ pub enum Error {
     /// A worker thread (or an isolated solve) panicked; the payload carries
     /// the panic message.
     WorkerPanicked(String),
-    /// A serving engine rejected the request at admission: the queue was
-    /// full, the in-flight cap was reached, the engine was draining, or the
-    /// request's remaining budget could not cover the observed solve time.
-    /// Shed requests were never solved — retrying against a less loaded
-    /// engine (or with a larger budget) is always safe.
+    /// A serving engine rejected the request at admission: the queue or the
+    /// request's class quota was full, the in-flight cap was reached, the
+    /// engine was draining, or the request's remaining budget could not
+    /// cover the observed solve time. Shed requests were never solved —
+    /// retrying against a less loaded engine (or with a larger budget) is
+    /// always safe.
     Shed {
         /// Why admission control rejected the request.
         reason: String,
+        /// The scheduling class of the shed request, when the scheduler
+        /// knew it (`None` for sheds synthesized outside a serving
+        /// engine).
+        class: Option<Priority>,
+        /// Requests of the same class already queued when the shed
+        /// decision was taken (`None` for sheds that never consulted the
+        /// queue, e.g. an already-expired budget).
+        queued: Option<usize>,
     },
+}
+
+impl Error {
+    /// A [`Error::Shed`] with no scheduler context, for sheds raised
+    /// outside a class-aware scheduler (tests, synthetic rejections).
+    pub fn shed(reason: impl Into<String>) -> Self {
+        Error::Shed { reason: reason.into(), class: None, queued: None }
+    }
 }
 
 impl fmt::Display for Error {
@@ -74,7 +92,15 @@ impl fmt::Display for Error {
             }
             Error::ModelUnavailable(key) => write!(f, "no trained model available: {key}"),
             Error::WorkerPanicked(msg) => write!(f, "worker panicked: {msg}"),
-            Error::Shed { reason } => write!(f, "request shed by admission control: {reason}"),
+            Error::Shed { reason, class, queued } => {
+                write!(f, "request shed by admission control: {reason}")?;
+                match (class, queued) {
+                    (Some(c), Some(q)) => write!(f, " [class {c}, {q} queued]"),
+                    (Some(c), None) => write!(f, " [class {c}]"),
+                    (None, Some(q)) => write!(f, " [{q} queued]"),
+                    (None, None) => Ok(()),
+                }
+            }
         }
     }
 }
@@ -105,9 +131,17 @@ mod tests {
         let e = Error::WorkerPanicked("index out of bounds".into());
         assert!(e.to_string().contains("panicked"));
         assert!(e.to_string().contains("index out of bounds"));
-        let e = Error::Shed { reason: "queue full (depth 64)".into() };
+        let e = Error::shed("queue full (depth 64)");
         assert!(e.to_string().contains("shed"));
         assert!(e.to_string().contains("queue full"));
+        assert!(!e.to_string().contains("class"), "no context without a scheduler");
+        let e = Error::Shed {
+            reason: "batch quota full".into(),
+            class: Some(Priority::Batch),
+            queued: Some(9),
+        };
+        assert!(e.to_string().contains("class batch"), "{e}");
+        assert!(e.to_string().contains("9 queued"), "{e}");
     }
 
     #[test]

@@ -55,12 +55,14 @@ pub mod mogd;
 pub mod objective;
 pub mod pareto;
 pub mod pf;
+pub mod priority;
 pub mod recommend;
 pub mod solver;
 pub mod space;
 
 pub use budget::Budget;
 pub use error::{Error, Result};
+pub use priority::Priority;
 pub use objective::{Direction, FnModel, ObjectiveModel, ObjectiveSpec};
 pub use pareto::ParetoPoint;
 pub use solver::MooProblem;

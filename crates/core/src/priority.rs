@@ -1,0 +1,104 @@
+//! Request priority classes for SLO-aware serving.
+//!
+//! A deployed optimizer serves two very different request populations from
+//! one stack: *interactive* tuning requests sitting on a user's critical
+//! path (the paper's 1–2 s serving story, §VI), and *bulk* re-tuning
+//! sweeps that are cheap individually but arrive in floods. [`Priority`]
+//! names the class a request belongs to so the serving engine can order
+//! admitted work with strict class precedence and shed overload onto the
+//! class that can absorb it.
+//!
+//! The type lives in `udao-core` (rather than the serving crate) because
+//! [`Error::Shed`](crate::Error::Shed) carries it: a shed response names
+//! the class the scheduler rejected, and the error type is defined here.
+
+use std::fmt;
+
+/// The scheduling class of a serving request.
+///
+/// Ordering is by *urgency*: `Interactive < Standard < Batch`, so sorting
+/// ascending puts the most urgent class first and comparisons like
+/// `a < b` read as "a outranks b".
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// A request on a user's critical path: dispatched before everything
+    /// else, shed last.
+    Interactive,
+    /// The default class for requests with no stated urgency.
+    #[default]
+    Standard,
+    /// Bulk work (re-tuning sweeps, backfills): dispatched only when no
+    /// higher class is waiting, and the first class to absorb shedding
+    /// under overload.
+    Batch,
+}
+
+
+impl Priority {
+    /// Every class, in precedence order (most urgent first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Batch];
+
+    /// Dense index of the class (0 = most urgent); stable across releases,
+    /// usable as an array index keyed by class.
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// Canonical lowercase name (`interactive` / `standard` / `batch`) —
+    /// the form telemetry counters and JSON output use.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parse the canonical name back into a class (the inverse of
+    /// [`Priority::as_str`]); `None` for anything else.
+    pub fn parse(name: &str) -> Option<Priority> {
+        match name {
+            "interactive" => Some(Priority::Interactive),
+            "standard" => Some(Priority::Standard),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precedence_order_is_interactive_first() {
+        assert!(Priority::Interactive < Priority::Standard);
+        assert!(Priority::Standard < Priority::Batch);
+        let mut all = [Priority::Batch, Priority::Interactive, Priority::Standard];
+        all.sort();
+        assert_eq!(all, Priority::ALL);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for p in Priority::ALL {
+            assert_eq!(Priority::parse(p.as_str()), Some(p));
+            assert_eq!(p.to_string(), p.as_str());
+        }
+        assert_eq!(Priority::parse("urgent"), None);
+        assert_eq!(Priority::default(), Priority::Standard);
+    }
+}

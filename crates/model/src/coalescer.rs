@@ -49,24 +49,38 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 use udao_core::ObjectiveModel;
 use udao_telemetry::names;
 
 /// Tuning knobs for the coalescing window.
+///
+/// With [`CoalescerOptions::adaptive`] set (the default), `max_batch` and
+/// `window` are *ceilings*: the effective fill target scales with the
+/// observed load (active solvers plus the serving engine's queue-depth
+/// hints, see [`InferenceCoalescer::observe_load`]), and the effective
+/// window scales with the measured per-point dispatch cost of the served
+/// models — a lane stops collecting once waiting longer would cost more
+/// than the batch it could still gain. With `adaptive` off, both values
+/// are used verbatim, which is the pre-adaptive fixed behaviour.
 #[derive(Debug, Clone, Copy)]
 pub struct CoalescerOptions {
-    /// Dispatch as soon as this many points are pending in a lane.
+    /// Dispatch as soon as this many points are pending in a lane
+    /// (adaptive mode: the upper bound of the load-scaled fill target).
     pub max_batch: usize,
-    /// Dispatch no later than this long after a lane's first pending call.
+    /// Dispatch no later than this long after a lane's first pending call
+    /// (adaptive mode: the upper bound of the cost-scaled window).
     pub window: Duration,
+    /// Scale the window and fill target from observed queue depth and
+    /// dispatch cost instead of using the fixed values.
+    pub adaptive: bool,
 }
 
 impl Default for CoalescerOptions {
     fn default() -> Self {
-        Self { max_batch: 32, window: Duration::from_micros(200) }
+        Self { max_batch: 32, window: Duration::from_micros(200), adaptive: true }
     }
 }
 
@@ -180,6 +194,12 @@ pub struct InferenceCoalescer {
     /// Number of registered in-flight solves; below 2 every call takes the
     /// direct fast path.
     active: AtomicUsize,
+    /// Backlog hint from the serving engine (its queue depth, refreshed at
+    /// every enqueue/dequeue); sizes the adaptive fill target.
+    load_hint: AtomicUsize,
+    /// EWMA of per-point dispatch cost in nanoseconds (0 = nothing
+    /// observed yet); sizes the adaptive window.
+    point_cost_ns: AtomicU64,
     lanes: Mutex<HashMap<LaneKey, Arc<Lane>>>,
 }
 
@@ -196,6 +216,8 @@ impl InferenceCoalescer {
         Arc::new(Self {
             options: options.saturated(),
             active: AtomicUsize::new(0),
+            load_hint: AtomicUsize::new(0),
+            point_cost_ns: AtomicU64::new(0),
             lanes: Mutex::new(HashMap::new()),
         })
     }
@@ -208,6 +230,58 @@ impl InferenceCoalescer {
     /// Number of currently registered active solves.
     pub fn active_solvers(&self) -> usize {
         self.active.load(Ordering::Relaxed)
+    }
+
+    /// Feed a backlog observation (the serving engine's queue depth,
+    /// refreshed at each enqueue/dequeue). Adaptive mode sizes the fill
+    /// target from the latest hint: a deep queue means more solves are
+    /// about to need inference, so waiting for a fuller batch pays; an
+    /// empty queue shrinks the target back toward the concurrency floor.
+    /// A no-op for non-adaptive coalescers.
+    pub fn observe_load(&self, queue_depth: usize) {
+        self.load_hint.store(queue_depth, Ordering::Relaxed);
+    }
+
+    /// The fill target a lane leader currently dispatches at: under
+    /// adaptive options, the observed load (registered solvers plus the
+    /// latest backlog hint) clamped to `[2, max_batch]` — there is no
+    /// point waiting for more points than there are solves to produce
+    /// them. Fixed options return `max_batch` verbatim.
+    pub fn effective_fill(&self) -> usize {
+        if !self.options.adaptive {
+            return self.options.max_batch;
+        }
+        let load = self.active.load(Ordering::Relaxed) + self.load_hint.load(Ordering::Relaxed);
+        load.clamp(2, self.options.max_batch.max(2))
+    }
+
+    /// The window cap a lane leader currently waits under: in adaptive
+    /// mode, the EWMA per-point dispatch cost times the fill target —
+    /// waiting longer than one batch's worth of compute can never win —
+    /// clamped to `[MIN_WAIT_SLICE, window]`. Before any dispatch has
+    /// been measured (and in fixed mode) the configured window is used.
+    pub fn effective_window(&self) -> Duration {
+        if !self.options.adaptive {
+            return self.options.window;
+        }
+        let cost_ns = self.point_cost_ns.load(Ordering::Relaxed);
+        if cost_ns == 0 {
+            return self.options.window;
+        }
+        let scaled = Duration::from_nanos(cost_ns.saturating_mul(self.effective_fill() as u64));
+        scaled.clamp(CoalescerOptions::MIN_WAIT_SLICE, self.options.window)
+    }
+
+    /// Fold one dispatch's measured cost into the per-point EWMA
+    /// (`new = (3·old + observed) / 4`; the first observation seeds it).
+    fn record_dispatch_cost(&self, elapsed: Duration, points: usize) {
+        if points == 0 {
+            return;
+        }
+        let per_point = (elapsed.as_nanos() / points as u128).min(u128::from(u64::MAX)) as u64;
+        let old = self.point_cost_ns.load(Ordering::Relaxed);
+        let next = if old == 0 { per_point } else { (3 * old + per_point) / 4 };
+        self.point_cost_ns.store(next, Ordering::Relaxed);
     }
 
     /// Mark a solve as active for the lifetime of the returned guard.
@@ -279,7 +353,7 @@ impl InferenceCoalescer {
             st.xs.extend(points.iter().cloned());
             st.jobs.push((Arc::clone(&slot), offset, points.len()));
             if st.has_leader {
-                if st.xs.len() >= self.options.max_batch {
+                if st.xs.len() >= self.effective_fill() {
                     lane.cv.notify_all();
                 }
                 false
@@ -308,18 +382,24 @@ impl InferenceCoalescer {
     /// with idle co-workers would stall for the full window (and far
     /// longer under CPU contention, where timer wakeups overshoot).
     fn lead(&self, lane: &Lane, dispatch: &BatchDispatch<'_>) {
-        let deadline = Instant::now() + self.options.window;
+        // Adaptive mode resizes both bounds from observed load and per-
+        // point dispatch cost; fixed mode returns the configured values.
+        // Sampled once per dispatch so one collection runs under one
+        // policy.
+        let fill = self.effective_fill();
+        let window = self.effective_window();
+        let deadline = Instant::now() + window;
         // Regression: the slice used to be `(window / 8).max(1µs)`, so a
         // sub-8µs window produced timeouts below what OS timers can honour
         // — `wait_timeout` returned almost immediately and the loop hot-
         // spun on the lane lock until the deadline. Both the slice and the
         // final pre-deadline wait are floored now; a degenerate window may
         // overshoot its deadline by at most one floored slice.
-        let slice = (self.options.window / 8).max(CoalescerOptions::MIN_WAIT_SLICE);
+        let slice = (window / 8).max(CoalescerOptions::MIN_WAIT_SLICE);
         let (xs, jobs) = {
             let mut st = lock(&lane.state);
             loop {
-                if st.xs.len() >= self.options.max_batch {
+                if st.xs.len() >= fill {
                     break;
                 }
                 let now = Instant::now();
@@ -352,11 +432,16 @@ impl InferenceCoalescer {
             udao_telemetry::histogram(names::SERVE_COALESCED_BATCH_SIZE)
                 .record(xs.len() as f64);
             let mut out = vec![0.0; xs.len()];
-            catch_unwind(AssertUnwindSafe(|| {
+            let started = Instant::now();
+            let dispatched = catch_unwind(AssertUnwindSafe(|| {
                 dispatch(&xs, &mut out);
                 out
             }))
-            .map_err(|payload| panic_message(payload.as_ref()))
+            .map_err(|payload| panic_message(payload.as_ref()));
+            if dispatched.is_ok() {
+                self.record_dispatch_cost(started.elapsed(), xs.len());
+            }
+            dispatched
         };
         for (job_slot, offset, len) in jobs {
             job_slot.fulfill(
@@ -537,6 +622,7 @@ mod tests {
         let coalescer = InferenceCoalescer::new(CoalescerOptions {
             max_batch: 64,
             window: Duration::from_micros(100),
+            adaptive: false,
         });
         let inner = quad_model();
         let wrapped = coalescer.wrap(Arc::clone(&inner));
@@ -565,6 +651,7 @@ mod tests {
         let coalescer = InferenceCoalescer::new(CoalescerOptions {
             max_batch: 32,
             window: Duration::from_millis(50),
+            adaptive: false,
         });
         let inner = quad_model();
         let wrapped = coalescer.wrap(Arc::clone(&inner));
@@ -605,6 +692,7 @@ mod tests {
         let coalescer = InferenceCoalescer::new(CoalescerOptions {
             max_batch: 4,
             window: Duration::from_millis(20),
+            adaptive: false,
         });
         let poisoned: Arc<dyn ObjectiveModel> =
             Arc::new(FnModel::new(1, |_x: &[f64]| -> f64 { panic!("poisoned model") }));
@@ -658,6 +746,7 @@ mod tests {
             let coalescer = InferenceCoalescer::new(CoalescerOptions {
                 max_batch: 64,
                 window: Duration::from_millis(5),
+                adaptive: false,
             });
             // Same inner Arc (same address — the worst-case reuse), two
             // epochs: exactly what a swap plus allocator reuse produces.
@@ -698,6 +787,7 @@ mod tests {
         let coalescer = InferenceCoalescer::new(CoalescerOptions {
             max_batch: 64,
             window: Duration::from_micros(100),
+            adaptive: false,
         });
         let wrapped = coalescer.wrap_versioned(quad_model(), 1);
         let _a = coalescer.register_solver();
@@ -719,7 +809,7 @@ mod tests {
     #[test]
     fn degenerate_windows_dispatch_promptly_and_exactly() {
         for window in [Duration::ZERO, Duration::from_nanos(500), Duration::from_micros(2)] {
-            let coalescer = InferenceCoalescer::new(CoalescerOptions { max_batch: 32, window });
+            let coalescer = InferenceCoalescer::new(CoalescerOptions { max_batch: 32, window, adaptive: false });
             let inner = quad_model();
             let wrapped = coalescer.wrap(Arc::clone(&inner));
             let _a = coalescer.register_solver();
@@ -742,7 +832,7 @@ mod tests {
 
     #[test]
     fn degenerate_options_are_rejected_by_validate_and_saturated_by_new() {
-        let degenerate = CoalescerOptions { max_batch: 0, window: Duration::ZERO };
+        let degenerate = CoalescerOptions { max_batch: 0, window: Duration::ZERO, adaptive: false };
         assert!(degenerate.validate().is_err());
         assert!(CoalescerOptions::default().validate().is_ok());
         assert_eq!(degenerate.saturated().max_batch, 1);
@@ -757,6 +847,79 @@ mod tests {
         let _b = coalescer.register_solver();
         let x = vec![0.3, 0.7];
         assert_eq!(wrapped.predict(&x).to_bits(), inner.predict(&x).to_bits());
+    }
+
+    #[test]
+    fn adaptive_fill_tracks_load_and_clamps_to_ceiling() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 16,
+            window: Duration::from_micros(200),
+            adaptive: true,
+        });
+        // Idle: floor of 2 (a batch of one never pays for a wait).
+        assert_eq!(coalescer.effective_fill(), 2);
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        let _c = coalescer.register_solver();
+        assert_eq!(coalescer.effective_fill(), 3, "active solvers count as load");
+        coalescer.observe_load(5);
+        assert_eq!(coalescer.effective_fill(), 8, "queue backlog raises the target");
+        coalescer.observe_load(500);
+        assert_eq!(coalescer.effective_fill(), 16, "configured max_batch is the ceiling");
+        coalescer.observe_load(0);
+        assert_eq!(coalescer.effective_fill(), 3, "a drained queue shrinks it back");
+    }
+
+    #[test]
+    fn adaptive_window_scales_with_observed_dispatch_cost() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 8,
+            window: Duration::from_millis(10),
+            adaptive: true,
+        });
+        // No dispatch measured yet: the configured cap is the fallback.
+        assert_eq!(coalescer.effective_window(), Duration::from_millis(10));
+        // A cheap model (1µs/point EWMA) shrinks the window to one
+        // batch's worth of compute, floored at the minimum wait slice.
+        coalescer.record_dispatch_cost(Duration::from_micros(8), 8);
+        let w = coalescer.effective_window();
+        assert!(w < Duration::from_millis(10), "cheap dispatch shrinks the window: {w:?}");
+        assert!(w >= CoalescerOptions::MIN_WAIT_SLICE);
+        // An expensive model saturates back at the configured cap.
+        for _ in 0..8 {
+            coalescer.record_dispatch_cost(Duration::from_millis(80), 8);
+        }
+        assert_eq!(coalescer.effective_window(), Duration::from_millis(10));
+        // Fixed-mode coalescers ignore observations entirely.
+        let fixed = InferenceCoalescer::new(CoalescerOptions {
+            max_batch: 8,
+            window: Duration::from_millis(10),
+            adaptive: false,
+        });
+        fixed.record_dispatch_cost(Duration::from_micros(8), 8);
+        assert_eq!(fixed.effective_window(), Duration::from_millis(10));
+        assert_eq!(fixed.effective_fill(), 8);
+    }
+
+    #[test]
+    fn adaptive_dispatch_stays_bitwise_equal_to_direct() {
+        let coalescer = InferenceCoalescer::new(CoalescerOptions::default());
+        assert!(coalescer.options().adaptive, "adaptive is the default");
+        let inner = quad_model();
+        let wrapped = coalescer.wrap(Arc::clone(&inner));
+        let _a = coalescer.register_solver();
+        let _b = coalescer.register_solver();
+        coalescer.observe_load(7);
+        let xs = probe_points(9);
+        let mut direct = vec![0.0; xs.len()];
+        let mut via = vec![0.0; xs.len()];
+        inner.predict_batch(&xs, &mut direct);
+        wrapped.predict_batch(&xs, &mut via);
+        for (d, v) in direct.iter().zip(&via) {
+            assert_eq!(d.to_bits(), v.to_bits());
+        }
+        // The dispatch fed the cost EWMA for subsequent window sizing.
+        assert!(coalescer.point_cost_ns.load(Ordering::Relaxed) > 0);
     }
 
     #[test]

@@ -7,12 +7,16 @@
 //!     [--weights 0.5,0.5] [--constraint cost_cores=4:58]
 //!     [--family gp|dnn] [--traces 80] [--points 12] [--json] [--report]
 //!     [--workers N] [--budget-ms M] [--cache N]
+//!     [--priority interactive|standard|batch] [--deadline-ms M]
 //!     train models from simulator traces and recommend a configuration;
 //!     --report also prints the per-request solve report (stage timings,
-//!     MOGD/PF/model counters); --workers routes the request through a
-//!     concurrent ServingEngine with N workers; --budget-ms sets a
-//!     per-request deadline (requests it cannot cover are shed); --cache
-//!     enables the cross-request frontier cache with capacity N entries
+//!     MOGD/PF/model counters, scheduler decisions); --workers routes the
+//!     request through a concurrent ServingEngine with N workers;
+//!     --budget-ms sets a per-request deadline (requests it cannot cover
+//!     are shed); --priority sets the scheduling class the engine orders
+//!     and sheds by; --deadline-ms sets the SLO deadline used for
+//!     earliest-deadline-first ordering within the class; --cache enables
+//!     the cross-request frontier cache with capacity N entries
 //!
 //! With --json, failures also print a machine-readable error object (and,
 //! under --report, a complete all-zero solve report — every counter key
@@ -27,7 +31,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use udao::{BatchRequest, ModelFamily, ServingEngine, ServingOptions, SolveReport, Udao};
+use udao::{BatchRequest, ModelFamily, Priority, ServingEngine, ServingOptions, SolveReport, Udao};
 use udao_core::Error;
 use udao_sparksim::objectives::BatchObjective;
 use udao_sparksim::{batch_workloads, streaming_workloads, BatchConf, ClusterSpec};
@@ -81,10 +85,25 @@ fn parse_constraint(s: &str) -> Option<(String, f64, f64)> {
 /// (and an empty-but-present `metrics.counters` object) even when the
 /// request never reached a solver — shed at admission, or failed outright.
 fn error_value(workload: &str, err: &Error, with_report: bool) -> serde_json::Value {
+    // Scheduler context keys are always present so parsers need no
+    // conditional schema: null unless the engine shed the request.
+    let (shed_reason, class, queued) = match err {
+        Error::Shed { reason, class, queued } => (
+            serde_json::Value::String(reason.clone()),
+            class.map_or(serde_json::Value::Null, |c| {
+                serde_json::Value::String(c.to_string())
+            }),
+            queued.map_or(serde_json::Value::Null, |q| serde_json::json!(q)),
+        ),
+        _ => (serde_json::Value::Null, serde_json::Value::Null, serde_json::Value::Null),
+    };
     let mut out = serde_json::json!({
         "workload": workload,
         "error": err.to_string(),
         "shed": matches!(err, Error::Shed { .. }),
+        "shed_reason": shed_reason,
+        "class": class,
+        "queued": queued,
     });
     if with_report {
         if let serde_json::Value::Object(fields) = &mut out {
@@ -176,6 +195,18 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
     }
     if let Some(ms) = flags.get("budget-ms").and_then(|v| v.parse().ok()) {
         req = req.budget(Duration::from_millis(ms));
+    }
+    if let Some(name) = flags.get("priority") {
+        match Priority::parse(name) {
+            Some(class) => req = req.priority(class),
+            None => {
+                eprintln!("unknown priority {name} (expected interactive|standard|batch)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(ms) = flags.get("deadline-ms").and_then(|v| v.parse().ok()) {
+        req = req.deadline(Duration::from_millis(ms));
     }
     let result = match flags.get("workers").and_then(|v| v.parse::<usize>().ok()) {
         Some(workers) => {
@@ -324,12 +355,24 @@ mod tests {
     fn shed_error_json_is_valid_and_report_complete() {
         // Regression: --json --report must emit one parseable document with
         // every report key present even when the request never solved.
-        let err = Error::Shed { reason: "queue full (depth 4)".into() };
+        let err = Error::Shed {
+            reason: "queue full (depth 4)".into(),
+            class: Some(Priority::Batch),
+            queued: Some(4),
+        };
         let v = error_value("q2-v0", &err, true);
         let text = serde_json::to_string(&v).unwrap();
         let parsed: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
         assert_eq!(parsed.get("workload").and_then(|v| v.as_str()), Some("q2-v0"));
         assert!(matches!(parsed.get("shed"), Some(serde_json::Value::Bool(true))));
+        // Scheduler context rides along: the bare reason (not the rendered
+        // error string), the shed class, and the observed queue depth.
+        assert_eq!(
+            parsed.get("shed_reason").and_then(|v| v.as_str()),
+            Some("queue full (depth 4)")
+        );
+        assert_eq!(parsed.get("class").and_then(|v| v.as_str()), Some("batch"));
+        assert_eq!(parsed.get("queued").and_then(|v| v.as_u64()), Some(4));
         let report = parsed.get("report").expect("report present");
         // All counter keys exist, zeroed — not missing.
         for key in [
@@ -339,9 +382,13 @@ mod tests {
             "model_batch_calls",
             "stale_served",
             "fallback_transitions",
+            "reorders",
         ] {
             assert_eq!(report.get(key).and_then(|v| v.as_u64()), Some(0), "key {key}");
         }
+        // Scheduler report keys present with neutral values.
+        assert_eq!(report.get("class"), Some(&serde_json::Value::Null));
+        assert_eq!(report.get("queue_wait_seconds").and_then(|v| v.as_f64()), Some(0.0));
         // Lifecycle fields present even for never-solved requests.
         assert!(
             report.get("model_versions").and_then(|v| v.as_object()).is_some(),
@@ -363,6 +410,18 @@ mod tests {
         assert!(matches!(v.get("shed"), Some(serde_json::Value::Bool(false))));
         assert!(v.get("report").is_none());
         assert!(v.get("error").and_then(|e| e.as_str()).unwrap().contains("no trained model"));
+        // Scheduler keys stay present (null) so parsers keep one schema.
+        assert_eq!(v.get("shed_reason"), Some(&serde_json::Value::Null));
+        assert_eq!(v.get("class"), Some(&serde_json::Value::Null));
+        assert_eq!(v.get("queued"), Some(&serde_json::Value::Null));
+    }
+
+    #[test]
+    fn priority_flag_values_parse_into_classes() {
+        assert_eq!(Priority::parse("interactive"), Some(Priority::Interactive));
+        assert_eq!(Priority::parse("standard"), Some(Priority::Standard));
+        assert_eq!(Priority::parse("batch"), Some(Priority::Batch));
+        assert_eq!(Priority::parse("urgent"), None);
     }
 
     #[test]

@@ -58,4 +58,5 @@ pub use pipeline::{PipelineRecommendation, PipelineRequest};
 pub use report::{SolveReport, StageTiming};
 pub use request::{BatchRequest, Objective, Request, StreamRequest};
 pub use resilience::{FallbackStage, ModelProvider, ResilienceOptions, RetryPolicy};
-pub use serve::{ResponseHandle, ServingEngine, ServingOptions};
+pub use serve::{ClassQuotas, ClassScheduler, ResponseHandle, ServingEngine, ServingOptions};
+pub use udao_core::priority::Priority;

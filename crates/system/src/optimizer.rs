@@ -279,9 +279,9 @@ impl UdaoBuilder {
     }
 }
 
-/// Validate a (variant, options, resilience) combination. Shared by
-/// [`UdaoBuilder::build`] and the deprecated in-place `Udao::with_*`
-/// setters, so no construction path can smuggle in rejected options.
+/// Validate a (variant, options, resilience) combination before
+/// [`UdaoBuilder::build`] assembles the optimizer, so no construction path
+/// can smuggle in rejected options.
 fn validate_options(
     pf_variant: PfVariant,
     pf_options: &PfOptions,
@@ -386,46 +386,6 @@ impl Udao {
             coalescer: CoalescerOptions::default(),
             frontier_cache: None,
         }
-    }
-
-    /// Override the Progressive Frontier variant/options.
-    ///
-    /// Runs the same validation as [`UdaoBuilder::build`]; invalid options
-    /// are rejected instead of silently bypassing the builder's checks.
-    #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).pf(...).build()`")]
-    pub fn with_pf(mut self, variant: PfVariant, options: PfOptions) -> Result<Self> {
-        validate_options(variant, &options, &self.resilience)?;
-        self.pf_variant = variant;
-        self.pf_options = options;
-        Ok(self)
-    }
-
-    /// Override the resilience policy (request budget, retry, cold-start
-    /// degradation).
-    ///
-    /// Runs the same validation as [`UdaoBuilder::build`].
-    #[deprecated(since = "0.2.0", note = "use `Udao::builder(cluster).resilience(...).build()`")]
-    pub fn with_resilience(mut self, resilience: ResilienceOptions) -> Result<Self> {
-        validate_options(self.pf_variant, &self.pf_options, &resilience)?;
-        self.resilience = resilience;
-        Ok(self)
-    }
-
-    /// Route model lookups through `provider` instead of the in-process
-    /// model server — the seam for remote servers and fault injection.
-    /// Training still writes to [`Udao::model_server`]; wrap
-    /// [`Udao::shared_model_server`] to intercept its reads.
-    ///
-    /// Runs the same validation as [`UdaoBuilder::build`] so all deprecated
-    /// setters share one contract.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Udao::builder(cluster).model_provider(...).build()`"
-    )]
-    pub fn with_model_provider(mut self, provider: Arc<dyn ModelProvider>) -> Result<Self> {
-        validate_options(self.pf_variant, &self.pf_options, &self.resilience)?;
-        self.provider = provider;
-        Ok(self)
     }
 
     /// The underlying model server.
@@ -1332,28 +1292,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_still_configure_the_optimizer() {
+    fn builder_configures_the_optimizer() {
         let (v, o) = quick_pf();
-        let udao = Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).unwrap();
+        let udao = Udao::builder(ClusterSpec::paper_cluster()).pf(v, o).build().unwrap();
         assert_eq!(udao.pf_variant, PfVariant::ApproxSequential);
         assert_eq!(udao.pf_options.mogd.multistarts, 4);
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_setters_run_builder_validation() {
+    fn builder_runs_validation() {
         let (v, mut o) = quick_pf();
         o.mogd.max_iters = 0;
-        assert!(Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).is_err());
+        assert!(Udao::builder(ClusterSpec::paper_cluster()).pf(v, o).build().is_err());
 
         let (v, mut o) = quick_pf();
         o.mogd.learning_rate = f64::NAN;
-        assert!(Udao::new(ClusterSpec::paper_cluster()).with_pf(v, o).is_err());
+        assert!(Udao::builder(ClusterSpec::paper_cluster()).pf(v, o).build().is_err());
 
         let mut r = ResilienceOptions::default();
         r.retry.attempts = 0;
-        assert!(Udao::new(ClusterSpec::paper_cluster()).with_resilience(r).is_err());
+        assert!(Udao::builder(ClusterSpec::paper_cluster()).resilience(r).build().is_err());
     }
 
     #[test]

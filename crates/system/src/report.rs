@@ -10,6 +10,7 @@
 use crate::resilience::FallbackStage;
 use serde::Value;
 use std::fmt::Write as _;
+use udao_core::priority::Priority;
 use udao_telemetry::{names, MetricsSnapshot};
 
 /// Wall-clock spent in one instrumented stage (a `span.` histogram).
@@ -72,6 +73,16 @@ pub struct SolveReport {
     pub stale_served: u64,
     /// Resilience-ladder descents taken while serving the request.
     pub fallback_transitions: u64,
+    /// Scheduling class the request ran under, when it went through a
+    /// serving engine (`None` for direct `recommend` calls).
+    pub class: Option<Priority>,
+    /// Seconds the request spent queued between admission and the start of
+    /// its solve (0 outside a serving engine).
+    pub queue_wait_seconds: f64,
+    /// Already-queued requests this one was ordered ahead of at admission
+    /// (strict class precedence + earlier deadline); 0 outside a serving
+    /// engine.
+    pub reorders: u64,
     /// Stage wall-clock extracted from span histograms, sorted by path.
     pub stages: Vec<StageTiming>,
     /// The full telemetry delta, for anything not surfaced above.
@@ -117,6 +128,9 @@ impl SolveReport {
             model_versions: Vec::new(),
             stale_served: delta.counter(names::MODEL_STALE_SERVED),
             fallback_transitions: delta.counter(names::FALLBACK_TRANSITIONS),
+            class: None,
+            queue_wait_seconds: 0.0,
+            reorders: 0,
             stages,
             metrics: delta,
         }
@@ -178,6 +192,18 @@ impl SolveReport {
                 "fallback_transitions".to_string(),
                 Value::UInt(self.fallback_transitions),
             ),
+            (
+                "class".to_string(),
+                match self.class {
+                    Some(c) => Value::String(c.to_string()),
+                    None => Value::Null,
+                },
+            ),
+            (
+                "queue_wait_seconds".to_string(),
+                Value::Float(self.queue_wait_seconds),
+            ),
+            ("reorders".to_string(), Value::UInt(self.reorders)),
             ("stages".to_string(), Value::Array(stages)),
             ("metrics".to_string(), self.metrics.to_value()),
         ])
@@ -248,6 +274,14 @@ impl SolveReport {
                 "  models: {} (stale served: {})",
                 if versions.is_empty() { "-".to_string() } else { versions },
                 self.stale_served
+            );
+        }
+        if let Some(class) = self.class {
+            let _ = writeln!(
+                out,
+                "  sched:  class {class}, queued {:.3} ms, {} reorders",
+                self.queue_wait_seconds * 1e3,
+                self.reorders
             );
         }
         let _ = write!(
@@ -351,6 +385,27 @@ mod tests {
             Some(0),
             "key present even when zero"
         );
+    }
+
+    #[test]
+    fn scheduler_decisions_surface_in_json_and_render() {
+        let mut report = SolveReport::empty("q2-v0");
+        // Unscheduled solves keep the keys with neutral values.
+        let v = report.to_value();
+        assert_eq!(v.get("class"), Some(&Value::Null));
+        assert_eq!(v.get("queue_wait_seconds").and_then(Value::as_f64), Some(0.0));
+        assert_eq!(v.get("reorders").and_then(Value::as_u64), Some(0));
+        assert!(!report.render().contains("sched:"), "quiet outside an engine");
+        // Engine-served solves name the scheduler's decisions.
+        report.class = Some(Priority::Interactive);
+        report.queue_wait_seconds = 0.0042;
+        report.reorders = 3;
+        let v = report.to_value();
+        assert_eq!(v.get("class").and_then(Value::as_str), Some("interactive"));
+        assert_eq!(v.get("reorders").and_then(Value::as_u64), Some(3));
+        let text = report.render();
+        assert!(text.contains("class interactive"), "{text}");
+        assert!(text.contains("3 reorders"), "{text}");
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::analytic::{
 };
 use std::sync::Arc;
 use std::time::Duration;
+use udao_core::priority::Priority;
 use udao_core::recommend::WorkloadClass;
 use udao_core::space::{Configuration, ParamSpace};
 use udao_core::ObjectiveModel;
@@ -123,6 +124,19 @@ pub struct Request<O: Objective> {
     /// serving engine the budget starts at *admission*, so queueing time
     /// counts against it.
     pub budget: Option<Duration>,
+    /// Scheduling class under a serving engine: admitted requests dispatch
+    /// in strict class precedence (all queued `Interactive` work before
+    /// any `Standard`, all `Standard` before any `Batch`), and per-class
+    /// quotas shed overload onto the lower classes first. Direct
+    /// [`Udao::recommend`](crate::Udao::recommend) calls ignore it.
+    pub priority: Priority,
+    /// Optional SLO deadline, relative to admission: within a class,
+    /// admitted requests dispatch earliest-deadline-first. A deadline
+    /// *orders* the queue; it does not cancel work — use
+    /// [`Request::budget`] to bound wall-clock. When unset, the budget
+    /// (if any) doubles as the EDF deadline; requests with neither sort
+    /// after all deadlined ones in arrival order.
+    pub deadline: Option<Duration>,
 }
 
 impl<O: Objective> Request<O> {
@@ -136,6 +150,8 @@ impl<O: Objective> Request<O> {
             workload_class: None,
             points: 12,
             budget: None,
+            priority: Priority::Standard,
+            deadline: None,
         }
     }
 
@@ -176,6 +192,19 @@ impl<O: Objective> Request<O> {
     /// Set a per-request wall-clock budget.
     pub fn budget(mut self, limit: Duration) -> Self {
         self.budget = Some(limit);
+        self
+    }
+
+    /// Set the scheduling class (see [`Request::priority`] field docs).
+    pub fn priority(mut self, class: Priority) -> Self {
+        self.priority = class;
+        self
+    }
+
+    /// Set the SLO deadline used for earliest-deadline-first ordering
+    /// within the request's class (see [`Request::deadline`] field docs).
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -220,6 +249,16 @@ mod tests {
             .objective(BatchObjective::Latency)
             .budget(Duration::from_millis(750));
         assert_eq!(r.budget, Some(Duration::from_millis(750)));
+    }
+
+    #[test]
+    fn priority_and_deadline_default_and_compose() {
+        let r = BatchRequest::new("q2-v0").objective(BatchObjective::Latency);
+        assert_eq!(r.priority, Priority::Standard);
+        assert!(r.deadline.is_none());
+        let r = r.priority(Priority::Interactive).deadline(Duration::from_millis(200));
+        assert_eq!(r.priority, Priority::Interactive);
+        assert_eq!(r.deadline, Some(Duration::from_millis(200)));
     }
 
     #[test]

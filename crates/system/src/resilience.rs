@@ -177,7 +177,7 @@ mod tests {
         assert!(!absorbable(&Error::InvalidConfig("bad".into())));
         // A shed request was never solved: retrying the ladder would just
         // repeat the admission decision, so shedding must not be absorbed.
-        assert!(!absorbable(&Error::Shed { reason: "queue full".into() }));
+        assert!(!absorbable(&Error::shed("queue full")));
     }
 
     #[test]

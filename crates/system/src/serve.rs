@@ -1,51 +1,68 @@
-//! Concurrent serving engine: a fixed worker pool with a bounded
-//! submission queue, admission control, and graceful drain.
+//! Concurrent serving engine: a fixed worker pool over an SLO-aware,
+//! class-scheduled submission queue with admission control and graceful
+//! drain.
 //!
 //! The paper's serving story (§VI: recommendations in 1–2 s) is stated per
-//! request; a deployed optimizer serves *many* tenants at once. The
-//! [`ServingEngine`] is that front door:
+//! request; a deployed optimizer serves *many* tenants at once, and those
+//! tenants are not equal — interactive tuning requests sit on a user's
+//! critical path while bulk re-tuning sweeps arrive in cheap floods. The
+//! [`ServingEngine`] is the front door that keeps the two from starving
+//! each other:
 //!
+//! * **Priority classes + EDF** — every request carries a
+//!   [`Priority`] class (`Interactive` / `Standard` / `Batch`) and an
+//!   optional SLO deadline. Admitted work dispatches in *strict class
+//!   precedence* (no queued lower-class request ever starts while a
+//!   higher-class one is waiting) and earliest-deadline-first within a
+//!   class; see [`ClassScheduler`].
+//! * **Per-class quotas + shedding** — each class has a queue quota
+//!   ([`ClassQuotas`], derived from [`ServingOptions::queue_depth`] by
+//!   default) so a flood of cheap batch requests fills *its own* allowance
+//!   and is shed — with a typed [`Error::Shed`] naming the class and
+//!   observed queue depth — while interactive admission stays open.
 //! * **Bounded queue, fixed workers** — [`ServingOptions::workers`] threads
 //!   pull from a queue capped at [`ServingOptions::queue_depth`]; nothing
 //!   in the engine allocates per-request threads, so load cannot fan out
 //!   into unbounded concurrency.
 //! * **Admission control** — a request is *shed* (rejected with the typed
-//!   [`Error::Shed`], never solved, never panicking) when the queue is
-//!   full, the in-flight cap is reached, the engine is draining, or its
-//!   remaining [`Budget`] cannot cover the engine's observed p50 solve
-//!   time. Failing in microseconds beats timing out after seconds: the
-//!   caller can retry against a less loaded engine immediately.
+//!   [`Error::Shed`], never solved, never panicking) when its class quota
+//!   or the global queue is full, the in-flight cap is reached, the engine
+//!   is draining, or its remaining [`Budget`] cannot cover the engine's
+//!   observed p50 solve time. Failing in microseconds beats timing out
+//!   after seconds: the caller can retry against a less loaded engine
+//!   immediately.
 //! * **Deadlines start at admission** — the request [`Budget`] is started
 //!   when `submit` accepts it, so time spent queued counts against the
 //!   deadline, and a request whose deadline passed while queued is shed at
 //!   dequeue instead of burning a worker.
-//! * **Cross-request batching** — every worker registers with the
-//!   optimizer's [`InferenceCoalescer`](udao_model::InferenceCoalescer)
-//!   while solving, so inference batches from concurrent solves against
-//!   the same served model merge into larger vectorized dispatches.
+//! * **Load-adaptive cross-request batching** — every worker registers
+//!   with the optimizer's
+//!   [`InferenceCoalescer`](udao_model::InferenceCoalescer) while solving,
+//!   and the engine feeds the coalescer its observed queue depth, so the
+//!   coalescing window and batch fill target scale with backlog and
+//!   per-model predict cost instead of fixed constants (see
+//!   [`udao_model::CoalescerOptions`]).
 //! * **Determinism** — workers run the same seeded
 //!   [`Udao::recommend_within`] path as a serial caller, and the coalescer
 //!   only merges per-point-independent batch evaluations; for a fixed
 //!   request the engine returns bitwise-identical recommendations
-//!   regardless of worker count or co-tenants.
+//!   regardless of worker count, scheduling order, or co-tenants.
 //! * **Graceful drain** — [`ServingEngine::shutdown`] (and `Drop`) stops
 //!   admissions, lets workers finish everything already queued, and joins
 //!   them; submitted work is never abandoned.
 //! * **Hot-swap safe** — a solve pins its model versions at problem-build
-//!   time (one [`ModelLease`](udao_model::ModelLease) per learned
-//!   objective), so a background retrain publishing mid-solve — e.g. from
-//!   the [`LifecycleManager`](crate::lifecycle::LifecycleManager) loop —
-//!   can never hand different iterations of one descent different weights.
-//!   Admission and in-flight work never block on training: the registry is
-//!   locked only for microsecond map operations (training itself runs
-//!   off-lock on the lifecycle thread), and each `SolveReport` names the
-//!   exact versions it solved against (`report.model_versions`).
+//!   time, exactly as before; see [`crate::lifecycle`].
+//!
+//! Each served request's [`SolveReport`](crate::SolveReport) names the
+//! scheduler's decisions: the class it ran under, the time it spent
+//! queued, and how many already-admitted requests it overtook at admission
+//! (`report.class` / `report.queue_wait_seconds` / `report.reorders`).
 //!
 //! Telemetry: `serve.queue_depth` (histogram, sampled at every
-//! enqueue/dequeue), `serve.shed`, `serve.admitted`, `serve.completed`,
-//! and `serve.seconds` (admission → response). Each solve still produces
-//! its own exact [`SolveReport`](crate::SolveReport) via the per-request
-//! telemetry scope entered inside `recommend_within` on the worker thread.
+//! enqueue/dequeue), `serve.queue_wait_seconds` (histogram),
+//! `serve.shed` + `serve.shed.<class>`, `serve.admitted` +
+//! `serve.admitted.<class>`, `serve.completed`, and `serve.seconds`
+//! (admission → response).
 
 use crate::optimizer::{Recommendation, Udao};
 use crate::request::{Objective, Request};
@@ -56,18 +73,73 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use udao_core::budget::Budget;
+use udao_core::priority::Priority;
 use udao_core::{Error, Result};
 use udao_telemetry::names;
 
-/// Policy for a [`ServingEngine`]: pool size, queue bounds, and admission
-/// control. Configured once on [`crate::UdaoBuilder::serving`].
+/// Per-class queue quotas: the maximum number of *queued* (admitted, not
+/// yet dispatched) requests each [`Priority`] class may hold. A class at
+/// its quota sheds further submissions of that class while leaving the
+/// other classes' admission untouched — under overload the batch class
+/// fills first and absorbs the shedding, and a batch flood can never
+/// occupy the queue capacity interactive requests need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassQuotas {
+    /// Queued-request quota for [`Priority::Interactive`].
+    pub interactive: usize,
+    /// Queued-request quota for [`Priority::Standard`].
+    pub standard: usize,
+    /// Queued-request quota for [`Priority::Batch`].
+    pub batch: usize,
+}
+
+impl ClassQuotas {
+    /// The default policy for a queue of `depth` slots: interactive may
+    /// use the whole queue, standard three quarters, batch half — so the
+    /// two lower classes can never jointly crowd interactive out of its
+    /// headroom, while an idle engine still gives bulk work real capacity.
+    pub fn derived(depth: usize) -> Self {
+        ClassQuotas {
+            interactive: depth.max(1),
+            standard: (depth.saturating_mul(3) / 4).max(1),
+            batch: (depth / 2).max(1),
+        }
+    }
+
+    /// The quota for `class`.
+    pub fn quota(&self, class: Priority) -> usize {
+        match class {
+            Priority::Interactive => self.interactive,
+            Priority::Standard => self.standard,
+            Priority::Batch => self.batch,
+        }
+    }
+
+    /// Validate the quotas; shared by [`ServingOptions::validate`].
+    pub fn validate(&self) -> Result<()> {
+        for class in Priority::ALL {
+            if self.quota(class) == 0 {
+                return Err(Error::InvalidConfig(format!(
+                    "serving.class_quotas.{class} must be >= 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Policy for a [`ServingEngine`]: pool size, queue bounds, class quotas,
+/// and admission control. Configured once on [`crate::UdaoBuilder::serving`].
 #[derive(Debug, Clone)]
 pub struct ServingOptions {
     /// Worker threads solving requests.
     pub workers: usize,
-    /// Maximum queued (admitted, not yet started) requests; submissions
-    /// beyond this are shed.
+    /// Maximum queued (admitted, not yet started) requests across all
+    /// classes; submissions beyond this are shed.
     pub queue_depth: usize,
+    /// Per-class queue quotas; `None` derives [`ClassQuotas::derived`]
+    /// from `queue_depth`.
+    pub class_quotas: Option<ClassQuotas>,
     /// Cap on requests admitted but not yet answered (queued + solving);
     /// `None` derives `queue_depth + workers` (i.e. the queue bound alone
     /// governs).
@@ -86,6 +158,7 @@ impl Default for ServingOptions {
         Self {
             workers: 4,
             queue_depth: 64,
+            class_quotas: None,
             max_in_flight: None,
             default_budget: None,
             p50_window: 32,
@@ -106,6 +179,12 @@ impl ServingOptions {
         self
     }
 
+    /// Set explicit per-class queue quotas (see [`ClassQuotas`]).
+    pub fn with_class_quotas(mut self, quotas: ClassQuotas) -> Self {
+        self.class_quotas = Some(quotas);
+        self
+    }
+
     /// Set the default per-request budget.
     pub fn with_default_budget(mut self, budget: Duration) -> Self {
         self.default_budget = Some(budget);
@@ -117,6 +196,15 @@ impl ServingOptions {
         self.max_in_flight.unwrap_or(self.queue_depth + self.workers)
     }
 
+    /// The effective quota for `class`: the explicit [`ClassQuotas`] when
+    /// set, the derived default otherwise. Never exceeds the global
+    /// [`ServingOptions::queue_depth`], which bounds the queue as a whole.
+    pub fn quota(&self, class: Priority) -> usize {
+        self.class_quotas
+            .unwrap_or_else(|| ClassQuotas::derived(self.queue_depth))
+            .quota(class)
+    }
+
     /// Validate the options; shared by [`crate::UdaoBuilder::build`].
     pub fn validate(&self) -> Result<()> {
         if self.workers == 0 {
@@ -124,6 +212,9 @@ impl ServingOptions {
         }
         if self.queue_depth == 0 {
             return Err(Error::InvalidConfig("serving.queue_depth must be >= 1".into()));
+        }
+        if let Some(quotas) = &self.class_quotas {
+            quotas.validate()?;
         }
         if self.max_in_flight == Some(0) {
             return Err(Error::InvalidConfig("serving.max_in_flight must be >= 1".into()));
@@ -139,6 +230,106 @@ impl ServingOptions {
 /// isolated into per-request errors, so shared state stays consistent.
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One queued entry of a [`ClassScheduler`].
+struct SchedEntry<T> {
+    /// Absolute EDF deadline; `None` sorts after every deadlined entry.
+    deadline: Option<Instant>,
+    /// Admission sequence number: the FIFO tiebreaker.
+    seq: u64,
+    item: T,
+}
+
+/// The serving engine's dispatch order, factored out so its invariants are
+/// directly testable: strict class precedence between [`Priority`] classes
+/// and earliest-deadline-first order within each class.
+///
+/// * [`ClassScheduler::pop`] never returns an entry of a class while any
+///   higher-precedence class has queued entries (no priority inversion).
+/// * Within one class, entries dispatch in ascending deadline order;
+///   entries without a deadline come after all deadlined ones, in arrival
+///   order. Ties on deadline break by arrival order.
+///
+/// The scheduler is a passive data structure (no clock, no threads): the
+/// engine drives it under its queue lock. `tests/scheduler.rs` proptests
+/// the two invariants over arbitrary admit/dispatch interleavings.
+pub struct ClassScheduler<T> {
+    queues: [VecDeque<SchedEntry<T>>; 3],
+    seq: u64,
+}
+
+impl<T> Default for ClassScheduler<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ClassScheduler<T> {
+    /// An empty scheduler.
+    pub fn new() -> Self {
+        ClassScheduler { queues: [VecDeque::new(), VecDeque::new(), VecDeque::new()], seq: 0 }
+    }
+
+    /// Total queued entries across all classes.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Queued entries of one class.
+    pub fn class_len(&self, class: Priority) -> usize {
+        self.queues[class.index()].len()
+    }
+
+    /// Admit an entry into `class` at its EDF position. `make` receives
+    /// the entry's *reorder count* — how many already-queued entries the
+    /// new one is ordered ahead of (later-deadline entries of its own
+    /// class plus everything queued in lower classes) — and builds the
+    /// stored item, so the count can ride along with it. Returns the same
+    /// count.
+    pub fn push(
+        &mut self,
+        class: Priority,
+        deadline: Option<Instant>,
+        make: impl FnOnce(usize) -> T,
+    ) -> usize {
+        let seq = self.seq;
+        self.seq += 1;
+        // A shared far-future sentinel lets deadline-less entries compare
+        // as "later than any real deadline" while breaking their mutual
+        // ties on arrival order alone.
+        let far = Instant::now() + Duration::from_secs(60 * 60 * 24 * 365);
+        let key = (deadline.unwrap_or(far), seq);
+        let queue = &mut self.queues[class.index()];
+        // Insert after every entry ordered at-or-before the new one (FIFO
+        // among equal deadlines and among the deadline-less).
+        let idx = queue.partition_point(|e| (e.deadline.unwrap_or(far), e.seq) <= key);
+        let overtaken_in_class = queue.len() - idx;
+        let overtaken_below: usize = self.queues[class.index() + 1..]
+            .iter()
+            .map(VecDeque::len)
+            .sum();
+        let reorders = overtaken_in_class + overtaken_below;
+        let entry = SchedEntry { deadline, seq, item: make(reorders) };
+        self.queues[class.index()].insert(idx, entry);
+        reorders
+    }
+
+    /// Dispatch the next entry: the earliest deadline of the highest
+    /// non-empty class.
+    pub fn pop(&mut self) -> Option<(Priority, T)> {
+        for class in Priority::ALL {
+            if let Some(entry) = self.queues[class.index()].pop_front() {
+                return Some((class, entry.item));
+            }
+        }
+        None
+    }
 }
 
 /// One request's response cell: filled exactly once by a worker (or by the
@@ -199,11 +390,14 @@ struct Job<O: Objective> {
     request: Request<O>,
     budget: Budget,
     admitted: Instant,
+    priority: Priority,
+    /// Already-queued requests this one was ordered ahead of at admission.
+    reorders: usize,
     slot: Arc<ResponseSlot>,
 }
 
 struct QueueState<O: Objective> {
-    queue: VecDeque<Job<O>>,
+    sched: ClassScheduler<Job<O>>,
     draining: bool,
 }
 
@@ -241,23 +435,34 @@ impl<O: Objective> Shared<O> {
         }
     }
 
-    fn shed(&self, reason: impl Into<String>) -> Error {
+    /// Build the typed shed error and count it — globally and per class.
+    fn shed(
+        &self,
+        reason: impl Into<String>,
+        class: Priority,
+        queued: Option<usize>,
+    ) -> Error {
         udao_telemetry::counter(names::SERVE_SHED).inc();
-        Error::Shed { reason: reason.into() }
+        udao_telemetry::counter(&names::serve_shed_class(&class)).inc();
+        Error::Shed { reason: reason.into(), class: Some(class), queued }
     }
 }
 
 /// The concurrent serving engine; see the module docs.
 ///
 /// ```no_run
-/// use udao::{BatchRequest, ServingEngine, Udao};
+/// use udao::{BatchRequest, Priority, ServingEngine, Udao};
 /// use udao_sparksim::objectives::BatchObjective;
 /// use udao_sparksim::ClusterSpec;
 /// use std::sync::Arc;
+/// use std::time::Duration;
 ///
 /// let udao = Arc::new(Udao::builder(ClusterSpec::paper_cluster()).build().unwrap());
 /// let engine: ServingEngine<BatchObjective> = ServingEngine::start(udao);
-/// let req = BatchRequest::new("q2-v0").objective(BatchObjective::CostCores);
+/// let req = BatchRequest::new("q2-v0")
+///     .objective(BatchObjective::CostCores)
+///     .priority(Priority::Interactive)
+///     .deadline(Duration::from_millis(500));
 /// let rec = engine.solve(req).unwrap();
 /// # let _ = rec;
 /// ```
@@ -283,7 +488,7 @@ impl<O: Objective> ServingEngine<O> {
         let shared = Arc::new(Shared {
             udao,
             options,
-            state: Mutex::new(QueueState { queue: VecDeque::new(), draining: false }),
+            state: Mutex::new(QueueState { sched: ClassScheduler::new(), draining: false }),
             cv: Condvar::new(),
             in_flight: AtomicUsize::new(0),
             solve_seconds: Mutex::new(VecDeque::new()),
@@ -311,9 +516,12 @@ impl<O: Objective> ServingEngine<O> {
     }
 
     /// Submit a request. Returns a handle to the eventual response, or
-    /// [`Error::Shed`] immediately when admission control rejects it.
+    /// [`Error::Shed`] immediately when admission control rejects it —
+    /// the error names the request's class and, for queue-based sheds,
+    /// the class queue depth observed at rejection.
     pub fn submit(&self, request: Request<O>) -> Result<ResponseHandle> {
         let shared = &self.shared;
+        let class = request.priority;
         // The budget starts here: queue wait counts against the deadline.
         let limit = request
             .budget
@@ -321,40 +529,70 @@ impl<O: Objective> ServingEngine<O> {
             .or(shared.udao.resilience_options().budget);
         let budget = limit.map(Budget::new).unwrap_or_default();
         if budget.expired() {
-            return Err(shared.shed("request budget already expired at admission"));
+            return Err(shared.shed("request budget already expired at admission", class, None));
         }
         if let Some(p50) = shared.p50_solve_time() {
             if !budget.can_cover(p50) {
-                return Err(shared.shed(format!(
-                    "remaining budget cannot cover p50 solve time ({} ms)",
-                    p50.as_millis()
-                )));
+                return Err(shared.shed(
+                    format!(
+                        "remaining budget cannot cover p50 solve time ({} ms)",
+                        p50.as_millis()
+                    ),
+                    class,
+                    None,
+                ));
             }
         }
+        // EDF deadline: explicit SLO first, wall-clock budget as fallback.
+        let admitted = Instant::now();
+        let deadline = request.deadline.or(limit).map(|d| admitted + d);
         let cap = shared.options.in_flight_cap();
+        let quota = shared.options.quota(class);
         let slot = Arc::new(ResponseSlot::new());
-        {
+        let queue_len = {
             let mut st = lock(&shared.state);
             if st.draining {
-                return Err(shared.shed("engine is draining"));
+                return Err(shared.shed("engine is draining", class, None));
             }
-            if st.queue.len() >= shared.options.queue_depth {
-                return Err(shared
-                    .shed(format!("queue full (depth {})", shared.options.queue_depth)));
+            let queued_in_class = st.sched.class_len(class);
+            if st.sched.len() >= shared.options.queue_depth {
+                return Err(shared.shed(
+                    format!("queue full (depth {})", shared.options.queue_depth),
+                    class,
+                    Some(queued_in_class),
+                ));
+            }
+            if queued_in_class >= quota {
+                return Err(shared.shed(
+                    format!("{class} class quota full ({queued_in_class}/{quota} queued)"),
+                    class,
+                    Some(queued_in_class),
+                ));
             }
             if shared.in_flight.load(Ordering::Relaxed) >= cap {
-                return Err(shared.shed(format!("in-flight cap reached ({cap})")));
+                return Err(shared.shed(
+                    format!("in-flight cap reached ({cap})"),
+                    class,
+                    Some(queued_in_class),
+                ));
             }
             shared.in_flight.fetch_add(1, Ordering::Relaxed);
-            st.queue.push_back(Job {
+            let slot_for_job = Arc::clone(&slot);
+            st.sched.push(class, deadline, move |reorders| Job {
                 request,
                 budget,
-                admitted: Instant::now(),
-                slot: Arc::clone(&slot),
+                admitted,
+                priority: class,
+                reorders,
+                slot: slot_for_job,
             });
             udao_telemetry::counter(names::SERVE_ADMITTED).inc();
-            udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH).record(st.queue.len() as f64);
-        }
+            udao_telemetry::counter(&names::serve_admitted_class(&class)).inc();
+            udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH).record(st.sched.len() as f64);
+            st.sched.len()
+        };
+        // Load hint for the adaptive coalescer: backlog depth at admission.
+        shared.udao.coalescer().observe_load(queue_len);
         shared.cv.notify_one();
         Ok(ResponseHandle { slot })
     }
@@ -396,9 +634,13 @@ fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
         let job = {
             let mut st = lock(&shared.state);
             loop {
-                if let Some(job) = st.queue.pop_front() {
-                    udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH)
-                        .record(st.queue.len() as f64);
+                if let Some((_, job)) = st.sched.pop() {
+                    let depth = st.sched.len();
+                    udao_telemetry::histogram(names::SERVE_QUEUE_DEPTH).record(depth as f64);
+                    drop(st);
+                    // Refresh the coalescer's backlog hint at dequeue, so
+                    // a drained queue shrinks the window promptly.
+                    shared.udao.coalescer().observe_load(depth);
                     break Some(job);
                 }
                 if st.draining {
@@ -412,8 +654,9 @@ fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
                 // Periodic idle-path reclamation: without this, retired
                 // coalescer lanes and stale cached frontiers only went
                 // away when a lifecycle manager happened to publish.
-                if wait.timed_out() && st.queue.is_empty() && !st.draining {
+                if wait.timed_out() && st.sched.is_empty() && !st.draining {
                     drop(st);
+                    shared.udao.coalescer().observe_load(0);
                     shared.udao.prune_idle();
                     st = lock(&shared.state);
                 }
@@ -427,13 +670,16 @@ fn worker_loop<O: Objective>(shared: &Arc<Shared<O>>) {
 }
 
 fn serve_job<O: Objective>(shared: &Arc<Shared<O>>, job: Job<O>) {
+    let queue_wait = job.admitted.elapsed();
     // Deadline re-check at dequeue: a request whose budget died in the
     // queue is shed here instead of burning a worker on a doomed solve.
     if job.budget.expired() {
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
-        job.slot.fulfill(Err(shared.shed("budget expired while queued")));
+        job.slot.fulfill(Err(shared.shed("budget expired while queued", job.priority, None)));
         return;
     }
+    udao_telemetry::histogram(names::SERVE_QUEUE_WAIT_SECONDS)
+        .record(queue_wait.as_secs_f64());
     // While this worker solves, its inference batches may merge with other
     // in-flight solves' batches against the same served models.
     let coalesce_guard = shared.udao.coalescer().register_solver();
@@ -450,6 +696,13 @@ fn serve_job<O: Objective>(shared: &Arc<Shared<O>>, job: Job<O>) {
             "opaque panic payload".to_string()
         };
         Err(Error::WorkerPanicked(msg))
+    });
+    // Stamp the scheduler's decisions into the per-request report.
+    let result = result.map(|mut rec| {
+        rec.report.class = Some(job.priority);
+        rec.report.queue_wait_seconds = queue_wait.as_secs_f64();
+        rec.report.reorders = job.reorders as u64;
+        rec
     });
     let elapsed = job.admitted.elapsed().as_secs_f64();
     if result.is_ok() {
@@ -470,6 +723,10 @@ mod tests {
         let opts = ServingOptions::default();
         assert!(opts.validate().is_ok());
         assert_eq!(opts.in_flight_cap(), opts.queue_depth + opts.workers);
+        // Derived quotas: interactive full, standard 3/4, batch half.
+        assert_eq!(opts.quota(Priority::Interactive), 64);
+        assert_eq!(opts.quota(Priority::Standard), 48);
+        assert_eq!(opts.quota(Priority::Batch), 32);
     }
 
     #[test]
@@ -480,6 +737,12 @@ mod tests {
         assert!(zero_cap.validate().is_err());
         let zero_window = ServingOptions { p50_window: 0, ..Default::default() };
         assert!(zero_window.validate().is_err());
+        let zero_quota = ServingOptions::default().with_class_quotas(ClassQuotas {
+            interactive: 4,
+            standard: 4,
+            batch: 0,
+        });
+        assert!(zero_quota.validate().is_err());
     }
 
     #[test]
@@ -487,11 +750,21 @@ mod tests {
         let opts = ServingOptions::default()
             .with_workers(2)
             .with_queue_depth(8)
-            .with_default_budget(Duration::from_millis(500));
+            .with_default_budget(Duration::from_millis(500))
+            .with_class_quotas(ClassQuotas { interactive: 8, standard: 4, batch: 2 });
         assert_eq!(opts.workers, 2);
         assert_eq!(opts.queue_depth, 8);
         assert_eq!(opts.default_budget, Some(Duration::from_millis(500)));
         assert_eq!(opts.in_flight_cap(), 10);
+        assert_eq!(opts.quota(Priority::Batch), 2);
+    }
+
+    #[test]
+    fn derived_quotas_never_hit_zero() {
+        let q = ClassQuotas::derived(1);
+        assert!(q.validate().is_ok());
+        assert_eq!(q.quota(Priority::Interactive), 1);
+        assert_eq!(q.quota(Priority::Batch), 1);
     }
 
     #[test]
@@ -501,8 +774,57 @@ mod tests {
             let slot = Arc::clone(&slot);
             std::thread::spawn(move || slot.wait())
         };
-        slot.fulfill(Err(Error::Shed { reason: "test".into() }));
+        slot.fulfill(Err(Error::shed("test")));
         let got = waiter.join().expect("waiter thread");
         assert!(matches!(got, Err(Error::Shed { .. })));
+    }
+
+    #[test]
+    fn scheduler_dispatches_by_class_then_deadline() {
+        let now = Instant::now();
+        let mut sched: ClassScheduler<u32> = ClassScheduler::new();
+        sched.push(Priority::Batch, None, |_| 0);
+        sched.push(Priority::Standard, Some(now + Duration::from_secs(9)), |_| 1);
+        sched.push(Priority::Standard, Some(now + Duration::from_secs(1)), |_| 2);
+        sched.push(Priority::Interactive, None, |_| 3);
+        sched.push(Priority::Standard, None, |_| 4);
+        let order: Vec<u32> = std::iter::from_fn(|| sched.pop().map(|(_, v)| v)).collect();
+        // Interactive first, then standard in EDF order (deadline-less
+        // last), then batch.
+        assert_eq!(order, vec![3, 2, 1, 4, 0]);
+        assert!(sched.is_empty());
+    }
+
+    #[test]
+    fn scheduler_reports_reorders_for_overtaken_entries() {
+        let now = Instant::now();
+        let mut sched: ClassScheduler<u32> = ClassScheduler::new();
+        assert_eq!(sched.push(Priority::Batch, None, |_| 0), 0);
+        assert_eq!(sched.push(Priority::Batch, None, |_| 1), 0, "FIFO within batch");
+        // A standard request overtakes both batch entries.
+        assert_eq!(sched.push(Priority::Standard, None, |_| 2), 2);
+        // A tighter deadline overtakes the queued standard entry and both
+        // batch entries.
+        let r = sched.push(Priority::Standard, Some(now + Duration::from_millis(1)), |_| 3);
+        assert_eq!(r, 3);
+        // The make closure sees the same count the method returns.
+        let mut seen = 0;
+        sched.push(Priority::Interactive, None, |reorders| {
+            seen = reorders;
+            4
+        });
+        assert_eq!(seen, 4);
+    }
+
+    #[test]
+    fn scheduler_fifo_among_equal_deadlines() {
+        let now = Instant::now();
+        let d = Some(now + Duration::from_secs(5));
+        let mut sched: ClassScheduler<u32> = ClassScheduler::new();
+        for i in 0..4 {
+            assert_eq!(sched.push(Priority::Interactive, d, |_| i), 0);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| sched.pop().map(|(_, v)| v)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 }

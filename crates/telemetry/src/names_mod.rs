@@ -118,6 +118,23 @@ pub const SERVE_SECONDS: &str = "serve.seconds";
 /// recorded when at least two solves are active, i.e. the coalescer left
 /// its single-solver fast path).
 pub const SERVE_COALESCED_BATCH_SIZE: &str = "serve.coalesced_batch_size";
+/// Seconds each dispatched request spent queued between admission and the
+/// start of its solve (histogram).
+pub const SERVE_QUEUE_WAIT_SECONDS: &str = "serve.queue_wait_seconds";
+
+/// Per-class shed counter name: `serve.shed.<class>` where `<class>` is
+/// the priority class's canonical lowercase name (`interactive` /
+/// `standard` / `batch`). Incremented alongside the aggregate
+/// [`SERVE_SHED`], so per-class counts always sum to it.
+pub fn serve_shed_class(class: &impl std::fmt::Display) -> String {
+    format!("serve.shed.{class}")
+}
+
+/// Per-class admission counter name: `serve.admitted.<class>`; the
+/// class-split companion of [`SERVE_ADMITTED`].
+pub fn serve_admitted_class(class: &impl std::fmt::Display) -> String {
+    format!("serve.admitted.{class}")
+}
 
 // -------------------------------------------------------------- simulator
 
@@ -147,5 +164,14 @@ mod tests {
     #[test]
     fn fallback_stage_names_compose() {
         assert_eq!(super::fallback_stage(&"primary"), "fallback.stage.primary");
+    }
+
+    #[test]
+    fn per_class_serve_names_compose() {
+        assert_eq!(super::serve_shed_class(&"batch"), "serve.shed.batch");
+        assert_eq!(
+            super::serve_admitted_class(&"interactive"),
+            "serve.admitted.interactive"
+        );
     }
 }

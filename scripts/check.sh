@@ -52,6 +52,9 @@ fi
 echo "==> serving engine stress tests"
 cargo test -q -p udao --test serving
 
+echo "==> scheduler invariants (proptest + shed accounting)"
+cargo test -q -p udao --test scheduler
+
 echo "==> lifecycle stress (smoke-sized swap storm)"
 CHECK_FAST=1 cargo test -q -p udao --test lifecycle
 
@@ -119,6 +122,32 @@ fi
 for field in rps p50_ms p95_ms p99_ms speedup_4x; do
     if ! grep -q "\"$field\"" BENCH_throughput.json; then
         echo "BENCH_throughput.json is missing field: $field" >&2
+        exit 1
+    fi
+done
+
+echo "==> SLO scheduler bench (interactive tail under 10:1 batch flood)"
+cargo run --release -p udao-bench --bin bench_scheduler
+if [ ! -s BENCH_scheduler.json ]; then
+    echo "BENCH_scheduler.json missing or empty" >&2
+    exit 1
+fi
+# The bench binary exits non-zero when the loaded interactive p99 exceeds
+# 3x the unloaded p99, fewer than 95% of interactive submissions are
+# admitted, any shed lands outside the batch class, or the flood never
+# overflowed the batch quota; re-check the verdict and headline fields
+# that survived on disk.
+if ! grep -q '"scheduler_gate": true' BENCH_scheduler.json; then
+    echo "BENCH_scheduler.json: interactive-SLO/shed-isolation gate failed" >&2
+    exit 1
+fi
+if ! grep -q '"interactive_shed": 0' BENCH_scheduler.json; then
+    echo "BENCH_scheduler.json: interactive_shed must be 0" >&2
+    exit 1
+fi
+for field in unloaded_p99_ms loaded_p99_ms p99_ratio interactive_admitted_frac batch_shed; do
+    if ! grep -q "\"$field\"" BENCH_scheduler.json; then
+        echo "BENCH_scheduler.json is missing field: $field" >&2
         exit 1
     fi
 done

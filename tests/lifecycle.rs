@@ -15,8 +15,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use udao::{
-    BatchRequest, LifecycleOptions, ModelFamily, ModelProvider, ServingEngine, ServingOptions,
-    Udao,
+    BatchRequest, ClassQuotas, LifecycleOptions, ModelFamily, ModelProvider, ServingEngine,
+    ServingOptions, Udao,
 };
 use udao_core::ObjectiveModel;
 use udao_model::dataset::Dataset;
@@ -186,7 +186,13 @@ fn swap_storm_pins_one_version_per_request_and_replays_bitwise() {
 
     let mut engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
         Arc::clone(&udao),
-        ServingOptions::default().with_workers(4).with_queue_depth(n),
+        ServingOptions::default()
+            .with_workers(4)
+            .with_queue_depth(n)
+            // The storm floods the whole queue with one (standard) class;
+            // the derived per-class quotas would shed the tail, which is
+            // not what this suite measures.
+            .with_class_quotas(ClassQuotas { interactive: n, standard: n, batch: n }),
     );
     let points_of = |i: usize| 2 + (i % 3);
     let handles: Vec<_> =

@@ -1,0 +1,334 @@
+//! Scheduler invariants for the SLO-aware serving core.
+//!
+//! Three layers of checking:
+//!
+//! 1. A property test drives [`ClassScheduler`] through arbitrary
+//!    admit/dispatch interleavings against a brute-force reference model,
+//!    so strict class precedence (no priority inversion), EDF-within-class
+//!    with FIFO tie-breaks, and the reported reorder counts all stay in
+//!    lockstep with the obviously-correct implementation.
+//! 2. A drain-order property states the two ordering invariants directly
+//!    on the dispatch sequence, independent of the reference model.
+//! 3. An engine-level test floods a one-worker [`ServingEngine`] past its
+//!    batch-class quota and checks the per-class `serve.shed.*` /
+//!    `serve.admitted.*` telemetry counters against the typed errors the
+//!    callers actually saw — shed accounting must match, class by class.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use udao::{
+    BatchRequest, ClassScheduler, ModelFamily, ModelProvider, Priority, ServingEngine,
+    ServingOptions, Udao,
+};
+use udao_core::Error;
+use udao_model::server::{ModelKey, ModelServer};
+use udao_sparksim::objectives::BatchObjective;
+use udao_sparksim::{batch_workloads, ClusterSpec};
+use udao_telemetry::{enter_scope, names, MetricsRegistry};
+
+/// One queued entry of the reference model: `(class index, deadline key,
+/// arrival sequence, payload id)`. Deadline-less entries carry
+/// `u64::MAX` so they order after every real deadline.
+type RefEntry = (usize, u64, u64, u64);
+
+/// Brute-force reference scheduler: a flat list scanned on every
+/// operation. Slow and obviously correct.
+#[derive(Default)]
+struct RefSched {
+    entries: Vec<RefEntry>,
+    seq: u64,
+}
+
+impl RefSched {
+    /// Admit an entry; returns the reorder count (entries the new one is
+    /// ordered ahead of: later-keyed entries of its own class plus
+    /// everything queued in lower-urgency classes).
+    fn push(&mut self, class: usize, key: u64, id: u64) -> usize {
+        let seq = self.seq;
+        self.seq += 1;
+        let reorders = self
+            .entries
+            .iter()
+            .filter(|&&(c, k, s, _)| c > class || (c == class && (k, s) > (key, seq)))
+            .count();
+        self.entries.push((class, key, seq, id));
+        reorders
+    }
+
+    /// Dispatch the minimum of `(class, deadline key, sequence)`.
+    fn pop(&mut self) -> Option<(usize, u64)> {
+        let best = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(c, k, s, _))| (c, k, s))
+            .map(|(i, _)| i)?;
+        let (class, _, _, id) = self.entries.remove(best);
+        Some((class, id))
+    }
+
+    fn class_len(&self, class: usize) -> usize {
+        self.entries.iter().filter(|&&(c, ..)| c == class).count()
+    }
+}
+
+/// Decoded scheduler operation.
+enum Op {
+    Pop,
+    /// `(class index, deadline key; u64::MAX = no deadline)`
+    Push(usize, u64),
+}
+
+/// The vendored proptest shim has no tuple or enum strategies, so each
+/// operation travels as one `usize` and is decoded arithmetically: every
+/// fifth code is a dispatch, the rest admit into `code % 3` with one of
+/// eight deadline slots (slot 0 = no deadline). Repeated slots exercise
+/// the FIFO tie-break.
+fn decode(code: usize) -> Op {
+    if code % 5 == 0 {
+        return Op::Pop;
+    }
+    let class = code % 3;
+    let slot = (code / 15) % 8;
+    let key = if slot == 0 { u64::MAX } else { slot as u64 };
+    Op::Push(class, key)
+}
+
+/// Map a reference deadline key onto a real `Instant` for the production
+/// scheduler. All real deadlines sit within seconds of `base`, far below
+/// the scheduler's internal "no deadline" sentinel.
+fn key_to_deadline(base: Instant, key: u64) -> Option<Instant> {
+    if key == u64::MAX {
+        None
+    } else {
+        Some(base + Duration::from_secs(key))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The production scheduler agrees with the brute-force reference on
+    /// every dispatch, every reorder count, and every queue length, over
+    /// arbitrary interleavings of admits and dispatches.
+    #[test]
+    fn class_scheduler_matches_reference_model(codes in prop::collection::vec(0usize..10_000, 1..200)) {
+        let base = Instant::now();
+        let mut real: ClassScheduler<u64> = ClassScheduler::new();
+        let mut model = RefSched::default();
+        let mut next_id = 0u64;
+        for code in codes {
+            match decode(code) {
+                Op::Pop => {
+                    let got = real.pop().map(|(class, id)| (class.index(), id));
+                    prop_assert_eq!(got, model.pop());
+                }
+                Op::Push(class_idx, key) => {
+                    let id = next_id;
+                    next_id += 1;
+                    let class = Priority::ALL[class_idx];
+                    let deadline = key_to_deadline(base, key);
+                    let mut seen_by_make = usize::MAX;
+                    let reorders = real.push(class, deadline, |r| {
+                        seen_by_make = r;
+                        id
+                    });
+                    // make() must see the same count push() returns.
+                    prop_assert_eq!(seen_by_make, reorders);
+                    prop_assert_eq!(reorders, model.push(class_idx, key, id));
+                }
+            }
+            prop_assert_eq!(real.len(), model.entries.len());
+            for class in Priority::ALL {
+                prop_assert_eq!(real.class_len(class), model.class_len(class.index()));
+            }
+        }
+        prop_assert_eq!(real.is_empty(), model.entries.is_empty());
+    }
+
+    /// Draining after a burst of admits yields classes in strict urgency
+    /// order (no priority inversion) and, within each class, deadlines in
+    /// ascending order with deadline-less entries last in arrival order.
+    #[test]
+    fn drain_order_is_class_then_edf(codes in prop::collection::vec(0usize..10_000, 1..120)) {
+        let base = Instant::now();
+        let mut sched: ClassScheduler<(u64, u64)> = ClassScheduler::new();
+        let mut arrival = 0u64;
+        for code in codes {
+            if let Op::Push(class_idx, key) = decode(code) {
+                let seq = arrival;
+                arrival += 1;
+                sched.push(Priority::ALL[class_idx], key_to_deadline(base, key), |_| (key, seq));
+            }
+        }
+        let mut drained: Vec<(usize, u64, u64)> = Vec::new();
+        while let Some((class, (key, seq))) = sched.pop() {
+            drained.push((class.index(), key, seq));
+        }
+        prop_assert!(sched.is_empty());
+        for pair in drained.windows(2) {
+            let (ca, ka, sa) = pair[0];
+            let (cb, kb, sb) = pair[1];
+            // Strict class precedence: never a more-urgent class after a
+            // less-urgent one.
+            prop_assert!(ca <= cb, "priority inversion: class {} dispatched after {}", cb, ca);
+            if ca == cb {
+                // EDF within the class; FIFO among equal deadlines and
+                // among the deadline-less (key == u64::MAX).
+                prop_assert!(
+                    (ka, sa) < (kb, sb),
+                    "EDF violation in class {}: key {} seq {} before key {} seq {}",
+                    ca, ka, sa, kb, sb
+                );
+            }
+        }
+    }
+}
+
+/// Model provider that simulates a slow remote model server, so the
+/// one-worker engine stays busy while the test floods the queue.
+struct SlowProvider {
+    inner: Arc<ModelServer>,
+    delay: Duration,
+}
+
+impl ModelProvider for SlowProvider {
+    fn fetch(
+        &self,
+        key: &ModelKey,
+    ) -> udao_core::Result<Option<Arc<dyn udao_core::ObjectiveModel>>> {
+        std::thread::sleep(self.delay);
+        self.inner.fetch(key)
+    }
+}
+
+fn quick_pf() -> (udao_core::pf::PfVariant, udao_core::pf::PfOptions) {
+    (
+        udao_core::pf::PfVariant::ApproxSequential,
+        udao_core::pf::PfOptions {
+            mogd: udao_core::mogd::MogdConfig {
+                multistarts: 2,
+                max_iters: 30,
+                ..Default::default()
+            },
+            max_probes: 8,
+            ..Default::default()
+        },
+    )
+}
+
+fn q2_request(class: Priority) -> BatchRequest {
+    BatchRequest::new("q2-v0")
+        .objective(BatchObjective::Latency)
+        .objective(BatchObjective::CostCores)
+        .points(3)
+        .priority(class)
+}
+
+/// Per-class shed/admit accounting: the typed `Error::Shed` results the
+/// callers observe must match the `serve.shed.<class>` and
+/// `serve.admitted.<class>` counters exactly, and the per-class counts
+/// must sum to the totals. Batch-class flooding past the derived batch
+/// quota must not shed a single interactive request.
+#[test]
+fn shed_accounting_matches_per_class_telemetry() {
+    let (v, o) = quick_pf();
+    let builder = Udao::builder(ClusterSpec::paper_cluster()).pf(v, o);
+    let server = builder.shared_model_server();
+    let udao = builder
+        .model_provider(Arc::new(SlowProvider {
+            inner: server,
+            delay: Duration::from_millis(150),
+        }))
+        .build()
+        .expect("quick_pf options are valid");
+    let workloads = batch_workloads();
+    let q2 = workloads.iter().find(|w| w.id == "q2-v0").expect("q2-v0 exists");
+    udao.train_batch(q2, 40, ModelFamily::Gp, &[BatchObjective::Latency]);
+    // One worker, depth 6: derived quotas are interactive 6 / standard 4
+    // / batch 3, so a 10-burst of batch requests must overflow its quota
+    // while interactive headroom stays untouched.
+    let engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
+        Arc::new(udao),
+        ServingOptions::default().with_workers(1).with_queue_depth(6),
+    );
+
+    // Admission-path shed/admit counters increment on the submitting
+    // thread, so a telemetry scope entered here records exactly this
+    // test's submissions — nothing from the worker thread.
+    let scope = Arc::new(MetricsRegistry::new());
+    let mut admitted = Vec::new();
+    let mut admitted_by_class = [0u64; 3];
+    let mut shed_by_class = [0u64; 3];
+    {
+        let _guard = enter_scope(Arc::clone(&scope));
+        let burst: Vec<Priority> = std::iter::repeat(Priority::Batch)
+            .take(10)
+            .chain(std::iter::repeat(Priority::Interactive).take(3))
+            .collect();
+        for class in burst {
+            match engine.submit(q2_request(class)) {
+                Ok(handle) => {
+                    admitted_by_class[class.index()] += 1;
+                    admitted.push(handle);
+                }
+                Err(Error::Shed { class: shed_class, queued, .. }) => {
+                    let shed_class = shed_class.expect("engine sheds carry the class");
+                    assert_eq!(shed_class, class, "shed reports the submitting class");
+                    assert!(queued.is_some(), "admission sheds report queue depth");
+                    shed_by_class[class.index()] += 1;
+                }
+                Err(other) => panic!("overload must shed, not fail: {other}"),
+            }
+        }
+    }
+
+    assert!(shed_by_class[Priority::Batch.index()] > 0, "10-burst must overflow batch quota 3");
+    assert_eq!(
+        shed_by_class[Priority::Interactive.index()],
+        0,
+        "batch flood must not shed interactive requests"
+    );
+    assert_eq!(
+        admitted_by_class[Priority::Interactive.index()],
+        3,
+        "every interactive request fits inside its quota"
+    );
+
+    let snap = scope.snapshot();
+    for class in Priority::ALL {
+        assert_eq!(
+            snap.counter(&names::serve_shed_class(&class)),
+            shed_by_class[class.index()],
+            "serve.shed.{class} must match observed Shed errors"
+        );
+        assert_eq!(
+            snap.counter(&names::serve_admitted_class(&class)),
+            admitted_by_class[class.index()],
+            "serve.admitted.{class} must match observed admissions"
+        );
+    }
+    assert_eq!(
+        snap.counter(names::SERVE_SHED),
+        shed_by_class.iter().sum::<u64>(),
+        "per-class shed counts must sum to serve.shed"
+    );
+    assert_eq!(
+        snap.counter(names::SERVE_ADMITTED),
+        admitted_by_class.iter().sum::<u64>(),
+        "per-class admit counts must sum to serve.admitted"
+    );
+
+    // Every admitted request is served to completion, and its report
+    // carries the scheduler's decision for that request.
+    for handle in admitted {
+        let rec = handle.wait().expect("admitted requests are served");
+        let class = rec.report.class.expect("engine solves stamp the class");
+        assert!(
+            class == Priority::Batch || class == Priority::Interactive,
+            "only batch/interactive were submitted"
+        );
+        assert!(rec.report.queue_wait_seconds >= 0.0);
+    }
+}

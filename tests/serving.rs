@@ -175,7 +175,7 @@ fn shutdown_drains_admitted_work_then_rejects_new_submissions() {
     }
     // New work is shed with the typed error, not dropped or panicking.
     match engine.submit(q2_request(3)) {
-        Err(Error::Shed { reason }) => assert!(reason.contains("draining"), "{reason}"),
+        Err(Error::Shed { reason, .. }) => assert!(reason.contains("draining"), "{reason}"),
         other => panic!("expected Shed after shutdown, got {other:?}"),
     }
 }
@@ -201,7 +201,7 @@ fn overload_sheds_with_typed_error_and_serves_admitted_requests() {
     for _ in 0..12 {
         match engine.submit(q2_request(3)) {
             Ok(handle) => admitted.push(handle),
-            Err(Error::Shed { reason }) => {
+            Err(Error::Shed { reason, .. }) => {
                 assert!(reason.contains("queue full"), "unexpected shed reason: {reason}");
                 shed += 1;
             }
@@ -222,7 +222,7 @@ fn expired_budget_is_shed_at_admission() {
         ServingEngine::start_with(Arc::clone(&udao), ServingOptions::default().with_workers(1));
     let req = q2_request(3).budget(Duration::ZERO);
     match engine.submit(req) {
-        Err(Error::Shed { reason }) => assert!(reason.contains("expired"), "{reason}"),
+        Err(Error::Shed { reason, .. }) => assert!(reason.contains("expired"), "{reason}"),
         other => panic!("zero budget must shed deterministically, got {other:?}"),
     }
 }
