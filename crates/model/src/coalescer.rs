@@ -119,13 +119,16 @@ enum Kind {
 }
 
 /// Lane identity: the underlying model's `Arc` address, the registry epoch
-/// it was published under, and the call kind. The epoch component closes
-/// the address-reuse (ABA) hole — after a hot-swap frees an old model, the
-/// allocator may hand its address to the *new* version, and an
-/// address-only key would then merge a pinned-old-version solve's points
-/// into a new-version dispatch. Distinct epochs can never share a lane,
-/// whatever the allocator does.
-type LaneKey = (usize, u64, Kind);
+/// it was published under, the serving precision tag, and the call kind.
+/// The epoch component closes the address-reuse (ABA) hole — after a
+/// hot-swap frees an old model, the allocator may hand its address to the
+/// *new* version, and an address-only key would then merge a
+/// pinned-old-version solve's points into a new-version dispatch. Distinct
+/// epochs can never share a lane, whatever the allocator does. The
+/// precision tag (`udao_model::Precision::tag`) keeps f32- and f64-served
+/// wrappers of one model apart: merging their points would hand some
+/// callers values computed at the wrong precision rung.
+type LaneKey = (usize, u64, u8, Kind);
 
 /// Lock a mutex, recovering the data on poison: a panicking leader already
 /// converts its failure into per-slot errors, so the shared state stays
@@ -305,13 +308,35 @@ impl InferenceCoalescer {
     /// same underlying instance **and** the same epoch share one lane —
     /// that sharing is what merges concurrent requests' batches — while
     /// wrappers at different epochs never do, even if a hot-swap recycles
-    /// the old model's allocation (see [`LaneKey`]).
+    /// the old model's allocation (see [`LaneKey`]). Serves at the default
+    /// f64 precision rung; use
+    /// [`InferenceCoalescer::wrap_versioned_tagged`] for models published
+    /// under a non-default [`crate::Precision`].
     pub fn wrap_versioned(
         self: &Arc<Self>,
         model: Arc<dyn ObjectiveModel>,
         epoch: u64,
     ) -> Arc<dyn ObjectiveModel> {
-        Arc::new(CoalescedModel { coalescer: Arc::clone(self), inner: model, epoch })
+        self.wrap_versioned_tagged(model, epoch, crate::Precision::F64.tag())
+    }
+
+    /// [`InferenceCoalescer::wrap_versioned`] with an explicit precision
+    /// tag ([`crate::Precision::tag`]). Wrappers with different tags never
+    /// share a lane even at the same address and epoch, so a deployment
+    /// that serves both rungs side by side (e.g. an f32 fleet with one
+    /// f64-verified canary) cannot mix precisions inside one dispatch.
+    pub fn wrap_versioned_tagged(
+        self: &Arc<Self>,
+        model: Arc<dyn ObjectiveModel>,
+        epoch: u64,
+        precision_tag: u8,
+    ) -> Arc<dyn ObjectiveModel> {
+        Arc::new(CoalescedModel {
+            coalescer: Arc::clone(self),
+            inner: model,
+            epoch,
+            precision_tag,
+        })
     }
 
     /// Drop lanes with no leader and no pending points — the invalidation
@@ -496,14 +521,23 @@ struct CoalescedModel {
     inner: Arc<dyn ObjectiveModel>,
     /// Registry epoch the wrapped model was leased at (0 = unversioned).
     epoch: u64,
+    /// Serving precision rung ([`crate::Precision::tag`]); part of the
+    /// lane key so f32 and f64 paths never merge.
+    precision_tag: u8,
 }
 
 impl CoalescedModel {
     fn key(&self, kind: Kind) -> LaneKey {
-        // Arc identity + epoch: wrappers of the same served model version
-        // share a lane; different versions never do, even when the
-        // allocator reuses a retired version's address (ABA).
-        (Arc::as_ptr(&self.inner) as *const () as usize, self.epoch, kind)
+        // Arc identity + epoch + precision: wrappers of the same served
+        // model version at the same rung share a lane; different versions
+        // or rungs never do, even when the allocator reuses a retired
+        // version's address (ABA).
+        (
+            Arc::as_ptr(&self.inner) as *const () as usize,
+            self.epoch,
+            self.precision_tag,
+            kind,
+        )
     }
 
     fn fast_path(&self) -> bool {
@@ -778,6 +812,56 @@ mod tests {
             assert!(
                 olds == 0 || olds == batch.len(),
                 "a dispatched batch mixed model versions: {batch:?}"
+            );
+        }
+    }
+
+    /// Companion to the epoch test: one model, one epoch, two precision
+    /// rungs (f64 default and an f32 tag). Their points must never land
+    /// in the same dispatched batch — a mixed batch would return f32 bits
+    /// to an f64 caller or vice versa.
+    #[test]
+    fn different_precision_tags_never_share_a_lane() {
+        let recorder = Arc::new(BatchRecorder { batches: std::sync::Mutex::new(Vec::new()) });
+        let inner: Arc<dyn ObjectiveModel> = recorder.clone();
+        for round in 0..20 {
+            let coalescer = InferenceCoalescer::new(CoalescerOptions {
+                max_batch: 64,
+                window: Duration::from_millis(5),
+                adaptive: false,
+            });
+            let full = coalescer.wrap_versioned(Arc::clone(&inner), 7);
+            let fast = coalescer.wrap_versioned_tagged(
+                Arc::clone(&inner),
+                7,
+                crate::Precision::F32.tag(),
+            );
+            let _a = coalescer.register_solver();
+            let _b = coalescer.register_solver();
+            let barrier = std::sync::Barrier::new(2);
+            std::thread::scope(|s| {
+                // f64 points live in [0, 0.5); f32 points in [0.5, 1.0].
+                s.spawn(|| {
+                    barrier.wait();
+                    let xs: Vec<Vec<f64>> =
+                        (0..4).map(|i| vec![0.1 + 0.01 * (round * 4 + i) as f64 % 0.4]).collect();
+                    let mut out = vec![0.0; xs.len()];
+                    full.predict_batch(&xs, &mut out);
+                });
+                s.spawn(|| {
+                    barrier.wait();
+                    let xs: Vec<Vec<f64>> =
+                        (0..4).map(|i| vec![0.6 + 0.01 * (round * 4 + i) as f64 % 0.4]).collect();
+                    let mut out = vec![0.0; xs.len()];
+                    fast.predict_batch(&xs, &mut out);
+                });
+            });
+        }
+        for batch in recorder.batches.lock().unwrap().iter() {
+            let f64s = batch.iter().filter(|x| x[0] < 0.5).count();
+            assert!(
+                f64s == 0 || f64s == batch.len(),
+                "a dispatched batch mixed precision rungs: {batch:?}"
             );
         }
     }

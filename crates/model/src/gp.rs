@@ -39,7 +39,12 @@ impl Default for GpConfig {
 /// A trained Gaussian Process regressor.
 #[derive(Debug, Clone)]
 pub struct Gp {
-    x_train: Vec<Vec<f64>>,
+    /// Training inputs, flattened row-major (`n × dim`) so the fused
+    /// cross-kernel kernel streams one contiguous block.
+    x_flat: Vec<f64>,
+    /// Standardized training targets (kept so incremental extension can
+    /// re-solve for `α` against the grown factor).
+    y_std: Vec<f64>,
     /// `α = K⁻¹·y` (standardized targets).
     alpha: Vec<f64>,
     /// Cholesky factor of `K`.
@@ -50,10 +55,14 @@ pub struct Gp {
     signal_var: f64,
     /// Selected noise variance.
     noise_var: f64,
+    /// Diagonal jitter used at fit time (reused by [`Gp::extend`]).
+    jitter: f64,
     scaler: Scaler,
     dim: usize,
     /// Log marginal likelihood at the selected hyperparameters.
     log_marginal: f64,
+    /// Lazily converted f32 mirrors (x_flat, alpha) for the fast path.
+    f32_cache: std::sync::OnceLock<(Vec<f32>, Vec<f32>)>,
 }
 
 impl Gp {
@@ -85,15 +94,18 @@ impl Gp {
                     if round_best.map(|(b, _, _)| lml > b).unwrap_or(true) {
                         round_best = Some((lml, l, s));
                         best = Some(Gp {
-                            x_train: data.x.clone(),
+                            x_flat: data.x.iter().flatten().copied().collect(),
+                            y_std: y.clone(),
                             alpha,
                             chol,
                             length_scale: l,
                             signal_var: 1.0,
                             noise_var: s * s,
+                            jitter: cfg.jitter,
                             scaler,
                             dim: data.dim(),
                             log_marginal: lml,
+                            f32_cache: std::sync::OnceLock::new(),
                         });
                     }
                 }
@@ -144,14 +156,21 @@ impl Gp {
         Some((chol, alpha, lml))
     }
 
-    /// Predictive mean and variance in *standardized* target space.
+    /// Predictive mean and variance in *standardized* target space: the
+    /// fused kernel computes the cross-kernel row and `kxᵀα` in one pass,
+    /// and the variance path reuses the row for the triangular solve.
     fn predict_standardized(&self, x: &[f64]) -> (f64, f64) {
-        let kx: Vec<f64> = self
-            .x_train
-            .iter()
-            .map(|xi| se_kernel(x, xi, self.length_scale, self.signal_var))
-            .collect();
-        let mean: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        let mut kx = Vec::new();
+        let mean = crate::simd::se_cross_gram_f64(
+            &self.x_flat,
+            self.n_train(),
+            self.dim,
+            x,
+            &self.alpha,
+            self.length_scale,
+            self.signal_var,
+            &mut kx,
+        );
         // var = k(x,x) - kxᵀ K⁻¹ kx, via v = L⁻¹ kx.
         let v = self.chol.solve_lower(&kx);
         let var = (self.signal_var - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
@@ -160,7 +179,83 @@ impl Gp {
 
     /// The number of training points.
     pub fn n_train(&self) -> usize {
-        self.x_train.len()
+        self.alpha.len()
+    }
+
+    /// Incrementally absorb new observations **without refitting**: the
+    /// hyperparameters and target scaler stay frozen and the Cholesky
+    /// factor is grown one bordered row at a time via
+    /// [`Matrix::cholesky_append_row`] — O(k·n²) for k new points against
+    /// the O(n³) full refactorization (times the ~35-candidate grid) that
+    /// [`Gp::fit`] pays. `α` is then re-solved against the grown factor.
+    ///
+    /// Returns `false` without modifying the model when the inputs are
+    /// malformed (dimension mismatch) or a bordered matrix fails positive
+    /// definiteness; the caller should fall back to a full [`Gp::fit`].
+    pub fn extend(&mut self, new_x: &[Vec<f64>], new_y: &[f64]) -> bool {
+        if new_x.len() != new_y.len() || new_x.iter().any(|x| x.len() != self.dim) {
+            return false;
+        }
+        if new_x.is_empty() {
+            return true;
+        }
+        // Stage everything on copies so a failed append cannot leave the
+        // model half-extended.
+        let mut chol = self.chol.clone();
+        let mut x_flat = self.x_flat.clone();
+        let mut n = self.n_train();
+        let diag = self.signal_var + self.noise_var + self.jitter;
+        for x in new_x {
+            let mut cross = Vec::with_capacity(n);
+            for i in 0..n {
+                cross.push(se_kernel(&x_flat[i * self.dim..(i + 1) * self.dim], x, self.length_scale, self.signal_var));
+            }
+            if !chol.cholesky_append_row(&cross, diag) {
+                return false;
+            }
+            x_flat.extend_from_slice(x);
+            n += 1;
+        }
+        self.chol = chol;
+        self.x_flat = x_flat;
+        self.y_std.extend(new_y.iter().map(|&v| self.scaler.transform(v)));
+        self.alpha = self.chol.cholesky_solve(&self.y_std);
+        let data_fit: f64 = self.y_std.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+        self.log_marginal = -0.5 * data_fit
+            - 0.5 * self.chol.log_det_from_cholesky()
+            - 0.5 * n as f64 * (2.0 * std::f64::consts::PI).ln();
+        self.f32_cache = std::sync::OnceLock::new();
+        true
+    }
+
+    /// Single-precision batched mean — the opt-in fast path (see
+    /// [`crate::precision`]): training block and `α` are narrowed to f32
+    /// once and the fused cross-kernel + Gram product runs in f32. Serves
+    /// means only; variance and gradients stay on the f64 path.
+    pub fn predict_batch_f32(&self, xs: &[Vec<f64>], out: &mut [f64]) {
+        debug_assert_eq!(xs.len(), out.len());
+        let (x32, a32) = self.f32_cache.get_or_init(|| {
+            (
+                self.x_flat.iter().map(|&v| v as f32).collect(),
+                self.alpha.iter().map(|&v| v as f32).collect(),
+            )
+        });
+        let n = self.n_train();
+        let mut q = Vec::with_capacity(self.dim);
+        for (x, o) in xs.iter().zip(out.iter_mut()) {
+            q.clear();
+            q.extend(x.iter().map(|&v| v as f32));
+            let mean = crate::simd::se_cross_gram_f32(
+                x32,
+                n,
+                self.dim,
+                &q,
+                a32,
+                self.length_scale as f32,
+                self.signal_var as f32,
+            );
+            *o = self.scaler.inverse(mean as f64);
+        }
     }
 
     /// The log marginal likelihood at the fitted hyperparameters.
@@ -200,18 +295,25 @@ impl udao_core::ObjectiveModel for Gp {
         v.sqrt() * self.scaler.std
     }
 
-    /// Batched mean: each point's cross-kernel row is written into one
-    /// reused buffer and dotted with `α` — a single Gram–vector product
-    /// over the batch with no per-point allocation, bitwise identical to
-    /// scalar [`Gp::predict`] calls.
+    /// Batched mean: the fused cross-kernel + Gram product runs per point
+    /// against the flat training block with one reused row buffer —
+    /// bitwise identical to scalar [`Gp::predict`] calls, which route
+    /// through the same fused kernel.
     fn predict_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
         debug_assert_eq!(xs.len(), out.len());
-        let mut kx = vec![0.0; self.x_train.len()];
+        let n = self.n_train();
+        let mut kx = Vec::with_capacity(n);
         for (x, o) in xs.iter().zip(out.iter_mut()) {
-            for (ki, xi) in kx.iter_mut().zip(&self.x_train) {
-                *ki = se_kernel(x, xi, self.length_scale, self.signal_var);
-            }
-            let mean: f64 = kx.iter().zip(&self.alpha).map(|(a, b)| a * b).sum();
+            let mean = crate::simd::se_cross_gram_f64(
+                &self.x_flat,
+                n,
+                self.dim,
+                x,
+                &self.alpha,
+                self.length_scale,
+                self.signal_var,
+                &mut kx,
+            );
             *o = self.scaler.inverse(mean);
         }
     }
@@ -220,11 +322,19 @@ impl udao_core::ObjectiveModel for Gp {
     /// batch (the triangular solve per point is unavoidable).
     fn predict_std_batch(&self, xs: &[Vec<f64>], out: &mut [f64]) {
         debug_assert_eq!(xs.len(), out.len());
-        let mut kx = vec![0.0; self.x_train.len()];
+        let n = self.n_train();
+        let mut kx = Vec::with_capacity(n);
         for (x, o) in xs.iter().zip(out.iter_mut()) {
-            for (ki, xi) in kx.iter_mut().zip(&self.x_train) {
-                *ki = se_kernel(x, xi, self.length_scale, self.signal_var);
-            }
+            crate::simd::se_cross_gram_f64(
+                &self.x_flat,
+                n,
+                self.dim,
+                x,
+                &self.alpha,
+                self.length_scale,
+                self.signal_var,
+                &mut kx,
+            );
             let v = self.chol.solve_lower(&kx);
             let var = (self.signal_var - v.iter().map(|a| a * a).sum::<f64>()).max(1e-12);
             *o = var.sqrt() * self.scaler.std;
@@ -238,7 +348,7 @@ impl udao_core::ObjectiveModel for Gp {
         for g in out.iter_mut() {
             *g = 0.0;
         }
-        for (xi, alpha) in self.x_train.iter().zip(&self.alpha) {
+        for (xi, alpha) in self.x_flat.chunks_exact(self.dim).zip(&self.alpha) {
             let k = se_kernel(x, xi, self.length_scale, self.signal_var);
             let c = alpha * k * inv_l2;
             for d in 0..x.len() {
@@ -254,8 +364,8 @@ impl udao_core::ObjectiveModel for Gp {
     /// `∂var/∂x = −2·βᵀ·∂k_x/∂x` and `∂std/∂x = ∂var/∂x / (2·std)`.
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         let kx: Vec<f64> = self
-            .x_train
-            .iter()
+            .x_flat
+            .chunks_exact(self.dim)
             .map(|xi| se_kernel(x, xi, self.length_scale, self.signal_var))
             .collect();
         let beta = self.chol.cholesky_solve(&kx);
@@ -266,7 +376,7 @@ impl udao_core::ObjectiveModel for Gp {
         for g in out.iter_mut() {
             *g = 0.0;
         }
-        for ((xi, k), b) in self.x_train.iter().zip(&kx).zip(&beta) {
+        for ((xi, k), b) in self.x_flat.chunks_exact(self.dim).zip(&kx).zip(&beta) {
             // ∂k(x,xi)/∂x_d = k · (xi_d − x_d)/l²
             let c = -2.0 * b * k * inv_l2;
             for d in 0..x.len() {
@@ -367,6 +477,67 @@ mod tests {
         for (i, x) in xs.iter().enumerate() {
             assert_eq!(gp.predict(x).to_bits(), mean[i].to_bits());
             assert_eq!(gp.predict_std(x).to_bits(), std[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn extend_matches_full_refit_predictions() {
+        // Fit on the first 15 points, extend with 5 more, and compare
+        // against a GP factorized from scratch on all 20 points at the
+        // *same* hyperparameters (extend freezes them, so pin the grid).
+        let d = smooth_dataset(20);
+        let head = Dataset::new(d.x[..15].to_vec(), d.y[..15].to_vec());
+        let cfg = GpConfig {
+            length_scales: vec![0.35],
+            noise_levels: vec![0.05],
+            ..Default::default()
+        };
+        let mut gp = Gp::fit(&head, &cfg).unwrap();
+        let pinned = GpConfig {
+            length_scales: vec![gp.length_scale()],
+            noise_levels: vec![gp.noise_variance().sqrt()],
+            ..cfg
+        };
+        assert!(gp.extend(&d.x[15..].to_vec(), &d.y[15..].to_vec()));
+        assert_eq!(gp.n_train(), 20);
+
+        // The refit standardizes targets over all 20 ys while extend keeps
+        // the 15-point scaler, so compare in each model's own prediction
+        // space — both should track the truth closely at interior points.
+        let refit = Gp::fit(&d, &pinned).unwrap();
+        for i in [2usize, 9, 13, 17] {
+            let p_ext = gp.predict(&d.x[i]);
+            let p_ref = refit.predict(&d.x[i]);
+            assert!(
+                (p_ext - p_ref).abs() < 0.05,
+                "point {i}: extended {p_ext} vs refit {p_ref}"
+            );
+        }
+        assert!(gp.log_marginal().is_finite());
+    }
+
+    #[test]
+    fn extend_rejects_malformed_input_without_mutation() {
+        let d = smooth_dataset(12);
+        let mut gp = Gp::fit(&d, &GpConfig::default()).unwrap();
+        let before = gp.predict(&[0.4]);
+        assert!(!gp.extend(&[vec![0.1, 0.2]], &[1.0]), "dim mismatch must fail");
+        assert!(!gp.extend(&[vec![0.1]], &[1.0, 2.0]), "length mismatch must fail");
+        assert_eq!(gp.n_train(), 12);
+        assert_eq!(gp.predict(&[0.4]).to_bits(), before.to_bits());
+    }
+
+    #[test]
+    fn gp_f32_fast_path_tracks_f64_within_bound() {
+        let d = smooth_dataset(25);
+        let gp = Gp::fit(&d, &GpConfig::default()).unwrap();
+        let xs: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let mut f64_out = vec![0.0; xs.len()];
+        let mut f32_out = vec![0.0; xs.len()];
+        gp.predict_batch(&xs, &mut f64_out);
+        gp.predict_batch_f32(&xs, &mut f32_out);
+        for (a, b) in f64_out.iter().zip(&f32_out) {
+            assert!((a - b).abs() <= 1e-3 * (1.0 + a.abs()), "{a} vs {b}");
         }
     }
 

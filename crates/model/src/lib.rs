@@ -16,7 +16,9 @@
 //!   (the OtterTune-style model family);
 //! * [`regression`] — hand-crafted Ernest-style analytical models.
 //!
-//! Supporting modules: [`linalg`] (small dense linear algebra), [`dataset`]
+//! Supporting modules: [`linalg`] (small dense linear algebra), [`simd`]
+//! (runtime-dispatched SIMD kernels behind the linalg hot paths),
+//! [`precision`] (the opt-in f32 inference ladder), [`dataset`]
 //! (trace matrices, scalers, splits), [`features`] (constant filtering,
 //! LASSO-path knob selection), and [`server`] (the model registry with
 //! periodic retraining and incremental fine-tuning from checkpoints).
@@ -30,8 +32,10 @@ pub mod features;
 pub mod gp;
 pub mod linalg;
 pub mod mlp;
+pub mod precision;
 pub mod regression;
 pub mod server;
+pub mod simd;
 pub mod transform;
 
 pub use coalescer::{CoalescerOptions, InferenceCoalescer, SolverGuard};
@@ -39,4 +43,6 @@ pub use dataset::Dataset;
 pub use drift::{DriftOptions, DriftVerdict, DriftWindow};
 pub use gp::{Gp, GpConfig};
 pub use mlp::{Ensemble, McDropout, Mlp, MlpConfig};
+pub use precision::{F32Batch, FastPath, Precision};
 pub use server::{ModelKey, ModelKind, ModelLease, ModelServer};
+pub use simd::KernelVariant;

@@ -128,6 +128,39 @@ impl Matrix {
     pub fn log_det_from_cholesky(&self) -> f64 {
         (0..self.rows).map(|i| self[(i, i)].ln()).sum::<f64>() * 2.0
     }
+
+    /// Rank-1 row append to a Cholesky factor: given `L = chol(A)` (this
+    /// matrix, `n × n` lower-triangular) and the bordered matrix
+    /// `A' = [[A, b], [bᵀ, c]]`, grows `self` in place to `chol(A')` in
+    /// O(n²) — one forward solve `L·y = b` plus the Schur complement
+    /// `d = c − ‖y‖²` — instead of re-factorizing from scratch in O(n³).
+    /// Appending k rows one at a time amortizes a rank-k update to O(k·n²).
+    ///
+    /// Returns `false` (leaving `self` untouched) when the bordered matrix
+    /// is not numerically positive definite (`d ≤ 1e-12`); callers fall
+    /// back to a full refactorization with fresh jitter in that case.
+    pub fn cholesky_append_row(&mut self, cross: &[f64], diag: f64) -> bool {
+        assert_eq!(self.rows, self.cols, "cholesky_append_row needs a square factor");
+        let n = self.rows;
+        assert_eq!(cross.len(), n, "cross-covariance length must match factor size");
+        let y = self.solve_lower(cross);
+        let d = diag - dot(&y, &y);
+        if d <= 1e-12 {
+            return false;
+        }
+        let m = n + 1;
+        let mut data = Vec::with_capacity(m * m);
+        for i in 0..n {
+            data.extend_from_slice(&self.data[i * n..(i + 1) * n]);
+            data.push(0.0);
+        }
+        data.extend_from_slice(&y);
+        data.push(d.sqrt());
+        self.rows = m;
+        self.cols = m;
+        self.data = data;
+        true
+    }
 }
 
 impl std::ops::Index<(usize, usize)> for Matrix {
@@ -161,50 +194,25 @@ pub fn transpose(m: &[f64], rows: usize, cols: usize) -> Vec<f64> {
 /// `n × in_dim`, `wt` is the **transposed** (`in_dim × out_dim`) weight
 /// block of a dense layer, and `out` receives `n × out_dim`.
 ///
-/// Output rows accumulate with contiguous axpy sweeps
-/// (`out_row_p += xₚᵢ · wt[i]`), which vectorize across output neurons —
-/// where the scalar layer forward walks one serial dot product per neuron.
-/// The feature loop is outermost so each transposed weight row is read
-/// once per *batch* (the scalar path re-reads the full weight block per
-/// point), and the caller pre-transposes the weights once per model (see
-/// `Layer::transposed`), so the batched path pays no per-call reshaping.
-/// Each `(point, neuron)` accumulation keeps the scalar order
-/// (`0 + x₀w₀ + x₁w₁ + … + b`, commuted operands only), so batched
-/// predictions stay bitwise identical to scalar ones.
+/// Dispatches to the runtime-selected kernel in [`crate::simd`] — a
+/// register-blocked AVX2+FMA micro-kernel on capable x86-64 hosts, a
+/// portable auto-vectorized axpy sweep elsewhere (or under
+/// `UDAO_FORCE_PORTABLE=1`). Within either variant every `(point, neuron)`
+/// output is a serial fold over the input dimension in a fixed order, so
+/// batched predictions stay bitwise identical to scalar ones (the scalar
+/// layer forward routes through this same kernel with `n = 1`).
 pub fn affine_batch(xs: &[f64], n: usize, in_dim: usize, wt: &[f64], b: &[f64], out: &mut Vec<f64>) {
-    let out_dim = b.len();
-    debug_assert_eq!(xs.len(), n * in_dim);
-    debug_assert_eq!(wt.len(), out_dim * in_dim);
-    out.clear();
-    out.resize(n * out_dim, 0.0);
-    for i in 0..in_dim {
-        let wrow = &wt[i * out_dim..(i + 1) * out_dim];
-        for p in 0..n {
-            let xi = xs[p * in_dim + i];
-            let row_out = &mut out[p * out_dim..(p + 1) * out_dim];
-            for (acc, &wv) in row_out.iter_mut().zip(wrow) {
-                *acc += xi * wv;
-            }
-        }
-    }
-    for p in 0..n {
-        let row_out = &mut out[p * out_dim..(p + 1) * out_dim];
-        for (acc, &bo) in row_out.iter_mut().zip(b) {
-            *acc += bo;
-        }
-    }
+    crate::simd::affine_batch_f64(xs, n, in_dim, wt, b, out);
 }
 
-/// Dot product.
+/// Dot product (SIMD-dispatched; fixed reduction order per kernel variant).
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    crate::simd::dot_f64(a, b)
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance (SIMD-dispatched, like [`dot`]).
 pub fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
-    debug_assert_eq!(a.len(), b.len());
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    crate::simd::sq_dist_f64(a, b)
 }
 
 /// Mean of a slice (0 for empty input).
@@ -290,6 +298,47 @@ mod tests {
         let l = Matrix::identity(4).cholesky().unwrap();
         let b = vec![1.0, 2.0, 3.0, 4.0];
         assert_eq!(l.cholesky_solve(&b), b);
+    }
+
+    #[test]
+    fn cholesky_append_row_matches_full_refactorization() {
+        // Grow a 2×2 SPD matrix to 4×4 one bordered row at a time and
+        // compare against factorizing each bordered matrix from scratch.
+        let base = vec![vec![4.0, 1.2], vec![1.2, 3.0]];
+        let extra_rows = [vec![0.7, -0.4, 5.0], vec![0.2, 0.9, -0.3, 4.2]];
+        let mut full = base.clone();
+        let mut l = Matrix::from_rows(&full).cholesky().unwrap();
+        for extra in &extra_rows {
+            let n = full.len();
+            let (cross, diag) = (&extra[..n], extra[n]);
+            for (row, &c) in full.iter_mut().zip(cross) {
+                row.push(c);
+            }
+            let mut new_row = cross.to_vec();
+            new_row.push(diag);
+            full.push(new_row);
+            assert!(l.cholesky_append_row(cross, diag));
+            let refactored = Matrix::from_rows(&full).cholesky().unwrap();
+            for i in 0..full.len() {
+                for j in 0..full.len() {
+                    assert!(
+                        (l[(i, j)] - refactored[(i, j)]).abs() < 1e-10,
+                        "({i},{j}): {} vs {}",
+                        l[(i, j)],
+                        refactored[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_append_row_rejects_non_pd_border() {
+        let mut l = Matrix::from_rows(&[vec![4.0, 0.0], vec![0.0, 4.0]]).cholesky().unwrap();
+        let before = l.clone();
+        // Border that makes the matrix singular: d = c - ‖y‖² = 0.
+        assert!(!l.cholesky_append_row(&[4.0, 0.0], 4.0));
+        assert_eq!(l, before, "failed append must leave the factor untouched");
     }
 
     #[test]

@@ -42,6 +42,7 @@ use crate::dataset::Dataset;
 use crate::drift::{DriftOptions, DriftVerdict, DriftWindow};
 use crate::gp::{Gp, GpConfig};
 use crate::mlp::{Ensemble, MlpConfig};
+use crate::precision::{F32Batch, FastPath, Precision};
 use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -112,8 +113,11 @@ const RETRAIN_THRESHOLD: usize = 200;
 const FINE_TUNE_EPOCHS: usize = 60;
 
 enum Trained {
-    /// GPs are always refit exactly; no incremental state to keep.
-    Gp,
+    /// The fitted GP is kept so small trace updates can *extend* its
+    /// Cholesky factor (O(k·n²)) instead of refitting (O(n³) × the
+    /// hyperparameter grid). Boxed: a `Gp` owns its whole training set,
+    /// so inline it would dominate every enum it appears in.
+    Gp(Box<Gp>),
     Dnn(Ensemble),
 }
 
@@ -148,11 +152,14 @@ struct Entry {
 enum TrainJob {
     Full { data: Dataset, kind: ModelKind },
     FineTune { ens: Ensemble, batch: Dataset },
+    /// GP incremental fine-tune: extend the factor with the batch; on a
+    /// positive-definiteness failure fall back to a full refit of `data`.
+    GpExtend { gp: Box<Gp>, batch: Dataset, data: Dataset, kind: ModelKind },
 }
 
 /// What a training produced, ready to publish.
 enum TrainOutcome {
-    Gp(Gp),
+    Gp(Box<Gp>),
     Dnn(Ensemble),
     /// Training failed (degenerate data); nothing to publish.
     None,
@@ -199,16 +206,31 @@ impl<M: ObjectiveModel> ObjectiveModel for Metered<M> {
     }
 }
 
-/// Wrap a trained model for serving, applying the log-space transform when
-/// the entry was registered with [`ModelServer::register_log`] and the
-/// inference-counting wrapper always.
-fn wrap_model<M: ObjectiveModel + 'static>(model: M, log: bool) -> Arc<dyn ObjectiveModel> {
+/// Wrap a trained model for serving: the f32 fast path (when a non-default
+/// [`Precision`] is active) innermost, then the log-space transform when
+/// the entry was registered with [`ModelServer::register_log`], then the
+/// inference-counting wrapper always —
+/// `Metered(LogSpace?(FastPath?(model)))`.
+fn wrap_model<M: ObjectiveModel + F32Batch + 'static>(
+    model: M,
+    log: bool,
+    precision: Precision,
+) -> Arc<dyn ObjectiveModel> {
     let inferences = udao_telemetry::counter(names::MODEL_INFERENCES);
     let batch_calls = udao_telemetry::counter(names::MODEL_BATCH_CALLS);
-    if log {
-        Arc::new(Metered { inner: crate::transform::LogSpace(model), inferences, batch_calls })
-    } else {
-        Arc::new(Metered { inner: model, inferences, batch_calls })
+    match (log, precision.is_f64()) {
+        (true, true) => {
+            Arc::new(Metered { inner: crate::transform::LogSpace(model), inferences, batch_calls })
+        }
+        (false, true) => Arc::new(Metered { inner: model, inferences, batch_calls }),
+        (true, false) => Arc::new(Metered {
+            inner: crate::transform::LogSpace(FastPath::new(model, precision)),
+            inferences,
+            batch_calls,
+        }),
+        (false, false) => {
+            Arc::new(Metered { inner: FastPath::new(model, precision), inferences, batch_calls })
+        }
     }
 }
 
@@ -226,6 +248,8 @@ pub struct ModelServer {
     /// Rolling prediction-vs-observed residual windows per key.
     drift: Mutex<HashMap<ModelKey, DriftWindow>>,
     drift_options: RwLock<DriftOptions>,
+    /// Inference precision applied to models published after it is set.
+    precision: RwLock<Precision>,
 }
 
 impl ModelServer {
@@ -243,6 +267,18 @@ impl ModelServer {
     /// The current drift-detection policy.
     pub fn drift_options(&self) -> DriftOptions {
         *self.drift_options.read()
+    }
+
+    /// Set the inference precision for models published from now on
+    /// (already-published versions keep the precision they were wrapped
+    /// with — leases stay immutable snapshots).
+    pub fn set_precision(&self, precision: Precision) {
+        *self.precision.write() = precision;
+    }
+
+    /// The precision models are currently being published at.
+    pub fn precision(&self) -> Precision {
+        *self.precision.read()
     }
 
     /// Declare a model for `key` with the given family. Idempotent; the
@@ -317,7 +353,12 @@ impl ModelServer {
             let seq = e.train_seq;
             let job = match (&e.trained, need_full) {
                 (Some(Trained::Dnn(ens)), false) => TrainJob::FineTune { ens: ens.clone(), batch },
-                // Full (re)train; GPs are always refit exactly.
+                (Some(Trained::Gp(gp)), false) => TrainJob::GpExtend {
+                    gp: gp.clone(),
+                    batch,
+                    data: e.data.clone(),
+                    kind: e.kind.clone(),
+                },
                 _ => TrainJob::Full { data: e.data.clone(), kind: e.kind.clone() },
             };
             if need_full {
@@ -332,10 +373,26 @@ impl ModelServer {
                 ens.fine_tune(&batch, FINE_TUNE_EPOCHS);
                 TrainOutcome::Dnn(ens)
             }
-            TrainJob::Full { data, kind } => match kind {
-                ModelKind::Gp(cfg) => {
-                    Gp::fit(&data, &cfg).map(TrainOutcome::Gp).unwrap_or(TrainOutcome::None)
+            TrainJob::GpExtend { mut gp, batch, data, kind } => {
+                if gp.extend(&batch.x, &batch.y) {
+                    udao_telemetry::counter(names::MODEL_GP_EXTENDS).inc();
+                    TrainOutcome::Gp(gp)
+                } else {
+                    // The bordered factor went non-PD (e.g. a near-duplicate
+                    // trace at tiny noise): refit from the full archive.
+                    udao_telemetry::counter(names::MODEL_GP_EXTEND_FALLBACKS).inc();
+                    match kind {
+                        ModelKind::Gp(cfg) => Gp::fit(&data, &cfg)
+                            .map(|g| TrainOutcome::Gp(Box::new(g)))
+                            .unwrap_or(TrainOutcome::None),
+                        ModelKind::Dnn { .. } => TrainOutcome::None,
+                    }
                 }
+            }
+            TrainJob::Full { data, kind } => match kind {
+                ModelKind::Gp(cfg) => Gp::fit(&data, &cfg)
+                    .map(|g| TrainOutcome::Gp(Box::new(g)))
+                    .unwrap_or(TrainOutcome::None),
                 ModelKind::Dnn { config, members } => Ensemble::fit(&data, &config, members)
                     .map(TrainOutcome::Dnn)
                     .unwrap_or(TrainOutcome::None),
@@ -357,9 +414,14 @@ impl ModelServer {
         full: bool,
         started: Instant,
     ) -> bool {
+        let precision = *self.precision.read();
         let (wrapped, trained) = match outcome {
-            TrainOutcome::Gp(gp) => (wrap_model(gp, log), Trained::Gp),
-            TrainOutcome::Dnn(ens) => (wrap_model(ens.clone(), log), Trained::Dnn(ens)),
+            TrainOutcome::Gp(gp) => {
+                (wrap_model((*gp).clone(), log, precision), Trained::Gp(gp))
+            }
+            TrainOutcome::Dnn(ens) => {
+                (wrap_model(ens.clone(), log, precision), Trained::Dnn(ens))
+            }
             TrainOutcome::None => return false,
         };
         let version = {
@@ -614,6 +676,60 @@ mod tests {
         assert_eq!(server.training_stats(&key), (2, 1));
         // Every publish bumped the version.
         assert_eq!(server.current_version(&key), 3);
+    }
+
+    #[test]
+    fn small_gp_updates_extend_instead_of_refitting() {
+        let reg = udao_telemetry::global();
+        let extends_before = reg.counter(names::MODEL_GP_EXTENDS).get();
+        let server = ModelServer::new();
+        let key = ModelKey::new("q11", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(20, 5.0)); // first train: full fit
+        assert_eq!(server.training_stats(&key), (1, 0));
+        server.ingest(&key, &line_data(10, 5.0)); // small: incremental extend
+        assert_eq!(server.training_stats(&key), (1, 1), "small GP update must fine-tune");
+        assert_eq!(reg.counter(names::MODEL_GP_EXTENDS).get(), extends_before + 1);
+        assert_eq!(server.current_version(&key), 2);
+        // The extended model still answers accurately on the line.
+        let m = server.get(&key).unwrap();
+        assert!((m.predict(&[0.5]) - 4.5).abs() < 0.3, "got {}", m.predict(&[0.5]));
+        // A large batch still forces the full refit (hyperparameters do
+        // eventually re-tune).
+        server.ingest(&key, &line_data(250, 5.0));
+        assert_eq!(server.training_stats(&key), (2, 1));
+    }
+
+    #[test]
+    fn precision_setting_wraps_published_models() {
+        let server = ModelServer::new();
+        let key = ModelKey::new("q12", "latency");
+        server.register(key.clone(), ModelKind::Gp(GpConfig::default()));
+        server.ingest(&key, &line_data(20, 5.0));
+        let f64_model = server.get(&key).unwrap();
+
+        // Verified f32: served values are the f64 shadow, so they match the
+        // f64-published model closely; the bound must hold on this data.
+        let violations_before = udao_telemetry::global()
+            .counter(names::MODEL_F32_VERIFY_VIOLATIONS)
+            .get();
+        server.set_precision(Precision::F32Verified { rel_tol: 1e-3 });
+        assert!(!server.precision().is_f64());
+        assert!(server.retrain_now(&key, &Dataset::default()));
+        let verified = server.get(&key).unwrap();
+        assert!((verified.predict(&[0.5]) - f64_model.predict(&[0.5])).abs() < 1e-9);
+        assert_eq!(
+            udao_telemetry::global().counter(names::MODEL_F32_VERIFY_VIOLATIONS).get(),
+            violations_before,
+            "1e-3 relative bound must hold on a well-scaled GP"
+        );
+
+        // Pure f32: close to f64 but served from the fast kernels.
+        server.set_precision(Precision::F32);
+        assert!(server.retrain_now(&key, &Dataset::default()));
+        let fast = server.get(&key).unwrap();
+        let (a, b) = (fast.predict(&[0.5]), f64_model.predict(&[0.5]));
+        assert!((a - b).abs() <= 1e-3 * (1.0 + b.abs()), "{a} vs {b}");
     }
 
     #[test]

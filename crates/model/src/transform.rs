@@ -29,7 +29,18 @@ impl<M: ObjectiveModel> ObjectiveModel for LogSpace<M> {
     }
 
     fn gradient(&self, x: &[f64], out: &mut [f64]) {
-        let v = self.predict(x);
+        let mu = self.0.predict(x);
+        if !(-80.0..=80.0).contains(&mu) {
+            // The prediction is clamped here, so the surface is flat:
+            // chaining exp(clamp(μ)) through ∇μ would hand MOGD a huge
+            // phantom gradient (exp(±80)·∇μ) pointing along a saturated
+            // direction. Report the true (zero) slope instead.
+            for g in out.iter_mut() {
+                *g = 0.0;
+            }
+            return;
+        }
+        let v = mu.exp();
         self.0.gradient(x, out);
         for g in out.iter_mut() {
             *g *= v;
@@ -57,10 +68,16 @@ impl<M: ObjectiveModel> ObjectiveModel for LogSpace<M> {
 
     fn std_gradient(&self, x: &[f64], out: &mut [f64]) {
         // d/dx [exp(μ)σ] = exp(μ)(σ·∇μ + ∇σ).
-        let mu = self.0.predict(x).clamp(-80.0, 80.0);
+        let mu_raw = self.0.predict(x);
+        let clamped = !(-80.0..=80.0).contains(&mu_raw);
+        let mu = mu_raw.clamp(-80.0, 80.0);
         let sigma = self.0.predict_std(x);
+        // exp(μ) is flat in the clamped region, so the σ·∇μ term vanishes
+        // there and only the ∇σ term survives.
         let mut gmu = vec![0.0; x.len()];
-        self.0.gradient(x, &mut gmu);
+        if !clamped {
+            self.0.gradient(x, &mut gmu);
+        }
         self.0.std_gradient(x, out);
         let e = mu.exp();
         for (o, gm) in out.iter_mut().zip(&gmu) {
@@ -119,6 +136,60 @@ mod tests {
         }
         let m = LogSpace(Noisy);
         assert!(m.predict_std(&[2.0]) > m.predict_std(&[0.0]));
+    }
+
+    #[test]
+    fn saturated_gradient_is_zero_and_descent_escapes() {
+        // Inner model ln y = 100·x: for x > 0.8 the exponent clamps at 80
+        // and the prediction surface is flat. The old chain rule returned
+        // exp(80)·100 ≈ 5.5e36 there — a phantom gradient on a plateau.
+        let m = LogSpace(FnModel::new(1, |x| 100.0 * x[0]));
+        let mut g = [f64::NAN];
+        m.gradient(&[0.9], &mut g);
+        assert_eq!(g[0], 0.0, "clamped region must report a flat slope");
+        // Just inside the clamp the gradient is finite and positive again.
+        m.gradient(&[0.5], &mut g);
+        assert!(g[0] > 0.0 && g[0].is_finite());
+
+        // A fixed-step descent from the saturated start must stay finite
+        // and make progress once it re-enters the unsaturated region —
+        // with the phantom gradient the very first step would fling x to
+        // ±1e35 and the iterate would never recover.
+        let mut x = 0.9;
+        let lr = 1e-3;
+        for _ in 0..200 {
+            let mut g = [0.0];
+            m.gradient(&[x], &mut g);
+            // Descend, nudging flat plateaus toward smaller x the way
+            // MOGD's bounded line search would.
+            x -= lr * if g[0] == 0.0 { 1.0 } else { g[0].clamp(-1.0, 1.0) };
+            assert!(x.is_finite() && x.abs() < 10.0, "iterate escaped: {x}");
+        }
+        assert!(x < 0.8, "descent never left the saturated plateau: {x}");
+
+        // std_gradient in the clamped region keeps only the ∇σ term.
+        struct Noisy;
+        impl ObjectiveModel for Noisy {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn predict(&self, x: &[f64]) -> f64 {
+                100.0 * x[0]
+            }
+            fn predict_std(&self, _: &[f64]) -> f64 {
+                0.1
+            }
+            fn gradient(&self, _: &[f64], out: &mut [f64]) {
+                out[0] = 100.0;
+            }
+            fn std_gradient(&self, _: &[f64], out: &mut [f64]) {
+                out[0] = 0.0; // constant σ
+            }
+        }
+        let m = LogSpace(Noisy);
+        let mut gs = [f64::NAN];
+        m.std_gradient(&[0.9], &mut gs);
+        assert_eq!(gs[0], 0.0, "σ·∇μ must vanish where μ is clamped");
     }
 
     #[test]

@@ -33,7 +33,7 @@ use udao_core::space::Configuration;
 use udao_core::{Error, MooProblem, Result};
 use udao_model::dataset::Dataset;
 use udao_model::server::{ModelKey, ModelKind, ModelLease, ModelServer};
-use udao_model::{CoalescerOptions, GpConfig, InferenceCoalescer, MlpConfig};
+use udao_model::{CoalescerOptions, GpConfig, InferenceCoalescer, MlpConfig, Precision};
 use udao_sparksim::objectives::{BatchObjective, StreamObjective};
 use udao_sparksim::trace::{
     batch_training_data, collect_batch_traces, collect_stream_traces, stream_training_data,
@@ -180,6 +180,7 @@ pub struct UdaoBuilder {
     serving: ServingOptions,
     coalescer: CoalescerOptions,
     frontier_cache: Option<usize>,
+    precision: Precision,
 }
 
 impl UdaoBuilder {
@@ -227,6 +228,20 @@ impl UdaoBuilder {
         self
     }
 
+    /// Set the inference precision for served learned models (default
+    /// [`Precision::F64`]). [`Precision::F32`] routes batched mean
+    /// predictions through the f32 kernels (half the memory traffic,
+    /// double the SIMD width); [`Precision::F32Verified`] additionally
+    /// shadows every f32 batch with the f64 path, returns the f64 values,
+    /// and counts elements beyond the relative-error bound — the
+    /// validation rung to run before trusting `F32`. Uncertainty and
+    /// gradients always stay f64. The default keeps the strict bitwise
+    /// batched-vs-scalar property end to end.
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Enable the cross-request frontier cache, holding up to `capacity`
     /// solved frontiers (see [`crate::frontier_cache`]). Exact repeats of
     /// a request are answered from the cache without a MOO run; nearby
@@ -260,6 +275,16 @@ impl UdaoBuilder {
         if self.frontier_cache == Some(0) {
             return Err(Error::InvalidConfig("frontier_cache capacity must be >= 1".into()));
         }
+        if let Precision::F32Verified { rel_tol } = self.precision {
+            if !(rel_tol.is_finite() && rel_tol >= 0.0) {
+                return Err(Error::InvalidConfig(format!(
+                    "precision rel_tol must be finite and non-negative, got {rel_tol}"
+                )));
+            }
+        }
+        // Publish-time wrapping happens in the model server, so it must
+        // know the rung before the first model trains.
+        self.server.set_precision(self.precision);
         let provider = self
             .provider
             .unwrap_or_else(|| self.server.clone() as Arc<dyn ModelProvider>);
@@ -274,6 +299,7 @@ impl UdaoBuilder {
             serving: self.serving,
             coalescer: InferenceCoalescer::new(self.coalescer),
             frontier_cache: self.frontier_cache.map(|cap| Arc::new(FrontierCache::new(cap))),
+            precision: self.precision,
             history: Default::default(),
         })
     }
@@ -338,6 +364,10 @@ pub struct Udao {
     /// Opt-in cross-request frontier cache; `None` (the default) keeps
     /// every solve cold and bitwise-identical to a cacheless optimizer.
     frontier_cache: Option<Arc<FrontierCache>>,
+    /// Inference precision rung for served learned models
+    /// ([`UdaoBuilder::precision`]); tags coalescer lanes so f32 and f64
+    /// serving paths never merge a dispatch.
+    precision: Precision,
     /// Raw trace archive per objective name: `(workload id, dataset)` pairs
     /// used for OtterTune-style workload mapping of data-poor online
     /// workloads (§V.1).
@@ -365,6 +395,7 @@ impl Udao {
             serving: builder.serving,
             coalescer: InferenceCoalescer::new(builder.coalescer),
             frontier_cache: None,
+            precision: builder.precision,
             history: Default::default(),
         }
     }
@@ -385,6 +416,7 @@ impl Udao {
             serving: ServingOptions::default(),
             coalescer: CoalescerOptions::default(),
             frontier_cache: None,
+            precision: Precision::default(),
         }
     }
 
@@ -639,10 +671,16 @@ impl Udao {
                 // Learned models route through the coalescer so concurrent
                 // engine-served solves against the *same version* can merge
                 // their inference batches; a no-op fast path outside engine
-                // concurrency. The lane key carries the epoch, so a pinned
-                // old version never batches with a freshly swapped one.
+                // concurrency. The lane key carries the epoch and the
+                // precision tag, so a pinned old version never batches with
+                // a freshly swapped one and f32-served models never batch
+                // with f64-served ones.
                 Some(lease) => {
-                    models.push(self.coalescer.wrap_versioned(lease.model, lease.version));
+                    models.push(self.coalescer.wrap_versioned_tagged(
+                        lease.model,
+                        lease.version,
+                        self.precision.tag(),
+                    ));
                     lease.version
                 }
                 None => {

@@ -73,6 +73,17 @@ pub const MODEL_BATCH_CALLS: &str = "model.batch_calls";
 pub const MODEL_CACHE_HITS: &str = "model.cache_hits";
 /// MOGD memoization-cache misses (evaluations that went to the model).
 pub const MODEL_CACHE_MISSES: &str = "model.cache_misses";
+/// GP fine-tunes served by the incremental Cholesky row-append path
+/// (`Gp::extend`) instead of a full refit.
+pub const MODEL_GP_EXTENDS: &str = "model.gp_extends";
+/// GP extends that failed positive definiteness and fell back to a full
+/// refit.
+pub const MODEL_GP_EXTEND_FALLBACKS: &str = "model.gp_extend_fallbacks";
+/// Predictions on the f32 fast path whose f64 verification exceeded the
+/// configured relative-error bound (`Precision::F32Verified`).
+pub const MODEL_F32_VERIFY_VIOLATIONS: &str = "model.f32_verify_violations";
+/// Batched predictions served through the f32 fast path.
+pub const MODEL_F32_BATCH_CALLS: &str = "model.f32_batch_calls";
 
 // ------------------------------------------------------- model lifecycle
 

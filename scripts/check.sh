@@ -36,18 +36,38 @@ done
 echo "==> concurrent solve-report isolation"
 cargo test -q -p udao concurrent_requests_produce_disjoint_exact_reports -- --nocapture
 
-echo "==> hot-path bench (scalar vs batched inference)"
+echo "==> inference kernel suite (runtime-detected variant)"
+cargo test -q -p udao-model
+
+echo "==> inference kernel suite (UDAO_FORCE_PORTABLE=1)"
+# Same suite with the SIMD dispatch pinned to the portable kernels: the
+# portable and vector paths each promise batched-vs-scalar bitwise
+# equality within themselves, and both must hold on every host.
+UDAO_FORCE_PORTABLE=1 cargo test -q -p udao-model
+
+echo "==> hot-path bench (scalar vs batched vs f32 inference, GP extend)"
 cargo run --release -p udao-bench --bin bench_hotpath
 if [ ! -s BENCH_hotpath.json ]; then
     echo "BENCH_hotpath.json missing or empty" >&2
     exit 1
 fi
-# The bench binary exits non-zero when the batched path is slower than the
-# scalar one; re-check the verdict that survived on disk.
-if ! grep -q '"batched_not_slower": true' BENCH_hotpath.json; then
-    echo "BENCH_hotpath.json: batched inference is slower than scalar" >&2
+# The bench binary exits non-zero on any gate miss; re-check the combined
+# verdict that survived on disk. The gate requires: batched never slower
+# than scalar, >= 4x over the recorded 13.88 us/pt pre-SIMD baseline on at
+# least one kernel variant, and Gp::extend faster than a full refit.
+if ! grep -q '"hotpath_gate": true' BENCH_hotpath.json; then
+    echo "!!!! BENCH_hotpath.json: hot-path performance gate FAILED !!!!" >&2
+    echo "!!!! (see mlp_vs_baseline / mlp_f32_vs_baseline / extend_beats_refit" >&2
+    echo "!!!!  in BENCH_hotpath.json; the pre-SIMD baseline is 13.88 us/pt)" >&2
+    cat BENCH_hotpath.json >&2
     exit 1
 fi
+for field in kernel_variant forced_portable mlp_naive_us_per_point mlp_vs_baseline mlp_f32_max_rel_err gp_extend_ms; do
+    if ! grep -q "\"$field\"" BENCH_hotpath.json; then
+        echo "BENCH_hotpath.json is missing field: $field" >&2
+        exit 1
+    fi
+done
 
 echo "==> serving engine stress tests"
 cargo test -q -p udao --test serving
