@@ -1,0 +1,287 @@
+//! Per-stage tuning bench: the DAG-ordered coordinate-descent solver
+//! against joint MOGD over the concatenated space, and per-stage
+//! configurations against the best single global configuration, emitting
+//! `BENCH_stages.json`.
+//!
+//! Run: `cargo run --release -p udao-bench --bin bench_stages`
+//! Fast sizing for CI smoke runs: `CHECK_FAST=1`.
+//!
+//! The workload is the heterogeneous diamond fixture from
+//! `udao_sparksim::stages`: per-stage optima spread across the knob range
+//! and a critical path that dominates total work, so per-stage tuning has
+//! real room over a single shared configuration, with every composed
+//! optimum known in closed form. Gates:
+//!
+//! * **Decomposed ≥ joint hypervolume** — the coordinate-descent frontier
+//!   must match or beat the joint MOGD frontier's hypervolume (shared
+//!   padded envelope), at **lower wall-clock** (median over rounds).
+//! * **Per-stage beats one-global-config** — the best achievable summed
+//!   cost under a single shared stage knob exceeds the per-stage optimum
+//!   by at least the analytic margin `1 + Var_w(a)` (work-weighted
+//!   variance of the per-stage optima), and no global configuration
+//!   reaches the per-stage critical-path latency floor.
+//!
+//! The binary validates its own output: the JSON is re-parsed and the
+//! gates re-checked from the file, so a malformed report fails the run.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+use udao::{Fold, StageMode, StageObjectiveSpec, StageRequest, Udao};
+use udao_core::objective::ObjectiveModel;
+use udao_core::pareto::{hypervolume, ParetoPoint};
+use udao_sparksim::{ClusterSpec, StageFixture};
+
+const OUT_PATH: &str = "BENCH_stages.json";
+/// Decomposed hypervolume must reach this fraction of the joint solver's.
+const HV_RATIO_GATE: f64 = 0.999;
+/// Fraction of the analytic one-global-config cost margin the measured
+/// ratio must reach (the lattice can only make the global config worse
+/// than the continuous optimum, so this only absorbs float noise).
+const MARGIN_FRACTION_GATE: f64 = 1.0 - 1e-9;
+
+fn request(fx: &StageFixture, mode: StageMode, points: usize) -> StageRequest {
+    StageRequest::new("bench-stages", fx.dag.clone(), fx.space())
+        .objective(StageObjectiveSpec::analytic(
+            "latency",
+            Fold::CriticalPath,
+            fx.latency_models(),
+        ))
+        .objective(StageObjectiveSpec::analytic("cost", Fold::Sum, fx.cost_models()))
+        .points(points)
+        .mode(mode)
+}
+
+fn build_udao() -> Result<Udao, String> {
+    Udao::builder(ClusterSpec::paper_cluster())
+        .pf(
+            udao_core::pf::PfVariant::ApproxSequential,
+            udao_core::pf::PfOptions {
+                mogd: udao_core::mogd::MogdConfig {
+                    multistarts: 4,
+                    max_iters: 60,
+                    ..Default::default()
+                },
+                // 33 levels → dyadic lattice containing the fixture's
+                // per-stage optima, so descent recovers them bitwise.
+                exact_resolution: 33,
+                ..Default::default()
+            },
+        )
+        .build()
+        .map_err(|e| format!("build: {e}"))
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    let n = sorted_ms.len();
+    let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+    sorted_ms[idx]
+}
+
+fn sorted(mut v: Vec<f64>) -> Vec<f64> {
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    v
+}
+
+/// Hypervolume of both frontiers against a shared padded envelope.
+fn paired_hv(a: &[ParetoPoint], b: &[ParetoPoint]) -> Result<(f64, f64), String> {
+    if a.is_empty() || b.is_empty() {
+        return Err("empty frontier in hypervolume comparison".into());
+    }
+    let k = a[0].f.len();
+    let mut utopia = vec![f64::INFINITY; k];
+    let mut nadir = vec![f64::NEG_INFINITY; k];
+    for p in a.iter().chain(b) {
+        for (j, v) in p.f.iter().enumerate() {
+            utopia[j] = utopia[j].min(*v);
+            nadir[j] = nadir[j].max(*v);
+        }
+    }
+    for j in 0..k {
+        let pad = (nadir[j] - utopia[j]).abs().max(1e-9) * 0.05;
+        utopia[j] -= pad;
+        nadir[j] += pad;
+    }
+    let fs = |fr: &[ParetoPoint]| -> Vec<Vec<f64>> { fr.iter().map(|p| p.f.clone()).collect() };
+    Ok((hypervolume(&fs(a), &utopia, &nadir), hypervolume(&fs(b), &utopia, &nadir)))
+}
+
+/// The best a *single* global configuration can do: exhaustive lattice
+/// sweep over (cluster knob, one shared stage knob), every stage forced to
+/// the shared value, scored by the same composed objectives.
+fn one_global_config_floors(fx: &StageFixture, resolution: usize) -> (f64, f64) {
+    let (latency, cost) = fx.composed();
+    let n = fx.len();
+    let mut best_latency = f64::INFINITY;
+    let mut best_cost = f64::INFINITY;
+    for iu in 0..resolution {
+        let u = iu as f64 / (resolution - 1) as f64;
+        for iv in 0..resolution {
+            let v = iv as f64 / (resolution - 1) as f64;
+            let mut x = Vec::with_capacity(1 + n);
+            x.push(u);
+            x.extend(std::iter::repeat(v).take(n));
+            best_latency = best_latency.min(latency.predict(&x));
+            best_cost = best_cost.min(cost.predict(&x));
+        }
+    }
+    (best_latency, best_cost)
+}
+
+fn run() -> Result<(), String> {
+    let fast = std::env::var("CHECK_FAST").is_ok_and(|v| v == "1");
+    let rounds = if fast { 3 } else { 10 };
+    // 9 points → λ = t/8 sits on the dyadic lattice, so every decomposed
+    // sweep solve lands exactly on the closed-form front.
+    let points = 9;
+
+    let fx = StageFixture::diamond();
+    let udao = build_udao()?;
+
+    // Warm-up both paths once to keep one-time costs out of the medians.
+    udao.recommend_stages(&request(&fx, StageMode::Descent, points))
+        .map_err(|e| format!("descent warm-up: {e}"))?;
+    udao.recommend_stages(&request(&fx, StageMode::Joint, points))
+        .map_err(|e| format!("joint warm-up: {e}"))?;
+
+    let mut descent_ms = Vec::with_capacity(rounds);
+    let mut joint_ms = Vec::with_capacity(rounds);
+    let mut hv_ratio_min = f64::INFINITY;
+    let mut hv_descent_last = 0.0;
+    let mut hv_joint_last = 0.0;
+    let mut front_residual_max: f64 = 0.0;
+    let mut stage_latency_min = f64::INFINITY;
+    let mut stage_cost_min = f64::INFINITY;
+    for round in 0..rounds {
+        let t = Instant::now();
+        let descent = udao
+            .recommend_stages(&request(&fx, StageMode::Descent, points))
+            .map_err(|e| format!("descent {round}: {e}"))?;
+        descent_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let t = Instant::now();
+        let joint = udao
+            .recommend_stages(&request(&fx, StageMode::Joint, points))
+            .map_err(|e| format!("joint {round}: {e}"))?;
+        joint_ms.push(t.elapsed().as_secs_f64() * 1e3);
+
+        let (hv_descent, hv_joint) = paired_hv(&descent.frontier, &joint.frontier)?;
+        if hv_joint <= 0.0 {
+            return Err(format!("round {round}: joint frontier has zero hypervolume"));
+        }
+        hv_ratio_min = hv_ratio_min.min(hv_descent / hv_joint);
+        hv_descent_last = hv_descent;
+        hv_joint_last = hv_joint;
+        // Closed-form truth: the front identity `√(L/CP−1) + √(C/S−1)`
+        // equals exactly 1 on the analytic front (it reduces to
+        // `|1−u| + u`), exceeds 1 above it, and cannot go below — so every
+        // decomposed frontier point must satisfy it to float precision.
+        for p in &descent.frontier {
+            front_residual_max =
+                front_residual_max.max((fx.front_residual(p.f[0], p.f[1]) - 1.0).abs());
+            stage_latency_min = stage_latency_min.min(p.f[0]);
+            stage_cost_min = stage_cost_min.min(p.f[1]);
+        }
+    }
+
+    let (global_latency_min, global_cost_min) = one_global_config_floors(&fx, 33);
+    let cost_ratio = global_cost_min / stage_cost_min;
+    let cost_margin = fx.global_config_margin();
+    let latency_dominated = global_latency_min > stage_latency_min;
+
+    let descent_ms = sorted(descent_ms);
+    let joint_ms = sorted(joint_ms);
+    let descent_p50 = percentile(&descent_ms, 0.50);
+    let joint_p50 = percentile(&joint_ms, 0.50);
+    let faster = descent_p50 <= joint_p50;
+    let gate = hv_ratio_min >= HV_RATIO_GATE
+        && faster
+        && front_residual_max <= 1e-9
+        && cost_ratio >= cost_margin * MARGIN_FRACTION_GATE
+        && latency_dominated;
+    println!(
+        "[bench] {rounds} rounds on the diamond DAG: decomposed p50 {descent_p50:.2} ms vs \
+         joint p50 {joint_p50:.2} ms, hv ratio min {hv_ratio_min:.6} (gate {HV_RATIO_GATE}), \
+         front residual max {front_residual_max:.2e}, one-global-config cost ratio \
+         {cost_ratio:.4} (analytic margin {cost_margin:.4})"
+    );
+
+    let report = serde_json::json!({
+        "fixture": "diamond",
+        "stages": fx.len(),
+        "rounds": rounds,
+        "points": points,
+        "decomposed_p50_ms": descent_p50,
+        "decomposed_p95_ms": percentile(&descent_ms, 0.95),
+        "joint_p50_ms": joint_p50,
+        "joint_p95_ms": percentile(&joint_ms, 0.95),
+        "decomposed_faster": faster,
+        "decomposed_hv": hv_descent_last,
+        "joint_hv": hv_joint_last,
+        "hv_ratio_min": hv_ratio_min,
+        "hv_ratio_gate": HV_RATIO_GATE,
+        "front_residual_max": front_residual_max,
+        "stage_latency_min": stage_latency_min,
+        "stage_cost_min": stage_cost_min,
+        "global_latency_min": global_latency_min,
+        "global_cost_min": global_cost_min,
+        "one_global_cost_ratio": cost_ratio,
+        "one_global_cost_margin": cost_margin,
+        "latency_dominated": latency_dominated,
+        "stages_gate": gate,
+    });
+    let mut f = std::fs::File::create(OUT_PATH).map_err(|e| format!("create {OUT_PATH}: {e}"))?;
+    let rendered =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("render report: {e}"))?;
+    f.write_all(rendered.as_bytes()).map_err(|e| format!("write {OUT_PATH}: {e}"))?;
+    println!("[bench] wrote {OUT_PATH}");
+
+    // Self-validate from the file, so downstream checks can trust the JSON.
+    let raw = std::fs::read_to_string(OUT_PATH).map_err(|e| format!("read back: {e}"))?;
+    let parsed: serde_json::Value =
+        serde_json::from_str(&raw).map_err(|e| format!("re-parse: {e}"))?;
+    let field = |name: &str| -> Result<f64, String> {
+        parsed.get(name).and_then(serde_json::Value::as_f64).ok_or(format!("{name} missing"))
+    };
+    if field("hv_ratio_min")? < HV_RATIO_GATE {
+        return Err(format!(
+            "stages gate failed: decomposed hypervolume only {:.6} of joint (need {HV_RATIO_GATE})",
+            field("hv_ratio_min")?
+        ));
+    }
+    if !matches!(parsed.get("decomposed_faster"), Some(serde_json::Value::Bool(true))) {
+        return Err(format!(
+            "stages gate failed: decomposed p50 {descent_p50:.2} ms did not beat joint \
+             {joint_p50:.2} ms"
+        ));
+    }
+    if field("front_residual_max")? > 1e-9 {
+        return Err(format!(
+            "stages gate failed: decomposed frontier strayed {front_residual_max:.2e} from the \
+             closed-form front"
+        ));
+    }
+    if field("one_global_cost_ratio")? < cost_margin * MARGIN_FRACTION_GATE {
+        return Err(format!(
+            "stages gate failed: one-global-config cost ratio {cost_ratio:.4} below the analytic \
+             margin {cost_margin:.4}"
+        ));
+    }
+    if !matches!(parsed.get("latency_dominated"), Some(serde_json::Value::Bool(true))) {
+        return Err(
+            "stages gate failed: a single global configuration matched the per-stage latency floor"
+                .into(),
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench_stages failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -26,6 +26,7 @@
 //! | [`mogd`] | §IV-B | the Multi-Objective Gradient Descent CO solver (Adam, multi-start, Eq. 3 loss) |
 //! | [`pf`] | §III–IV | Progressive Frontier algorithms: PF-S, PF-AS, PF-AP |
 //! | [`recommend`] | §V, App. B | Utopia-Nearest, Weighted-UN, Slope-Maximization, Knee-Point selection |
+//! | [`stage`] | Lyu et al. (fine-grained tuning) | per-stage knob spaces over a stage DAG, critical-path/sum folds, composed objectives |
 //!
 //! ## Quick example
 //!
@@ -59,6 +60,7 @@ pub mod priority;
 pub mod recommend;
 pub mod solver;
 pub mod space;
+pub mod stage;
 
 pub use budget::Budget;
 pub use error::{Error, Result};
@@ -66,3 +68,4 @@ pub use priority::Priority;
 pub use objective::{Direction, FnModel, ObjectiveModel, ObjectiveSpec};
 pub use pareto::ParetoPoint;
 pub use solver::MooProblem;
+pub use stage::{ComposedObjective, Fold, StageDag, StageSpace};

@@ -110,6 +110,16 @@ impl Stage {
         self
     }
 
+    /// Number of times the stage actually runs: `iterations` clamped to at
+    /// least one. [`with_iterations`](Self::with_iterations) clamps at
+    /// construction, but `Stage` is plain old data — a struct literal with
+    /// `iterations: 0` bypasses the builder, and the execution engine must
+    /// still run such a stage exactly once (its latency was always counted;
+    /// task/CPU/shuffle accounting now agrees).
+    pub fn runs(&self) -> usize {
+        self.iterations.max(1)
+    }
+
     /// Total per-MB CPU cost of the stage pipeline.
     pub fn cpu_ms_per_mb(&self) -> f64 {
         self.ops.iter().map(|o| o.cpu_ms_per_mb()).sum()
@@ -215,5 +225,13 @@ mod tests {
             .with_iterations(0);
         assert_eq!(s.build_side_mb, Some(5.0));
         assert_eq!(s.iterations, 1, "iterations clamp to >= 1");
+    }
+
+    #[test]
+    fn runs_clamps_struct_literal_zero_iterations() {
+        let mut s = Stage::shuffle(vec![], 10.0, vec![Operator::Join], 1.0);
+        s.iterations = 0; // bypasses the with_iterations clamp
+        assert_eq!(s.runs(), 1, "a scheduled stage runs at least once");
+        assert_eq!(s.with_iterations(5).runs(), 5);
     }
 }

@@ -130,7 +130,7 @@ pub fn simulate_batch(
         } else {
             conf.default_parallelism.max(1) as usize
         };
-        num_tasks += partitions * stage.iterations;
+        num_tasks += partitions * stage.runs();
         let per_task_mb = stage.input_mb / partitions as f64;
 
         // --- Broadcast-vs-shuffle join decision. ---
@@ -165,7 +165,7 @@ pub fn simulate_batch(
             let over = (pressure - 1.0).min(3.0);
             task_cpu_ms *= 1.0 + 0.8 * over;
             let stage_spill = (working_mb - task_mem_mb).max(0.0) * partitions as f64;
-            spill_mb += stage_spill * stage.iterations as f64;
+            spill_mb += stage_spill * stage.runs() as f64;
         }
 
         // --- Shuffle read (fetch) per task. ---
@@ -181,7 +181,7 @@ pub fn simulate_batch(
                 read_mb /= 3.0;
             }
             task_fetch_s = read_mb / cluster.net_mb_s * inflight_factor;
-            shuffle_read_mb += read_mb * partitions as f64 * stage.iterations as f64;
+            shuffle_read_mb += read_mb * partitions as f64 * stage.runs() as f64;
         }
 
         // --- Shuffle write of this stage's output. ---
@@ -201,7 +201,7 @@ pub fn simulate_batch(
                 // Merge-sort of shuffle files costs extra CPU.
                 task_cpu_ms += write_mb * 0.6;
             }
-            shuffle_write_mb += write_mb * partitions as f64 * stage.iterations as f64;
+            shuffle_write_mb += write_mb * partitions as f64 * stage.runs() as f64;
         }
 
         // --- Disk read for scans. ---
@@ -227,14 +227,14 @@ pub fn simulate_batch(
             }
         }
         // Iterative stages repeat with a per-iteration barrier.
-        if stage.iterations > 1 {
-            stage_s = stage_s * stage.iterations as f64 + 0.15 * stage.iterations as f64;
+        if stage.runs() > 1 {
+            stage_s = stage_s * stage.runs() as f64 + 0.15 * stage.runs() as f64;
         }
         // Run-to-run variance.
         stage_s *= skew_noise(seed, si, 2, 0.06);
 
-        total_cpu_ms += task_cpu_ms * partitions as f64 * stage.iterations as f64;
-        fetch_wait_s += task_fetch_s * partitions as f64 * stage.iterations as f64;
+        total_cpu_ms += task_cpu_ms * partitions as f64 * stage.runs() as f64;
+        fetch_wait_s += task_fetch_s * partitions as f64 * stage.runs() as f64;
 
         // --- Critical-path accounting (stages on one job serialize unless
         //     their dependency chains are disjoint). ---
@@ -475,6 +475,60 @@ mod tests {
         let huge = lat(40_000);
         assert!(good <= tiny, "{good} vs tiny {tiny}");
         assert!(good <= huge, "{good} vs huge {huge}");
+    }
+
+    #[test]
+    fn zero_iterations_struct_literal_runs_once() {
+        use crate::dataflow::{Operator, Stage};
+        // `iterations: 0` via struct literal bypasses the with_iterations
+        // clamp; the engine used to count the stage's latency but zero its
+        // tasks/CPU/shuffle accounting. It must behave exactly like one run.
+        let plan = |iters: usize| {
+            let mut s = Stage::shuffle(vec![0], 500.0, vec![Operator::Join], 0.1);
+            s.iterations = iters;
+            DataflowProgram::new(vec![
+                Stage::scan(500.0, vec![Operator::HiveTableScan], 1.0),
+                s,
+            ])
+        };
+        let cluster = ClusterSpec::paper_cluster();
+        let zero = simulate_batch(&plan(0), &base_conf(), &cluster, 1);
+        let one = simulate_batch(&plan(1), &base_conf(), &cluster, 1);
+        assert_eq!(zero, one, "zero-iteration stage must equal a single run");
+        assert!(zero.num_tasks > 0);
+        assert!(zero.cpu_hours > 0.0);
+    }
+
+    #[test]
+    fn degenerate_programs_stay_finite() {
+        use crate::dataflow::Stage;
+        let cluster = ClusterSpec::paper_cluster();
+        // Empty program: no stages at all — latency is just executor startup.
+        let empty = simulate_batch(&DataflowProgram::new(vec![]), &base_conf(), &cluster, 1);
+        assert!(empty.latency_s.is_finite() && empty.latency_s > 0.0);
+        assert_eq!(empty.num_tasks, 0);
+        assert_eq!(empty.spill_mb, 0.0);
+        assert!(empty.cpu_util == 0.0);
+        // Single stage with an empty operator pipeline: zero CPU work and
+        // zero memory expansion must not produce NaN or a spill.
+        let hollow = simulate_batch(
+            &DataflowProgram::new(vec![Stage::scan(100.0, vec![], 1.0)]),
+            &base_conf(),
+            &cluster,
+            1,
+        );
+        assert!(hollow.latency_s.is_finite() && hollow.latency_s > 0.0);
+        assert!(hollow.cpu_util.is_finite());
+        assert_eq!(hollow.spill_mb, 0.0);
+        // Single non-scan stage with empty deps (degenerate but legal).
+        let orphan = simulate_batch(
+            &DataflowProgram::new(vec![Stage::shuffle(vec![], 100.0, vec![], 1.0)]),
+            &base_conf(),
+            &cluster,
+            1,
+        );
+        assert!(orphan.latency_s.is_finite());
+        assert_eq!(orphan.shuffle_read_mb, 0.0, "no deps, nothing to fetch");
     }
 
     #[test]

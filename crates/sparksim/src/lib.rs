@@ -39,6 +39,7 @@ pub mod exec;
 pub mod fault;
 pub mod objectives;
 pub mod params;
+pub mod stages;
 pub mod streaming;
 pub mod trace;
 pub mod workloads;
@@ -57,8 +58,9 @@ pub(crate) fn exec_noise(seed: u64, spread: f64) -> f64 {
 }
 
 pub use dataflow::{DataflowProgram, Operator, Stage};
+pub use stages::{StageFixture, StageSurface};
 pub use exec::{simulate_batch, JobMetrics};
 pub use fault::{FaultConfig, FaultCounts, FaultInjector};
 pub use params::{BatchConf, StreamConf};
 pub use streaming::{simulate_streaming, StreamMetrics};
-pub use workloads::{batch_workloads, streaming_workloads, Workload, WorkloadKind};
+pub use workloads::{batch_workloads, streaming_workloads, Workload, WorkloadKind, WorkloadPayload};

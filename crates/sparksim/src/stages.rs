@@ -1,0 +1,353 @@
+//! Closed-form per-stage objective surfaces and DAG fixtures for the
+//! per-stage tuning subsystem.
+//!
+//! Each fixture stage carries an analytic latency/cost surface over one
+//! shared global knob `u` (cluster sizing) and one per-stage knob `v`
+//! (stage parallelism), both normalized to `[0,1]`:
+//!
+//! ```text
+//! latency_i(u, v) = w_i · (1 + (1-u)²) · (1 + (v - a_i)²)
+//! cost_i(u, v)    = w_i · (1 +    u²)  · (1 + (v - a_i)²)
+//! ```
+//!
+//! where `w_i` is the stage's work and `a_i` its per-stage optimum. The
+//! family is built so every truth the stage-tuning tests need is exact:
+//!
+//! * At `v_i = a_i` the stage penalty factor is exactly `1.0` for **both**
+//!   objectives at any `u`, so the composed front is swept purely by the
+//!   global knob: latency `= CP(w)·(1+(1-u)²)` (critical-path fold) and
+//!   cost `= S(w)·(1+u²)` (sum fold), with `CP`/`S` the critical-path and
+//!   total work.
+//! * Normalizing by the anchor-derived utopia/nadir gives
+//!   `norm_L = (1-u)²`, `norm_C = u²`; the weighted-sum scalarization
+//!   `λ·(1-u)² + (1-λ)·u²` is minimized at exactly `u* = λ`. With dyadic
+//!   `a_i = k/32` and a dyadic λ grid, every composed optimum lies on the
+//!   resolution-33 lattice of the exact grid solver and is recovered
+//!   bitwise.
+//! * Every feasible point satisfies the front residual
+//!   `sqrt(max(L/CP−1, 0)) + sqrt(max(C/S−1, 0)) ≥ 1` (equality on the
+//!   front) — the never-below-front assertion.
+//! * Forcing one global `v` for all stages costs at least a factor
+//!   `1 + Var_w(a)` (work-weighted variance of the `a_i`) in summed cost,
+//!   so on heterogeneous fixtures one-global-config is provably dominated
+//!   by the per-stage optimum — the gated bench margin.
+
+use crate::dataflow::DataflowProgram;
+use std::sync::Arc;
+use udao_core::objective::{FnModel, ObjectiveModel};
+use udao_core::space::{ParamSpace, ParamSpec};
+use udao_core::stage::{ComposedObjective, Fold, StageDag, StageSpace};
+
+/// One fixture stage's analytic surface: `work` scales both objectives,
+/// `knob_opt` is the per-stage knob value that is simultaneously optimal
+/// for latency and cost (dyadic, so it lies on the exact-solver lattice).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageSurface {
+    /// Stage work `w_i` (scales latency and cost alike).
+    pub work: f64,
+    /// Per-stage optimum `a_i` of the stage knob, in `[0,1]`.
+    pub knob_opt: f64,
+}
+
+impl StageSurface {
+    /// Latency surface value at `(u, v)`.
+    pub fn latency(&self, u: f64, v: f64) -> f64 {
+        self.work * (1.0 + (1.0 - u) * (1.0 - u)) * (1.0 + (v - self.knob_opt).powi(2))
+    }
+
+    /// Cost surface value at `(u, v)`.
+    pub fn cost(&self, u: f64, v: f64) -> f64 {
+        self.work * (1.0 + u * u) * (1.0 + (v - self.knob_opt).powi(2))
+    }
+}
+
+/// A closed-form per-stage tuning fixture: a stage DAG plus one analytic
+/// surface per stage.
+#[derive(Debug, Clone)]
+pub struct StageFixture {
+    /// The stage DAG.
+    pub dag: StageDag,
+    /// Per-stage surfaces, indexed like the DAG.
+    pub surfaces: Vec<StageSurface>,
+}
+
+/// Dyadic per-stage optimum for stage `i`: a deterministic value on the
+/// `k/32` lattice, spread across stages so fixtures are heterogeneous.
+fn dyadic_opt(i: usize) -> f64 {
+    ((i * 11 + 4) % 29) as f64 / 32.0
+}
+
+impl StageFixture {
+    /// Two-stage chain `0 → 1` with unequal work and unequal stage optima.
+    pub fn chain2() -> Self {
+        let dag = StageDag::chain(2);
+        let surfaces = vec![
+            StageSurface { work: 1.0, knob_opt: 0.25 },
+            StageSurface { work: 2.0, knob_opt: 0.75 },
+        ];
+        Self { dag, surfaces }
+    }
+
+    /// Diamond `0 → {1, 2} → 3` with a heavy off-critical-path branch.
+    pub fn diamond() -> Self {
+        let dag = StageDag::new(vec![vec![], vec![0], vec![0], vec![1, 2]])
+            .expect("diamond deps are topological");
+        let surfaces = vec![
+            StageSurface { work: 1.0, knob_opt: 0.125 },
+            StageSurface { work: 3.0, knob_opt: 0.5 },
+            StageSurface { work: 1.5, knob_opt: 0.875 },
+            StageSurface { work: 0.5, knob_opt: 0.25 },
+        ];
+        Self { dag, surfaces }
+    }
+
+    /// Fan-in join: three sources `{0, 1, 2} → 3`.
+    pub fn fanin_join() -> Self {
+        let dag = StageDag::new(vec![vec![], vec![], vec![], vec![0, 1, 2]])
+            .expect("fan-in deps are topological");
+        let surfaces = vec![
+            StageSurface { work: 2.0, knob_opt: 0.0 },
+            StageSurface { work: 1.0, knob_opt: 0.5 },
+            StageSurface { work: 1.5, knob_opt: 1.0 },
+            StageSurface { work: 2.5, knob_opt: 0.375 },
+        ];
+        Self { dag, surfaces }
+    }
+
+    /// Derive a fixture from a real [`DataflowProgram`]: stage work from
+    /// the plan's per-stage CPU volume (normalized so the heaviest stage
+    /// has work 1), stage optima deterministic dyadic per stage index.
+    pub fn from_program(program: &DataflowProgram) -> Self {
+        let deps = program.stages.iter().map(|s| s.deps.clone()).collect();
+        let dag = StageDag::new(deps).expect("DataflowProgram deps are validated topological");
+        let raw: Vec<f64> = program
+            .stages
+            .iter()
+            .map(|s| (s.cpu_ms_per_mb() * s.input_mb * s.runs() as f64).max(1.0))
+            .collect();
+        let peak = raw.iter().cloned().fold(1.0_f64, f64::max);
+        let surfaces = raw
+            .iter()
+            .enumerate()
+            .map(|(i, w)| StageSurface { work: w / peak, knob_opt: dyadic_opt(i) })
+            .collect();
+        Self { dag, surfaces }
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.surfaces.len()
+    }
+
+    /// Whether the fixture has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.surfaces.is_empty()
+    }
+
+    /// The stage space: one global knob (`cluster-slots`) shared by all
+    /// stages plus one per-stage knob (`stage-knob`). Both are continuous
+    /// on `[0,1]`, so encode/decode/snap are bitwise identities — solver
+    /// outputs land exactly on analytic optima.
+    pub fn space(&self) -> StageSpace {
+        let global = ParamSpace::new(vec![ParamSpec::continuous("cluster-slots", 0.0, 1.0)])
+            .expect("valid global space");
+        let stage = ParamSpace::new(vec![ParamSpec::continuous("stage-knob", 0.0, 1.0)])
+            .expect("valid stage template");
+        StageSpace::new(global, stage, self.len()).expect("fixtures have >= 1 stage")
+    }
+
+    /// Per-stage latency models (`dim = 2`: `[u, v]`).
+    pub fn latency_models(&self) -> Vec<Arc<dyn ObjectiveModel>> {
+        self.surfaces
+            .iter()
+            .map(|s| {
+                let s = *s;
+                Arc::new(FnModel::new(2, move |x: &[f64]| s.latency(x[0], x[1])))
+                    as Arc<dyn ObjectiveModel>
+            })
+            .collect()
+    }
+
+    /// Per-stage cost models (`dim = 2`: `[u, v]`).
+    pub fn cost_models(&self) -> Vec<Arc<dyn ObjectiveModel>> {
+        self.surfaces
+            .iter()
+            .map(|s| {
+                let s = *s;
+                Arc::new(FnModel::new(2, move |x: &[f64]| s.cost(x[0], x[1])))
+                    as Arc<dyn ObjectiveModel>
+            })
+            .collect()
+    }
+
+    /// The composed `(latency, cost)` objectives over the flat space:
+    /// latency folds along the critical path, cost sums over stages.
+    pub fn composed(&self) -> (ComposedObjective, ComposedObjective) {
+        let space = self.space();
+        let latency = ComposedObjective::new(
+            self.latency_models(),
+            space.clone(),
+            self.dag.clone(),
+            Fold::CriticalPath,
+        )
+        .expect("fixture shapes agree");
+        let cost =
+            ComposedObjective::new(self.cost_models(), space, self.dag.clone(), Fold::Sum)
+                .expect("fixture shapes agree");
+        (latency, cost)
+    }
+
+    /// Critical-path work `CP(w)` — the latency floor's scale.
+    pub fn critical_path_work(&self) -> f64 {
+        let works: Vec<f64> = self.surfaces.iter().map(|s| s.work).collect();
+        Fold::CriticalPath.fold(&self.dag, &works)
+    }
+
+    /// Total work `S(w)` — the cost floor's scale.
+    pub fn total_work(&self) -> f64 {
+        self.surfaces.iter().map(|s| s.work).sum()
+    }
+
+    /// Composed latency on the ideal front at global knob `u` (all stage
+    /// knobs at their optima): `CP(w)·(1+(1-u)²)`.
+    pub fn ideal_latency(&self, u: f64) -> f64 {
+        self.critical_path_work() * (1.0 + (1.0 - u) * (1.0 - u))
+    }
+
+    /// Composed cost on the ideal front at global knob `u`:
+    /// `S(w)·(1+u²)`.
+    pub fn ideal_cost(&self, u: f64) -> f64 {
+        self.total_work() * (1.0 + u * u)
+    }
+
+    /// The flat configuration that realizes the front point at global knob
+    /// `u`: `[u, a_0, a_1, ...]`.
+    pub fn front_config(&self, u: f64) -> Vec<f64> {
+        let mut x = Vec::with_capacity(1 + self.len());
+        x.push(u);
+        x.extend(self.surfaces.iter().map(|s| s.knob_opt));
+        x
+    }
+
+    /// Front residual of a composed `(latency, cost)` point:
+    /// `sqrt(max(L/CP−1, 0)) + sqrt(max(C/S−1, 0))`. Every feasible point
+    /// has residual ≥ 1; points on the ideal front have residual exactly 1
+    /// (up to rounding).
+    pub fn front_residual(&self, latency: f64, cost: f64) -> f64 {
+        let l = (latency / self.critical_path_work() - 1.0).max(0.0).sqrt();
+        let c = (cost / self.total_work() - 1.0).max(0.0).sqrt();
+        l + c
+    }
+
+    /// Work-weighted variance of the stage optima `Var_w(a)`. Forcing one
+    /// shared stage knob across all stages multiplies the summed cost (and
+    /// every stage's latency factor) by at least
+    /// [`global_config_margin`](Self::global_config_margin) `= 1 + Var_w(a)`
+    /// relative to per-stage tuning; heterogeneous fixtures have strictly
+    /// positive variance, so one-global-config is provably dominated.
+    pub fn knob_variance(&self) -> f64 {
+        let s: f64 = self.total_work();
+        let mean: f64 =
+            self.surfaces.iter().map(|f| f.work * f.knob_opt).sum::<f64>() / s;
+        self.surfaces
+            .iter()
+            .map(|f| f.work * (f.knob_opt - mean) * (f.knob_opt - mean))
+            .sum::<f64>()
+            / s
+    }
+
+    /// Cost-domination factor of one-global-config vs per-stage tuning.
+    pub fn global_config_margin(&self) -> f64 {
+        1.0 + self.knob_variance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surfaces_hit_their_floors_at_the_optima() {
+        for fx in [StageFixture::chain2(), StageFixture::diamond(), StageFixture::fanin_join()] {
+            for s in &fx.surfaces {
+                // At v = a the penalty factor is exactly 1 for both
+                // objectives, at any u.
+                for u in [0.0, 0.25, 1.0] {
+                    assert_eq!(s.latency(u, s.knob_opt), s.work * (1.0 + (1.0 - u) * (1.0 - u)));
+                    assert_eq!(s.cost(u, s.knob_opt), s.work * (1.0 + u * u));
+                }
+                // Off-optimum strictly worse.
+                assert!(s.latency(0.5, s.knob_opt + 0.1) > s.latency(0.5, s.knob_opt));
+            }
+        }
+    }
+
+    #[test]
+    fn composed_front_matches_the_closed_form() {
+        let fx = StageFixture::diamond();
+        let (lat, cost) = fx.composed();
+        for u in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let x = fx.front_config(u);
+            assert_eq!(lat.predict(&x), fx.ideal_latency(u), "latency at u={u}");
+            assert_eq!(cost.predict(&x), fx.ideal_cost(u), "cost at u={u}");
+            let r = fx.front_residual(lat.predict(&x), cost.predict(&x));
+            assert!((r - 1.0).abs() < 1e-9, "front residual at u={u}: {r}");
+        }
+        // Critical path of the diamond is 0 -> 1 -> 3 (work 1 + 3 + 0.5).
+        assert_eq!(fx.critical_path_work(), 4.5);
+        assert_eq!(fx.total_work(), 6.0);
+    }
+
+    #[test]
+    fn off_front_points_have_residual_above_one() {
+        let fx = StageFixture::chain2();
+        let (lat, cost) = fx.composed();
+        // Perturb a stage knob away from its optimum: both objectives rise.
+        let mut x = fx.front_config(0.5);
+        x[1] += 0.2;
+        let r = fx.front_residual(lat.predict(&x), cost.predict(&x));
+        assert!(r > 1.0, "off-front residual {r}");
+    }
+
+    #[test]
+    fn heterogeneous_fixtures_have_positive_knob_variance() {
+        for fx in [StageFixture::chain2(), StageFixture::diamond(), StageFixture::fanin_join()] {
+            assert!(fx.knob_variance() > 0.01, "variance {}", fx.knob_variance());
+            assert!(fx.global_config_margin() > 1.01);
+        }
+        // A homogeneous fixture has zero variance: no per-stage win.
+        let flat = StageFixture {
+            dag: StageDag::chain(3),
+            surfaces: vec![StageSurface { work: 1.0, knob_opt: 0.5 }; 3],
+        };
+        assert_eq!(flat.knob_variance(), 0.0);
+    }
+
+    #[test]
+    fn from_program_mirrors_the_plan_shape() {
+        let p = DataflowProgram::tpcxbb_q2(1000.0);
+        let fx = StageFixture::from_program(&p);
+        assert_eq!(fx.len(), 3);
+        assert_eq!(fx.dag.deps(1), &[0]);
+        assert_eq!(fx.dag.deps(2), &[1]);
+        // Heaviest stage normalizes to work 1; optima are dyadic.
+        assert!(fx.surfaces.iter().any(|s| s.work == 1.0));
+        for s in &fx.surfaces {
+            assert!(s.work > 0.0 && s.work <= 1.0);
+            assert_eq!(s.knob_opt * 32.0, (s.knob_opt * 32.0).round(), "dyadic optimum");
+        }
+    }
+
+    #[test]
+    fn space_encode_is_the_identity_on_fixture_points() {
+        let fx = StageFixture::diamond();
+        let space = fx.space();
+        assert_eq!(space.encoded_dim(), 5);
+        let x = fx.front_config(0.375);
+        let snapped = space.flat().snap(&x).expect("valid point");
+        // Continuous [0,1] knobs snap bitwise to themselves.
+        for (a, b) in x.iter().zip(&snapped) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+}

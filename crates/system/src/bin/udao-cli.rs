@@ -16,7 +16,13 @@
 //!     are shed); --priority sets the scheduling class the engine orders
 //!     and sheds by; --deadline-ms sets the SLO deadline used for
 //!     earliest-deadline-first ordering within the class; --cache enables
-//!     the cross-request frontier cache with capacity N entries
+//!     the cross-request frontier cache with capacity N entries;
+//!     --per-stage tunes each stage of the workload's dataflow DAG
+//!     separately (shared cluster knobs pinned global) instead of one
+//!     configuration for the whole plan — --stage-mode picks the solver
+//!     (descent: DAG-ordered coordinate descent, the default; joint: one
+//!     MOGD solve over the concatenated space), and the output attributes
+//!     predicted latency/cost and solver effort to each stage
 //!
 //! With --json, failures also print a machine-readable error object (and,
 //! under --report, a complete all-zero solve report — every counter key
@@ -31,10 +37,16 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
-use udao::{BatchRequest, ModelFamily, Priority, ServingEngine, ServingOptions, SolveReport, Udao};
+use udao::{
+    BatchRequest, Fold, ModelFamily, Priority, ServingEngine, ServingOptions, SolveReport,
+    StageMode, StageObjectiveSpec, StageRequest, Udao,
+};
 use udao_core::Error;
 use udao_sparksim::objectives::BatchObjective;
-use udao_sparksim::{batch_workloads, streaming_workloads, BatchConf, ClusterSpec};
+use udao_sparksim::{
+    batch_workloads, streaming_workloads, BatchConf, ClusterSpec, StageFixture, Workload,
+    WorkloadPayload,
+};
 
 /// Parse `--key value` flags (and bare subcommand words) from argv.
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -141,6 +153,9 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
         eprintln!("unknown workload {id}");
         return ExitCode::FAILURE;
     };
+    if flags.contains_key("per-stage") {
+        return cmd_recommend_stages(id, w, flags);
+    }
     let family = match flags.get("family").map(String::as_str) {
         Some("dnn") => ModelFamily::Dnn,
         _ => ModelFamily::Gp,
@@ -278,6 +293,173 @@ fn cmd_recommend(flags: &HashMap<String, String>) -> ExitCode {
                 println!("{}", error_value(id, &e, flags.contains_key("report")));
             }
             eprintln!("recommendation failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `recommend --per-stage` path: partition the workload's dataflow
+/// DAG into per-stage knob blocks (cluster knobs pinned global), compose
+/// closed-form per-stage latency/cost surfaces along the DAG
+/// (critical-path latency, summed cost), and solve with the
+/// [`StageTuner`](udao::StageTuner) in the requested mode.
+fn cmd_recommend_stages(id: &str, w: &Workload, flags: &HashMap<String, String>) -> ExitCode {
+    let WorkloadPayload::Batch(program) = &w.payload else {
+        eprintln!("--per-stage needs a batch workload (streaming queries have no stage DAG)");
+        return ExitCode::FAILURE;
+    };
+    let fx = StageFixture::from_program(program);
+    let mode = match flags.get("stage-mode").map(String::as_str) {
+        Some("joint") => StageMode::Joint,
+        Some("descent") | None => StageMode::Descent,
+        Some(other) => {
+            eprintln!("unknown stage mode {other} (expected descent|joint)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let points: usize = flags.get("points").and_then(|v| v.parse().ok()).unwrap_or(9);
+
+    let mut builder = Udao::builder(ClusterSpec::paper_cluster());
+    if let Some(cap) = flags.get("cache").and_then(|v| v.parse::<usize>().ok()) {
+        builder = builder.frontier_cache(cap);
+    }
+    let udao = match builder.build() {
+        Ok(u) => Arc::new(u),
+        Err(e) => {
+            eprintln!("optimizer construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut req = StageRequest::new(id, fx.dag.clone(), fx.space())
+        .objective(StageObjectiveSpec::analytic(
+            "latency",
+            Fold::CriticalPath,
+            fx.latency_models(),
+        ))
+        .objective(StageObjectiveSpec::analytic("cost", Fold::Sum, fx.cost_models()))
+        .points(points)
+        .mode(mode);
+    if let Some(wts) = flags
+        .get("weights")
+        .map(|s| s.split(',').filter_map(|v| v.trim().parse().ok()).collect::<Vec<f64>>())
+    {
+        req = req.weights(wts);
+    }
+    if let Some(ms) = flags.get("budget-ms").and_then(|v| v.parse().ok()) {
+        req = req.budget(Duration::from_millis(ms));
+    }
+    if let Some(name) = flags.get("priority") {
+        match Priority::parse(name) {
+            Some(class) => req = req.priority(class),
+            None => {
+                eprintln!("unknown priority {name} (expected interactive|standard|batch)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(ms) = flags.get("deadline-ms").and_then(|v| v.parse().ok()) {
+        req = req.deadline(Duration::from_millis(ms));
+    }
+
+    let result = match flags.get("workers").and_then(|v| v.parse::<usize>().ok()) {
+        Some(workers) => {
+            let engine: ServingEngine<BatchObjective> = ServingEngine::start_with(
+                Arc::clone(&udao),
+                ServingOptions::default().with_workers(workers),
+            );
+            engine.solve_stages(req)
+        }
+        None => udao.recommend_stages(&req),
+    };
+    let mode_name = match mode {
+        StageMode::Joint => "joint",
+        StageMode::Descent => "descent",
+    };
+    match result {
+        Ok(rec) => {
+            let global_dim = fx.space().global_dim();
+            let global = rec.x.first().copied().unwrap_or(f64::NAN);
+            if flags.contains_key("json") {
+                let stages: Vec<serde_json::Value> = rec
+                    .report
+                    .stage_attribution
+                    .iter()
+                    .map(|a| {
+                        serde_json::json!({
+                            "stage": a.stage,
+                            "knob": rec.x.get(global_dim + a.stage).copied(),
+                            "predicted": a.predicted,
+                            "seconds": a.seconds,
+                            "solves": a.solves,
+                        })
+                    })
+                    .collect();
+                let mut out = serde_json::json!({
+                    "workload": id,
+                    "mode": mode_name,
+                    "stages_tuned": rec.report.stages_tuned,
+                    "descent_rounds": rec.report.stage_descent_rounds,
+                    "global_cluster_slots": global,
+                    "stages": stages,
+                    "predicted": rec.predicted,
+                    "frontier_size": rec.frontier.len(),
+                    "probes": rec.probes,
+                    "moo_seconds": rec.moo_seconds,
+                    "degraded": rec.degraded,
+                    "stage": rec.stage.to_string(),
+                });
+                if flags.contains_key("report") {
+                    if let serde_json::Value::Object(fields) = &mut out {
+                        fields.push(("report".to_string(), rec.report.to_value()));
+                    }
+                }
+                println!("{out}");
+            } else {
+                println!(
+                    "per-stage recommendation for {id} ({} stages, {mode_name}):",
+                    fx.len()
+                );
+                println!("  cluster-slots (global) = {global:.4}");
+                for a in &rec.report.stage_attribution {
+                    let knob = rec.x.get(global_dim + a.stage).copied().unwrap_or(f64::NAN);
+                    let (lat, cost) = (
+                        a.predicted.first().copied().unwrap_or(f64::NAN),
+                        a.predicted.get(1).copied().unwrap_or(f64::NAN),
+                    );
+                    println!(
+                        "  stage {}: knob {knob:.4}  latency {lat:.3}  cost {cost:.3}  \
+                         ({} block solves, {:.1} ms)",
+                        a.stage,
+                        a.solves,
+                        a.seconds * 1e3,
+                    );
+                }
+                println!(
+                    "composed predicted (critical-path latency, summed cost): {:?}",
+                    rec.predicted
+                );
+                println!(
+                    "frontier {} points / {} probes / {:.2}s MOO / {} descent rounds",
+                    rec.frontier.len(),
+                    rec.probes,
+                    rec.moo_seconds,
+                    rec.report.stage_descent_rounds,
+                );
+                if rec.degraded {
+                    println!("note: degraded answer (stage: {})", rec.stage);
+                }
+                if flags.contains_key("report") {
+                    println!("{}", rec.report.render());
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            if flags.contains_key("json") {
+                println!("{}", error_value(id, &e, flags.contains_key("report")));
+            }
+            eprintln!("per-stage recommendation failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -76,6 +76,11 @@ pub struct FrontierKey {
     region: Vec<Option<(u64, u64)>>,
     /// `(objective name, pinned model version)` per learned objective.
     versions: Vec<(String, u64)>,
+    /// Structural shape fingerprint for per-stage requests: a hash of the
+    /// stage DAG shape, block dimensions, and solve mode. `0` for plain
+    /// workload-level requests, so two requests that agree on everything
+    /// else but differ in DAG shape can never share a frontier.
+    shape: u64,
 }
 
 impl Hash for FrontierKey {
@@ -84,6 +89,7 @@ impl Hash for FrontierKey {
         self.objectives.hash(state);
         self.region.hash(state);
         self.versions.hash(state);
+        self.shape.hash(state);
     }
 }
 
@@ -108,6 +114,21 @@ impl FrontierKey {
         points: usize,
         versions: &[(String, u64)],
     ) -> (Self, RequestFingerprint) {
+        Self::for_request_shaped(workload_id, objectives, constraints, points, versions, 0)
+    }
+
+    /// [`for_request`](Self::for_request) with a non-zero stage-shape
+    /// fingerprint — used by per-stage solves so frontiers computed for
+    /// one DAG shape are structurally unreachable from any other shape
+    /// (or from plain workload-level requests, which use shape `0`).
+    pub fn for_request_shaped(
+        workload_id: &str,
+        objectives: &[&str],
+        constraints: &[Option<(f64, f64)>],
+        points: usize,
+        versions: &[(String, u64)],
+        shape: u64,
+    ) -> (Self, RequestFingerprint) {
         let key = FrontierKey {
             workload_id: workload_id.to_string(),
             objectives: objectives.iter().map(|s| s.to_string()).collect(),
@@ -116,6 +137,7 @@ impl FrontierKey {
                 .map(|c| c.map(|(lo, hi)| (region_cell(lo), region_cell(hi))))
                 .collect(),
             versions: versions.to_vec(),
+            shape,
         };
         let fingerprint = RequestFingerprint {
             bounds: constraints
@@ -130,6 +152,11 @@ impl FrontierKey {
     /// Workload this key belongs to.
     pub fn workload_id(&self) -> &str {
         &self.workload_id
+    }
+
+    /// The stage-shape fingerprint (`0` for workload-level requests).
+    pub fn shape(&self) -> u64 {
+        self.shape
     }
 
     /// The pinned `(objective, version)` pairs embedded in the key.
@@ -422,6 +449,34 @@ mod tests {
         assert!(matches!(cache.lookup(&key, &fp), CacheLookup::Exact(_)));
         // Registry moved to version 4: the entry is reclaimed.
         assert_eq!(cache.prune_stale(|_, _| 4), 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn stage_shape_fingerprints_partition_the_key_space() {
+        let cache = FrontierCache::new(32);
+        let constraints = vec![None, None];
+        // A per-stage entry under shape A...
+        let (key_a, fp_a) = FrontierKey::for_request_shaped(
+            "q2-v0", &["latency", "cost_cores"], &constraints, 10, &versions(), 0xA11CE,
+        );
+        cache.insert(key_a.clone(), fp_a.clone(), CachedFrontier { seed: seed() });
+        assert_eq!(key_a.shape(), 0xA11CE);
+        // ...is invisible to an identical request with a different DAG
+        // shape, and to the plain workload-level request (shape 0).
+        let (key_b, fp_b) = FrontierKey::for_request_shaped(
+            "q2-v0", &["latency", "cost_cores"], &constraints, 10, &versions(), 0xB0B,
+        );
+        assert_ne!(key_a, key_b);
+        assert!(matches!(cache.lookup(&key_b, &fp_b), CacheLookup::Miss));
+        let (key_plain, fp_plain) =
+            key_for(&constraints, 10, &versions());
+        assert_eq!(key_plain.shape(), 0);
+        assert!(matches!(cache.lookup(&key_plain, &fp_plain), CacheLookup::Miss));
+        // The shaped entry itself still hits exactly.
+        assert!(matches!(cache.lookup(&key_a, &fp_a), CacheLookup::Exact(_)));
+        // Model invalidation reaches shaped entries too.
+        assert_eq!(cache.invalidate_model("q2-v0", "latency"), 1);
         assert!(cache.is_empty());
     }
 

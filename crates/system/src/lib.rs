@@ -47,6 +47,7 @@ pub mod report;
 pub mod request;
 pub mod resilience;
 pub mod serve;
+pub mod stage;
 
 pub use analytic::{BatchCostCoresModel, StreamCostCoresModel};
 pub use frontier_cache::{
@@ -55,9 +56,11 @@ pub use frontier_cache::{
 pub use lifecycle::{LifecycleManager, LifecycleOptions, LifecycleStats};
 pub use optimizer::{ModelFamily, Recommendation, Udao, UdaoBuilder};
 pub use pipeline::{PipelineRecommendation, PipelineRequest};
-pub use report::{SolveReport, StageTiming};
+pub use report::{SolveReport, StageAttribution, StageTiming};
 pub use udao_model::Precision;
 pub use request::{BatchRequest, Objective, Request, StreamRequest};
 pub use resilience::{FallbackStage, ModelProvider, ResilienceOptions, RetryPolicy};
 pub use serve::{ClassQuotas, ClassScheduler, ResponseHandle, ServingEngine, ServingOptions};
+pub use stage::{StageMode, StageObjectiveSpec, StageRequest, StageTuner};
 pub use udao_core::priority::Priority;
+pub use udao_core::stage::{ComposedObjective, Fold, StageDag, StageSpace};

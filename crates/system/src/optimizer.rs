@@ -102,24 +102,26 @@ pub struct Recommendation {
     pub report: SolveReport,
 }
 
-/// The MOO phase output.
-struct MooSelection {
+/// The MOO phase output. `pub(crate)` so the per-stage tuner
+/// ([`crate::stage`]) can produce selections through the same report and
+/// snap machinery.
+pub(crate) struct MooSelection {
     /// The selected configuration point.
-    x: Vec<f64>,
+    pub(crate) x: Vec<f64>,
     /// Model-predicted objectives at the selected point.
-    f: Vec<f64>,
+    pub(crate) f: Vec<f64>,
     /// The frontier the choice was made from.
-    frontier: Vec<ParetoPoint>,
-    utopia: Vec<f64>,
-    nadir: Vec<f64>,
-    probes: usize,
-    moo_seconds: f64,
-    stage: FallbackStage,
-    degraded: bool,
+    pub(crate) frontier: Vec<ParetoPoint>,
+    pub(crate) utopia: Vec<f64>,
+    pub(crate) nadir: Vec<f64>,
+    pub(crate) probes: usize,
+    pub(crate) moo_seconds: f64,
+    pub(crate) stage: FallbackStage,
+    pub(crate) degraded: bool,
     /// The PF run's exported resume state (frontier + uncertain
     /// rectangles), present only when a full Progressive Frontier run
     /// produced the selection — what the frontier cache stores.
-    seed: Option<PfSeed>,
+    pub(crate) seed: Option<PfSeed>,
 }
 
 /// What [`Udao::build_problem`] assembles for one request: the encoded
@@ -143,7 +145,7 @@ struct Solved {
 
 /// Run `f` isolating panics into [`Error::WorkerPanicked`], so a poisoned
 /// model cannot unwind through the serving path.
-fn guard<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
+pub(crate) fn guard<T>(f: impl FnOnce() -> Result<T>) -> Result<T> {
     std::panic::catch_unwind(AssertUnwindSafe(f))
         .unwrap_or_else(|payload| Err(Error::WorkerPanicked(panic_message(payload.as_ref()))))
 }
@@ -352,22 +354,22 @@ pub struct Udao {
     cluster: ClusterSpec,
     server: Arc<ModelServer>,
     provider: Arc<dyn ModelProvider>,
-    resilience: ResilienceOptions,
-    pf_options: PfOptions,
+    pub(crate) resilience: ResilienceOptions,
+    pub(crate) pf_options: PfOptions,
     pf_variant: PfVariant,
     seed: u64,
     serving: ServingOptions,
     /// Cross-request inference coalescer shared by every serving engine
     /// started from this optimizer; dormant (fast-path) until at least two
     /// engine workers solve concurrently.
-    coalescer: Arc<InferenceCoalescer>,
+    pub(crate) coalescer: Arc<InferenceCoalescer>,
     /// Opt-in cross-request frontier cache; `None` (the default) keeps
     /// every solve cold and bitwise-identical to a cacheless optimizer.
-    frontier_cache: Option<Arc<FrontierCache>>,
+    pub(crate) frontier_cache: Option<Arc<FrontierCache>>,
     /// Inference precision rung for served learned models
     /// ([`UdaoBuilder::precision`]); tags coalescer lanes so f32 and f64
     /// serving paths never merge a dispatch.
-    precision: Precision,
+    pub(crate) precision: Precision,
     /// Raw trace archive per objective name: `(workload id, dataset)` pairs
     /// used for OtterTune-style workload mapping of data-poor online
     /// workloads (§V.1).
@@ -467,7 +469,17 @@ impl Udao {
         let mut reclaimed = self.coalescer.prune_idle_lanes();
         if let Some(cache) = &self.frontier_cache {
             reclaimed += cache.prune_stale(|workload, objective| {
-                self.server.current_version(&ModelKey::new(workload, objective))
+                // Per-stage entries pin versions under `stage{i}/{objective}`
+                // names against the `{workload}::stage{i}` model keys (see
+                // `crate::stage`); plain entries use the objective name
+                // against the workload key directly.
+                match objective.split_once('/') {
+                    Some((stage_part, name)) => self.server.current_version(&ModelKey::new(
+                        format!("{workload}::{stage_part}"),
+                        name,
+                    )),
+                    None => self.server.current_version(&ModelKey::new(workload, objective)),
+                }
             });
         }
         reclaimed
@@ -623,7 +635,7 @@ impl Udao {
     /// Resolve the model for one learned objective: retried lookup, then —
     /// when cold-start degradation is enabled — the analytic heuristic
     /// prior. `Ok(None)` means "degrade to the heuristic".
-    fn resolve_model(&self, key: &ModelKey, budget: &Budget) -> Result<Option<ModelLease>> {
+    pub(crate) fn resolve_model(&self, key: &ModelKey, budget: &Budget) -> Result<Option<ModelLease>> {
         match self.fetch_model(key, budget) {
             Ok(Some(model)) => Ok(Some(model)),
             Ok(None) if self.resilience.cold_start_analytic => Ok(None),
@@ -768,7 +780,7 @@ impl Udao {
     /// weighted Utopia-nearest selection re-run — so differing preference
     /// weights still share one cached entry. Reports zero probes: no CO
     /// solve ran for this request.
-    fn select_from_cache(
+    pub(crate) fn select_from_cache(
         entry: &CachedFrontier,
         weights: &Option<Vec<f64>>,
         started: &Instant,
@@ -799,7 +811,7 @@ impl Udao {
     /// down a rung; semantic errors fail fast. An `Err` from this function
     /// is either semantic or means every rung failed — the caller then
     /// falls back to the default configuration.
-    fn run_moo_and_select(
+    pub(crate) fn run_moo_and_select(
         &self,
         problem: &MooProblem,
         points: usize,
@@ -938,7 +950,7 @@ impl Udao {
     /// poison; retry a few times (each evaluation re-rolls the fault
     /// sequence), then degrade to the raw snap with the selection's own
     /// (finite, solver-vetted) predictions.
-    fn snap_resilient(
+    pub(crate) fn snap_resilient(
         problem: &MooProblem,
         space: &udao_core::space::ParamSpace,
         sel: &MooSelection,
@@ -962,7 +974,7 @@ impl Udao {
     /// configuration with best-effort predictions. Never consults a solver.
     /// Panicking or poisoned evaluations are retried (each call re-rolls
     /// injected faults); candidate points that stay unusable are skipped.
-    fn default_recommendation(
+    pub(crate) fn default_recommendation(
         problem: &MooProblem,
         space: &udao_core::space::ParamSpace,
         default_x: Option<Vec<f64>>,

@@ -24,6 +24,24 @@ pub struct StageTiming {
     pub count: u64,
 }
 
+/// Per-DAG-stage attribution of a per-stage tuning solve: how much
+/// wall-clock and how many block solves each stage consumed, and the
+/// stage's contribution to each composed objective at the recommended
+/// configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageAttribution {
+    /// DAG stage index.
+    pub stage: usize,
+    /// Wall-clock attributed to this stage's block solves, seconds
+    /// (0 for joint-mode solves, which tune all blocks at once).
+    pub seconds: f64,
+    /// Block solves run for this stage (coordinate-descent mode).
+    pub solves: u64,
+    /// The stage's per-objective values at the recommended configuration,
+    /// ordered like the request's objectives.
+    pub predicted: Vec<f64>,
+}
+
 /// What one solve cost: stage timings and optimizer/model counters.
 #[derive(Debug, Clone)]
 pub struct SolveReport {
@@ -83,6 +101,14 @@ pub struct SolveReport {
     /// (strict class precedence + earlier deadline); 0 outside a serving
     /// engine.
     pub reorders: u64,
+    /// DAG stages tuned by a per-stage solve (0 for workload-level solves).
+    pub stages_tuned: u64,
+    /// Coordinate-descent rounds taken by a per-stage solve (0 for
+    /// workload-level and joint-mode solves).
+    pub stage_descent_rounds: u64,
+    /// Per-DAG-stage attribution of a per-stage solve (empty for
+    /// workload-level solves); filled by `Udao::recommend_stages`.
+    pub stage_attribution: Vec<StageAttribution>,
     /// Stage wall-clock extracted from span histograms, sorted by path.
     pub stages: Vec<StageTiming>,
     /// The full telemetry delta, for anything not surfaced above.
@@ -131,6 +157,9 @@ impl SolveReport {
             class: None,
             queue_wait_seconds: 0.0,
             reorders: 0,
+            stages_tuned: delta.counter(names::STAGE_TUNED),
+            stage_descent_rounds: delta.counter(names::STAGE_DESCENT_ROUNDS),
+            stage_attribution: Vec::new(),
             stages,
             metrics: delta,
         }
@@ -204,6 +233,32 @@ impl SolveReport {
                 Value::Float(self.queue_wait_seconds),
             ),
             ("reorders".to_string(), Value::UInt(self.reorders)),
+            ("stages_tuned".to_string(), Value::UInt(self.stages_tuned)),
+            (
+                "stage_descent_rounds".to_string(),
+                Value::UInt(self.stage_descent_rounds),
+            ),
+            (
+                "stage_attribution".to_string(),
+                Value::Array(
+                    self.stage_attribution
+                        .iter()
+                        .map(|a| {
+                            Value::Object(vec![
+                                ("stage".to_string(), Value::UInt(a.stage as u64)),
+                                ("seconds".to_string(), Value::Float(a.seconds)),
+                                ("solves".to_string(), Value::UInt(a.solves)),
+                                (
+                                    "predicted".to_string(),
+                                    Value::Array(
+                                        a.predicted.iter().map(|v| Value::Float(*v)).collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
             ("stages".to_string(), Value::Array(stages)),
             ("metrics".to_string(), self.metrics.to_value()),
         ])
@@ -283,6 +338,29 @@ impl SolveReport {
                 self.queue_wait_seconds * 1e3,
                 self.reorders
             );
+        }
+        if self.stages_tuned > 0 {
+            let _ = writeln!(
+                out,
+                "  tuning: {} stages tuned, {} descent rounds",
+                self.stages_tuned, self.stage_descent_rounds
+            );
+            for a in &self.stage_attribution {
+                let predicted = a
+                    .predicted
+                    .iter()
+                    .map(|v| format!("{v:.4}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(
+                    out,
+                    "    stage {:<3} {:>9.3} ms  x{}  [{}]",
+                    a.stage,
+                    a.seconds * 1e3,
+                    a.solves,
+                    predicted
+                );
+            }
         }
         let _ = write!(
             out,
@@ -406,6 +484,44 @@ mod tests {
         let text = report.render();
         assert!(text.contains("class interactive"), "{text}");
         assert!(text.contains("3 reorders"), "{text}");
+    }
+
+    #[test]
+    fn stage_tuning_surfaces_in_json_and_render() {
+        // Workload-level solves keep the keys with neutral values and a
+        // quiet rendering.
+        let plain = SolveReport::empty("q2-v0");
+        let v = plain.to_value();
+        assert_eq!(v.get("stages_tuned").and_then(Value::as_u64), Some(0));
+        assert_eq!(v.get("stage_descent_rounds").and_then(Value::as_u64), Some(0));
+        assert!(v.get("stage_attribution").is_some(), "key present even when empty");
+        assert!(!plain.render().contains("tuning:"), "quiet without stage tuning");
+        // Per-stage solves surface counters and attribution.
+        let reg = MetricsRegistry::new();
+        reg.counter(names::STAGE_TUNED).add(3);
+        reg.counter(names::STAGE_DESCENT_ROUNDS).add(7);
+        let mut report =
+            SolveReport::from_delta("q2-v0", FallbackStage::Primary, false, 0.2, reg.snapshot());
+        report.stage_attribution = vec![StageAttribution {
+            stage: 1,
+            seconds: 0.05,
+            solves: 4,
+            predicted: vec![2.5, 1.0],
+        }];
+        assert_eq!(report.stages_tuned, 3);
+        assert_eq!(report.stage_descent_rounds, 7);
+        let v = report.to_value();
+        assert_eq!(v.get("stages_tuned").and_then(Value::as_u64), Some(3));
+        let attribution = v
+            .get("stage_attribution")
+            .and_then(Value::as_array)
+            .expect("attribution present");
+        assert_eq!(attribution[0].get("stage").and_then(Value::as_u64), Some(1));
+        assert_eq!(attribution[0].get("solves").and_then(Value::as_u64), Some(4));
+        let text = report.render();
+        assert!(text.contains("3 stages tuned"), "{text}");
+        assert!(text.contains("7 descent rounds"), "{text}");
+        assert!(text.contains("stage 1"), "{text}");
     }
 
     #[test]

@@ -66,6 +66,7 @@
 
 use crate::optimizer::{Recommendation, Udao};
 use crate::request::{Objective, Request};
+use crate::stage::StageRequest;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -386,8 +387,17 @@ impl ResponseHandle {
     }
 }
 
+/// The unit of queued work: a workload-level request or a per-stage
+/// request. Both flow through identical admission control, class
+/// scheduling, budget accounting, and the coalescer — a per-stage solve
+/// is just another tenant of the same worker pool.
+enum Work<O: Objective> {
+    Plain(Request<O>),
+    Stages(StageRequest),
+}
+
 struct Job<O: Objective> {
-    request: Request<O>,
+    work: Work<O>,
     budget: Budget,
     admitted: Instant,
     priority: Priority,
@@ -520,11 +530,34 @@ impl<O: Objective> ServingEngine<O> {
     /// the error names the request's class and, for queue-based sheds,
     /// the class queue depth observed at rejection.
     pub fn submit(&self, request: Request<O>) -> Result<ResponseHandle> {
-        let shared = &self.shared;
         let class = request.priority;
+        let requested = request.budget;
+        let slo = request.deadline;
+        self.submit_work(Work::Plain(request), class, requested, slo)
+    }
+
+    /// Submit a per-stage tuning request ([`StageRequest`]); identical
+    /// admission control, class scheduling, and budget semantics as
+    /// [`ServingEngine::submit`].
+    pub fn submit_stages(&self, request: StageRequest) -> Result<ResponseHandle> {
+        let class = request.priority;
+        let requested = request.budget;
+        let slo = request.deadline;
+        self.submit_work(Work::Stages(request), class, requested, slo)
+    }
+
+    /// The shared admission path behind [`ServingEngine::submit`] and
+    /// [`ServingEngine::submit_stages`].
+    fn submit_work(
+        &self,
+        work: Work<O>,
+        class: Priority,
+        requested_budget: Option<Duration>,
+        slo_deadline: Option<Duration>,
+    ) -> Result<ResponseHandle> {
+        let shared = &self.shared;
         // The budget starts here: queue wait counts against the deadline.
-        let limit = request
-            .budget
+        let limit = requested_budget
             .or(shared.options.default_budget)
             .or(shared.udao.resilience_options().budget);
         let budget = limit.map(Budget::new).unwrap_or_default();
@@ -545,7 +578,7 @@ impl<O: Objective> ServingEngine<O> {
         }
         // EDF deadline: explicit SLO first, wall-clock budget as fallback.
         let admitted = Instant::now();
-        let deadline = request.deadline.or(limit).map(|d| admitted + d);
+        let deadline = slo_deadline.or(limit).map(|d| admitted + d);
         let cap = shared.options.in_flight_cap();
         let quota = shared.options.quota(class);
         let slot = Arc::new(ResponseSlot::new());
@@ -579,7 +612,7 @@ impl<O: Objective> ServingEngine<O> {
             shared.in_flight.fetch_add(1, Ordering::Relaxed);
             let slot_for_job = Arc::clone(&slot);
             st.sched.push(class, deadline, move |reorders| Job {
-                request,
+                work,
                 budget,
                 admitted,
                 priority: class,
@@ -601,6 +634,12 @@ impl<O: Objective> ServingEngine<O> {
     /// [`ServingEngine::submit`].
     pub fn solve(&self, request: Request<O>) -> Result<Recommendation> {
         self.submit(request)?.wait()
+    }
+
+    /// Submit a per-stage request and wait: the synchronous form of
+    /// [`ServingEngine::submit_stages`].
+    pub fn solve_stages(&self, request: StageRequest) -> Result<Recommendation> {
+        self.submit_stages(request)?.wait()
     }
 
     /// Graceful drain: stop admitting, finish everything already queued,
@@ -683,8 +722,9 @@ fn serve_job<O: Objective>(shared: &Arc<Shared<O>>, job: Job<O>) {
     // While this worker solves, its inference batches may merge with other
     // in-flight solves' batches against the same served models.
     let coalesce_guard = shared.udao.coalescer().register_solver();
-    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-        shared.udao.recommend_within(&job.request, job.budget)
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| match &job.work {
+        Work::Plain(request) => shared.udao.recommend_within(request, job.budget),
+        Work::Stages(request) => shared.udao.recommend_stages_within(request, job.budget),
     }));
     drop(coalesce_guard);
     let result = outcome.unwrap_or_else(|payload| {

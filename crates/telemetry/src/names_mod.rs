@@ -154,6 +154,17 @@ pub const SIM_BATCH_RUNS: &str = "sim.batch_runs";
 /// Streaming simulator runs.
 pub const SIM_STREAM_RUNS: &str = "sim.stream_runs";
 
+// ------------------------------------------------------ per-stage tuning
+
+/// Stages tuned by a per-stage solve (joint or coordinate descent); a
+/// solve over an `n`-stage DAG adds `n`.
+pub const STAGE_TUNED: &str = "stage.tuned";
+/// Coordinate-descent rounds taken across a per-stage solve's weight
+/// sweep (joint solves record 0).
+pub const STAGE_DESCENT_ROUNDS: &str = "stage.descent_rounds";
+/// Wall-clock of whole per-stage solves, seconds (histogram).
+pub const STAGE_SOLVE_SECONDS: &str = "stage.solve_seconds";
+
 // ----------------------------------------------------- resilience ladder
 
 /// Fallback-stage transitions taken by the resilience ladder (each descent

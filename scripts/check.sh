@@ -172,4 +172,40 @@ for field in unloaded_p99_ms loaded_p99_ms p99_ratio interactive_admitted_frac b
     fi
 done
 
+echo "==> stage-truth suite (closed-form per-stage optima, bitwise)"
+cargo test -q -p udao --test stage_truth
+
+echo "==> per-stage tuning bench (decomposed vs joint vs one-global-config)"
+cargo run --release -p udao-bench --bin bench_stages
+if [ ! -s BENCH_stages.json ]; then
+    echo "BENCH_stages.json missing or empty" >&2
+    exit 1
+fi
+# The bench binary exits non-zero when decomposed tuning loses hypervolume
+# against the joint solve (ratio < 0.999), is not faster at p50, strays off
+# the closed-form front, or the one-global-config cost gap falls short of
+# the analytic 1 + Var_w(a) margin; re-check the verdict and every gated
+# field that survived on disk so a silently dropped gate also fails here.
+if ! grep -q '"stages_gate": true' BENCH_stages.json; then
+    echo "!!!! BENCH_stages.json: per-stage tuning gate FAILED !!!!" >&2
+    echo "!!!! (see hv_ratio_min / decomposed_faster / front_residual_max" >&2
+    echo "!!!!  / one_global_cost_ratio in BENCH_stages.json)" >&2
+    cat BENCH_stages.json >&2
+    exit 1
+fi
+if ! grep -q '"decomposed_faster": true' BENCH_stages.json; then
+    echo "BENCH_stages.json: decomposed tuning must beat joint p50 wall-clock" >&2
+    exit 1
+fi
+if ! grep -q '"latency_dominated": true' BENCH_stages.json; then
+    echo "BENCH_stages.json: one-global-config must be latency-dominated too" >&2
+    exit 1
+fi
+for field in hv_ratio_min hv_ratio_gate front_residual_max one_global_cost_ratio one_global_cost_margin decomposed_p50_ms joint_p50_ms; do
+    if ! grep -q "\"$field\"" BENCH_stages.json; then
+        echo "BENCH_stages.json is missing field: $field" >&2
+        exit 1
+    fi
+done
+
 echo "==> all checks passed"

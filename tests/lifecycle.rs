@@ -430,6 +430,87 @@ fn swap_storm_never_serves_frontiers_from_retired_weights() {
     assert!(cache.len() <= 1, "only the live-version entry may survive the prune");
 }
 
+/// Per-stage variant of the cache swap storm: stage-shaped cache entries
+/// pin every per-stage learned model version inside their key, so a
+/// hot-swap of any *single* stage's model makes the cached frontier
+/// unreachable — the next per-stage solve is a cold miss pinned to the
+/// fresh version, unswapped repeats keep hitting, and the idle prune
+/// reclaims every retired-version stage entry.
+#[test]
+fn per_stage_swap_storm_invalidates_stage_cache_entries() {
+    use udao::{Fold, StageMode, StageObjectiveSpec, StageRequest};
+    use udao_sparksim::StageFixture;
+    let (variant, options) = quick_pf();
+    let udao = Udao::builder(ClusterSpec::paper_cluster())
+        .pf(variant, options)
+        .frontier_cache(64)
+        .build()
+        .expect("quick_pf options are valid");
+    let fx = StageFixture::chain2();
+    let server = udao.shared_model_server();
+    // One GP per (stage, objective), keyed `{workload}::stage{i}` exactly
+    // as the tuner resolves them; inputs are the stage's (global knob,
+    // own knob) block.
+    let keys: Vec<ModelKey> = (0..fx.len())
+        .flat_map(|i| {
+            ["latency", "cost"]
+                .map(|name| ModelKey::new(format!("stagestorm::stage{i}"), name))
+        })
+        .collect();
+    let xs: Vec<Vec<f64>> =
+        (0..25).map(|k| vec![(k % 5) as f64 / 4.0, (k / 5) as f64 / 4.0]).collect();
+    for (j, key) in keys.iter().enumerate() {
+        let ys: Vec<f64> =
+            xs.iter().map(|r| 1.0 + (j + 1) as f64 * r[0] + 2.0 * r[1] * r[1]).collect();
+        server.register(key.clone(), ModelKind::Gp(Default::default()));
+        server.ingest(key, &Dataset::new(xs.clone(), ys));
+        assert_eq!(server.current_version(key), 1, "seed publish for {key:?}");
+    }
+    let request = || {
+        StageRequest::new("stagestorm", fx.dag.clone(), fx.space())
+            .objective(StageObjectiveSpec::learned("latency", Fold::CriticalPath))
+            .objective(StageObjectiveSpec::learned("cost", Fold::Sum))
+            .points(3)
+            .mode(StageMode::Descent)
+    };
+    let cache = udao.frontier_cache().expect("cache enabled");
+
+    for round in 0..6u64 {
+        let cold = udao.recommend_stages(&request()).expect("post-swap solve");
+        assert_eq!(
+            cold.report.cache_served, 0,
+            "round {round}: a stage frontier from retired weights was served"
+        );
+        assert_eq!(cold.report.stale_served, 0);
+        // The report pins one version per (stage, objective), and each one
+        // is the registry's live version at admission.
+        assert_eq!(cold.report.model_versions.len(), keys.len(), "round {round}");
+        for (entry, version) in &cold.report.model_versions {
+            let (stage_part, name) = entry.split_once('/').expect("stage-scoped entry");
+            let key = ModelKey::new(format!("stagestorm::{stage_part}"), name);
+            assert_eq!(
+                *version,
+                server.current_version(&key),
+                "round {round}: {entry} must pin the live version"
+            );
+        }
+        let hit = udao.recommend_stages(&request()).expect("repeat solve");
+        assert_eq!(
+            hit.report.cache_served, 1,
+            "round {round}: an unswapped repeat must hit the stage entry"
+        );
+        // Hot-swap a single stage model: one version bump is enough to
+        // retire the whole composed entry.
+        let swap = &keys[(round as usize) % keys.len()];
+        assert!(server.retrain_now(swap, &Dataset::default()), "round {round}: swap publishes");
+    }
+    // Every entry in the cache is now pinned to at least one retired
+    // version (the final swap retired the live round's too): the idle
+    // prune must reclaim them all, parsing the stage-scoped entry names.
+    assert!(udao.prune_idle() > 0, "the storm left stale stage entries to reclaim");
+    assert_eq!(cache.len(), 0, "no stage entry may outlive its pinned versions");
+}
+
 /// Idle serving workers reclaim stale cache entries on their own: after a
 /// hot-swap retires the cached frontier's weights, an idle engine (no
 /// further requests) prunes the entry within a few idle periods.

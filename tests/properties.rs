@@ -185,6 +185,99 @@ proptest! {
         prop_assert!(m.cpu_hours > 0.0);
         prop_assert!((0.0..=1.0).contains(&m.cpu_util));
     }
+
+    // Stage-space codec: splitting a flat knob vector into (global,
+    // per-stage) blocks and concatenating them back is a bitwise identity,
+    // and the per-stage model input is exactly global ++ stage block.
+    #[test]
+    fn stage_space_split_concat_roundtrips_bitwise(
+        n_stages in 1usize..5,
+        global_dim in 0usize..3,
+        stage_dim in 1usize..3,
+        raw in prop::collection::vec(0.0f64..1.0, 16)
+    ) {
+        use udao_core::stage::StageSpace;
+        let global = ParamSpace::new(
+            (0..global_dim).map(|i| ParamSpec::continuous(format!("g{i}"), 0.0, 1.0)).collect(),
+        ).unwrap();
+        let stage = ParamSpace::new(
+            (0..stage_dim).map(|i| ParamSpec::continuous(format!("s{i}"), 0.0, 1.0)).collect(),
+        ).unwrap();
+        let space = StageSpace::new(global, stage, n_stages).unwrap();
+        let x = raw[..space.encoded_dim()].to_vec();
+        let (g, stages) = space.split(&x).unwrap();
+        prop_assert_eq!(g.len(), global_dim);
+        prop_assert_eq!(stages.len(), n_stages);
+        let back = space.concat(&g, &stages).unwrap();
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (i, block) in stages.iter().enumerate() {
+            let mut want = g.clone();
+            want.extend_from_slice(block);
+            let input = space.stage_input(&x, i).unwrap();
+            prop_assert_eq!(input.len(), want.len());
+            for (a, b) in input.iter().zip(&want) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        // Writing a stage's own block back is a no-op on the flat vector.
+        let mut rewritten = x.clone();
+        for (i, block) in stages.iter().enumerate() {
+            space.write_stage(&mut rewritten, i, block).unwrap();
+        }
+        space.write_global(&mut rewritten, &g).unwrap();
+        prop_assert_eq!(&x, &rewritten);
+    }
+
+    // Composed-objective evaluation is *exactly* the DAG fold of
+    // independent per-stage model evaluations — no hidden re-weighting,
+    // for arbitrary DAGs, surfaces, and knob vectors.
+    #[test]
+    fn composed_objective_equals_fold_of_per_stage_evals(
+        works in prop::collection::vec(0.1f64..4.0, 1..6),
+        opts in prop::collection::vec(0.0f64..1.0, 6),
+        knobs in prop::collection::vec(0.0f64..1.0, 7),
+        dep_bits in 0u32..u32::MAX
+    ) {
+        use udao_core::objective::ObjectiveModel;
+        use udao_core::stage::{Fold, StageDag};
+        use udao_sparksim::stages::{StageFixture, StageSurface};
+        let n = works.len();
+        // A pseudo-random DAG: stage i depends on an arbitrary subset of
+        // its predecessors (always acyclic by construction).
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..i).filter(|j| dep_bits >> (i * 3 + j) & 1 == 1).collect())
+            .collect();
+        let fx = StageFixture {
+            dag: StageDag::new(deps).unwrap(),
+            surfaces: works
+                .iter()
+                .zip(&opts)
+                .map(|(&work, &knob_opt)| StageSurface { work, knob_opt })
+                .collect(),
+        };
+        let space = fx.space();
+        let x = knobs[..1 + n].to_vec();
+        let (latency, cost) = fx.composed();
+        for (composed, models, fold) in [
+            (&latency, fx.latency_models(), Fold::CriticalPath),
+            (&cost, fx.cost_models(), Fold::Sum),
+        ] {
+            let per_stage: Vec<f64> = (0..n)
+                .map(|i| models[i].predict(&space.stage_input(&x, i).unwrap()))
+                .collect();
+            let vals = composed.stage_values(&x).unwrap();
+            for (a, b) in vals.iter().zip(&per_stage) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // Composed prediction is exactly the fold of per-stage evals.
+            prop_assert_eq!(
+                composed.predict(&x).to_bits(),
+                fold.fold(&fx.dag, &per_stage).to_bits()
+            );
+        }
+    }
 }
 
 proptest! {
@@ -290,6 +383,80 @@ proptest! {
                 prop_assert!(pt.f.iter().all(|v| v.is_finite()), "{:?}", pt.f);
                 prop_assert!(pt.x.iter().all(|v| (0.0..=1.0).contains(v)), "{:?}", pt.x);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // DAG-ordered coordinate descent is invariant under topological-order
+    // tie permutations: relabeling stages that share a topo depth (the
+    // diamond's two middle stages) permutes the recommended knob vector
+    // accordingly and leaves the predicted objectives bitwise unchanged.
+    // Dyadic works/optima keep every block argmin on the exact lattice so
+    // the comparison can be bitwise rather than tolerance-band.
+    #[test]
+    fn descent_is_invariant_under_topo_tie_permutations(
+        wk in prop::collection::vec(1u32..=16, 4),
+        ak in prop::collection::vec(0u32..=32, 4)
+    ) {
+        use udao::{Fold, StageMode, StageObjectiveSpec, StageRequest, Udao};
+        use udao_core::stage::StageDag;
+        use udao_sparksim::stages::{StageFixture, StageSurface};
+        use udao_sparksim::ClusterSpec;
+        let udao = Udao::builder(ClusterSpec::paper_cluster())
+            .pf(
+                udao_core::pf::PfVariant::ApproxSequential,
+                udao_core::pf::PfOptions {
+                    mogd: udao_core::mogd::MogdConfig {
+                        multistarts: 4,
+                        max_iters: 60,
+                        ..Default::default()
+                    },
+                    exact_resolution: 33,
+                    ..Default::default()
+                },
+            )
+            .build()
+            .unwrap();
+        let surf =
+            |i: usize| StageSurface { work: wk[i] as f64 / 4.0, knob_opt: ak[i] as f64 / 32.0 };
+        // Diamond A and its tie-permuted twin B: stages 1 and 2 share topo
+        // depth 1, so swapping their labels is a pure tie permutation.
+        let diamond = || StageDag::new(vec![vec![], vec![0], vec![0], vec![1, 2]]).unwrap();
+        let fx_a = StageFixture {
+            dag: diamond(),
+            surfaces: vec![surf(0), surf(1), surf(2), surf(3)],
+        };
+        let fx_b = StageFixture {
+            dag: diamond(),
+            surfaces: vec![surf(0), surf(2), surf(1), surf(3)],
+        };
+        let solve = |fx: &StageFixture| {
+            let request = StageRequest::new("tie-perm", fx.dag.clone(), fx.space())
+                .objective(StageObjectiveSpec::analytic(
+                    "latency",
+                    Fold::CriticalPath,
+                    fx.latency_models(),
+                ))
+                .objective(StageObjectiveSpec::analytic("cost", Fold::Sum, fx.cost_models()))
+                .points(5)
+                .mode(StageMode::Descent);
+            udao.recommend_stages(&request).unwrap()
+        };
+        let rec_a = solve(&fx_a);
+        let rec_b = solve(&fx_b);
+        for (a, b) in rec_a.predicted.iter().zip(&rec_b.predicted) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // x layout: [global, v0, v1, v2, v3] — B's middle knobs are A's,
+        // swapped; everything else is identical.
+        let mut permuted = rec_a.x.clone();
+        permuted.swap(2, 3);
+        prop_assert_eq!(rec_b.x.len(), permuted.len());
+        for (a, b) in permuted.iter().zip(&rec_b.x) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
         }
     }
 }
